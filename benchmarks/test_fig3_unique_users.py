@@ -1,0 +1,84 @@
+"""FIG3 — Figure 3: unique MFA users per day across the three phases.
+
+Prints the weekly series (the figure's envelope) and asserts the shape the
+paper reports: steady adoption through phases 1-2, near-maximum from the
+mandatory date, and the winter-holiday dip.  The benchmark times a full
+re-aggregation of the daily series.
+"""
+
+from datetime import date
+
+import numpy as np
+
+
+PHASE1 = date(2016, 8, 10)
+PHASE2 = date(2016, 9, 6)
+PHASE3 = date(2016, 10, 4)
+
+
+def weekly(series, metrics):
+    rows = []
+    for start in range(0, metrics.days - 6, 7):
+        week = series[start : start + 7]
+        rows.append((metrics.date_of(start).isoformat(), int(week.mean())))
+    return rows
+
+
+class TestFigure3Series:
+    def test_print_series(self, metrics):
+        print("\n=== Figure 3: unique MFA users/day (weekly means) ===")
+        for week_start, value in weekly(metrics.unique_mfa_users, metrics):
+            bar = "#" * max(1, value // 10)
+            print(f"    {week_start}  {value:5d}  {bar}")
+
+    def test_steady_increase_through_optin(self, metrics):
+        phase1 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 8, 15), date(2016, 9, 5))
+        phase2 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 9, 10), date(2016, 10, 3))
+        phase3 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 10, 10), date(2016, 12, 10))
+        print(f"\n    phase means: P1={phase1:.0f}  P2={phase2:.0f}  P3={phase3:.0f}")
+        assert phase1 < phase2 < phase3
+
+    def test_discontinuous_increase_after_phase2(self, metrics):
+        """"A noticeable discontinuous increase does occur on September 7"."""
+        sep6 = metrics.unique_mfa_users[metrics.day_of(date(2016, 9, 6))]
+        week_after = metrics.mean_over(
+            metrics.unique_mfa_users, date(2016, 9, 7), date(2016, 9, 13)
+        )
+        assert week_after > sep6
+
+    def test_near_max_in_phase3(self, metrics):
+        phase3 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 10, 10), date(2016, 12, 10))
+        overall_max = float(metrics.unique_mfa_users.max())
+        # Weekday plateau sits within striking distance of the peak.
+        weekday_peak = np.percentile(
+            metrics.unique_mfa_users[
+                metrics.day_of(date(2016, 10, 10)) : metrics.day_of(date(2016, 12, 10))
+            ],
+            90,
+        )
+        assert weekday_peak > 0.6 * overall_max
+        assert phase3 > 0
+
+    def test_holiday_decline(self, metrics):
+        """"A decline in unique users is noted during the winter holiday"."""
+        december = metrics.mean_over(metrics.unique_mfa_users, date(2016, 11, 28), date(2016, 12, 14))
+        holiday = metrics.mean_over(metrics.unique_mfa_users, date(2016, 12, 18), date(2017, 1, 1))
+        print(f"    holiday dip: {december:.0f} -> {holiday:.0f}")
+        assert holiday < 0.6 * december
+
+
+class TestFigure3Bench:
+    def test_bench_daily_aggregation(self, benchmark, metrics):
+        """Re-derive the figure's series from the raw daily counters."""
+
+        def aggregate():
+            series = metrics.unique_mfa_users
+            return {
+                "weekly": [int(series[i : i + 7].mean()) for i in range(0, metrics.days - 6, 7)],
+                "max": int(series.max()),
+                "p1": metrics.mean_over(series, date(2016, 8, 15), date(2016, 9, 5)),
+                "p3": metrics.mean_over(series, date(2016, 10, 10), date(2016, 12, 10)),
+            }
+
+        result = benchmark(aggregate)
+        assert result["p3"] > result["p1"]

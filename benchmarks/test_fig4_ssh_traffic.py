@@ -1,0 +1,72 @@
+"""FIG4 — Figure 4: SSH traffic per day (internal/external x MFA/non-MFA).
+
+Prints the weekly blue (external MFA) / red (external total) / black (all)
+bars and asserts the paper's qualitative claims: the sharp phase-2 drop in
+external non-MFA (automated) traffic, exempt automation persisting through
+phase 3, and internal traffic untouched by the transition.
+"""
+
+from datetime import date
+
+
+class TestFigure4Series:
+    def test_print_series(self, metrics):
+        print("\n=== Figure 4: SSH traffic/day (weekly means) ===")
+        print(f"    {'week':<12} {'blue(ext MFA)':>14} {'red(ext all)':>13} {'black(all)':>11}")
+        for start in range(0, metrics.days - 6, 7):
+            week = metrics.date_of(start).isoformat()
+            blue = int(metrics.external_mfa[start : start + 7].mean())
+            red = int(metrics.external_total[start : start + 7].mean())
+            black = int(metrics.all_traffic[start : start + 7].mean())
+            print(f"    {week:<12} {blue:>14} {red:>13} {black:>11}")
+
+    def test_phase2_drop_in_automated_nonmfa(self, metrics):
+        """"a significant decrease in this type of traffic once phase 2
+        began" — red-minus-blue shrinks at the phase-2 boundary."""
+        phase1 = metrics.mean_over(metrics.external_nonmfa, date(2016, 8, 10), date(2016, 9, 5))
+        phase2 = metrics.mean_over(metrics.external_nonmfa, date(2016, 9, 10), date(2016, 10, 3))
+        print(f"\n    ext non-MFA: phase1={phase1:.0f}/day  phase2={phase2:.0f}/day "
+              f"({100 * (1 - phase2 / phase1):.0f}% drop)")
+        assert phase2 < 0.85 * phase1
+
+    def test_automation_persists_after_mandatory(self, metrics):
+        """"automated, non-interactive traffic continues to account for a
+        significant portion of login events" in phase 3."""
+        nonmfa = metrics.mean_over(metrics.external_nonmfa, date(2016, 10, 10), date(2016, 12, 10))
+        total = metrics.mean_over(metrics.external_total, date(2016, 10, 10), date(2016, 12, 10))
+        share = nonmfa / total
+        print(f"    phase-3 non-MFA share of external traffic: {share:.0%}")
+        assert share > 0.3
+
+    def test_internal_traffic_unaffected(self, metrics):
+        """"This traffic was not particularly affected by the transition"."""
+        before = metrics.mean_over(metrics.internal, date(2016, 8, 10), date(2016, 10, 3))
+        after = metrics.mean_over(metrics.internal, date(2016, 10, 5), date(2016, 12, 10))
+        ratio = after / before
+        print(f"    internal traffic before/after mandatory: ratio={ratio:.2f}")
+        assert 0.6 < ratio < 1.8
+
+    def test_black_exceeds_red_exceeds_blue(self, metrics):
+        """The bars nest by construction — black >= red >= blue everywhere."""
+        assert (metrics.all_traffic >= metrics.external_total).all()
+        assert (metrics.external_total >= metrics.external_mfa).all()
+
+    def test_blue_grows_across_phases(self, metrics):
+        phase1 = metrics.mean_over(metrics.external_mfa, date(2016, 8, 10), date(2016, 9, 5))
+        phase3 = metrics.mean_over(metrics.external_mfa, date(2016, 10, 10), date(2016, 12, 10))
+        assert phase3 > 2 * max(phase1, 1)
+
+
+class TestFigure4Bench:
+    def test_bench_traffic_classification(self, benchmark, metrics):
+        """Recompute the figure's three bar series from raw counters."""
+
+        def classify():
+            return (
+                metrics.external_mfa.sum(),
+                metrics.external_total.sum(),
+                metrics.all_traffic.sum(),
+            )
+
+        blue, red, black = benchmark(classify)
+        assert black >= red >= blue

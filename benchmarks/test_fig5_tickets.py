@@ -1,0 +1,65 @@
+"""FIG5 — Figure 5: user support tickets per day.
+
+Prints the weekly MFA-vs-other ticket series and checks the paper's two
+headline numbers: MFA inquiries averaged 6.7% of tickets from August to
+the end of 2016 and 2.7% across January-March 2017, "waning after the
+beginning of phase 3".
+"""
+
+from datetime import date
+
+
+class TestFigure5Series:
+    def test_print_series(self, metrics):
+        print("\n=== Figure 5: support tickets/day (weekly means) ===")
+        print(f"    {'week':<12} {'MFA':>6} {'other':>6} {'share':>7}")
+        for start in range(0, metrics.days - 6, 7):
+            week = metrics.date_of(start).isoformat()
+            mfa = metrics.mfa_tickets[start : start + 7].mean()
+            other = metrics.other_tickets[start : start + 7].mean()
+            share = mfa / (mfa + other) if mfa + other else 0.0
+            print(f"    {week:<12} {mfa:>6.1f} {other:>6.1f} {share:>6.1%}")
+
+    def test_transition_window_share(self, metrics):
+        """Paper: 6.7% from August to the end of the year."""
+        share = metrics.mfa_ticket_share(date(2016, 8, 10), date(2016, 12, 31))
+        print(f"\n    Aug-Dec MFA ticket share: {share:.1%} (paper: 6.7%)")
+        assert 0.03 <= share <= 0.13
+
+    def test_steady_state_share(self, metrics):
+        """Paper: 2.7% across January-March 2017."""
+        share = metrics.mfa_ticket_share(date(2017, 1, 1), date(2017, 3, 31))
+        print(f"    Jan-Mar MFA ticket share: {share:.1%} (paper: 2.7%)")
+        assert 0.005 <= share <= 0.055
+
+    def test_share_wanes_after_phase3(self, metrics):
+        transition = metrics.mfa_ticket_share(date(2016, 8, 10), date(2016, 10, 31))
+        steady = metrics.mfa_ticket_share(date(2017, 1, 1), date(2017, 3, 31))
+        assert steady < transition
+
+    def test_mfa_tickets_small_but_consistent(self, metrics):
+        """"a consistent but relatively small amount of the ticket load"
+        through phases 1 and 2 — present most weeks, never dominant."""
+        lo = metrics.day_of(date(2016, 8, 10))
+        hi = metrics.day_of(date(2016, 10, 3))
+        window_mfa = metrics.mfa_tickets[lo:hi]
+        window_other = metrics.other_tickets[lo:hi]
+        weeks_with_mfa = sum(
+            1 for i in range(0, len(window_mfa) - 6, 7)
+            if window_mfa[i : i + 7].sum() > 0
+        )
+        total_weeks = len(range(0, len(window_mfa) - 6, 7))
+        assert weeks_with_mfa >= 0.8 * total_weeks
+        assert window_mfa.sum() < window_other.sum()
+
+
+class TestFigure5Bench:
+    def test_bench_share_computation(self, benchmark, metrics):
+        def shares():
+            return (
+                metrics.mfa_ticket_share(date(2016, 8, 10), date(2016, 12, 31)),
+                metrics.mfa_ticket_share(date(2017, 1, 1), date(2017, 3, 31)),
+            )
+
+        transition, steady = benchmark(shares)
+        assert steady < transition

@@ -1,0 +1,83 @@
+"""FIG6 — Figure 6: new token pairings per day.
+
+Prints the daily series around the three key dates and asserts the spike
+structure the paper reports: increases correlate with the Aug 10
+announcement and the phase changes; Sep 7 (the day after phase 2 began)
+ranks first; Oct 4 (mandatory day) ranks fourth; pairings decline to the
+end of the year and pick up again at the spring semester.
+"""
+
+from datetime import date
+
+
+class TestFigure6Series:
+    def test_print_series(self, metrics):
+        print("\n=== Figure 6: new pairings/day (top days + weekly means) ===")
+        for day, count in metrics.top_pairing_days(8):
+            marker = ""
+            if day == date(2016, 9, 7):
+                marker = "  <- day after phase 2 (paper rank 1)"
+            elif day == date(2016, 10, 4):
+                marker = "  <- mandatory deadline (paper rank 4)"
+            elif day == date(2016, 8, 10):
+                marker = "  <- announcement"
+            print(f"    {day.isoformat()}  {count:5d}{marker}")
+        print()
+        for start in range(0, metrics.days - 6, 7):
+            week = metrics.new_pairings[start : start + 7]
+            print(f"    {metrics.date_of(start).isoformat()}  {int(week.sum()):5d}")
+
+    def test_sep7_is_rank_one(self, metrics):
+        """"September 7th, the day after phase 2 began, ranks first"."""
+        rank = metrics.pairing_rank_of(date(2016, 9, 7))
+        print(f"\n    Sep 7 rank: {rank} (paper: 1)")
+        assert rank <= 2
+
+    def test_oct4_high_rank_but_not_first(self, metrics):
+        """"October 4th ... ranks fourth in the total count"."""
+        rank = metrics.pairing_rank_of(date(2016, 10, 4))
+        print(f"    Oct 4 rank: {rank} (paper: 4)")
+        assert 2 <= rank <= 8
+
+    def test_announcement_spike(self, metrics):
+        """"Increases ... can be correlated to the initial announcement on
+        August 10th"."""
+        day = metrics.day_of(date(2016, 8, 10))
+        before = metrics.new_pairings[day - 7 : day].mean()
+        spike = metrics.new_pairings[day]
+        print(f"    Aug 10: {spike} pairings vs {before:.1f}/day the week before")
+        assert spike > 3 * max(before, 1)
+
+    def test_decline_to_year_end(self, metrics):
+        """"New device pairings slowly declined until the end of the year"."""
+        october = metrics.mean_over(metrics.new_pairings, date(2016, 10, 10), date(2016, 10, 31))
+        december = metrics.mean_over(metrics.new_pairings, date(2016, 12, 1), date(2016, 12, 23))
+        assert december < october
+
+    def test_spring_semester_uptick(self, metrics):
+        """"Beginning with the Spring semester, new pairings once again
+        increased"."""
+        late_december = metrics.mean_over(metrics.new_pairings, date(2016, 12, 10), date(2017, 1, 10))
+        spring = metrics.mean_over(metrics.new_pairings, date(2017, 1, 17), date(2017, 2, 7))
+        print(f"    late Dec: {late_december:.1f}/day -> spring: {spring:.1f}/day")
+        assert spring > late_december
+
+    def test_most_pairings_before_deadline(self, metrics):
+        deadline = metrics.day_of(date(2016, 10, 4))
+        before = int(metrics.new_pairings[:deadline].sum())
+        total = int(metrics.new_pairings.sum())
+        print(f"    paired before deadline: {before}/{total} ({before / total:.0%})")
+        assert before / total > 0.55
+
+
+class TestFigure6Bench:
+    def test_bench_ranking(self, benchmark, metrics):
+        def rank():
+            return (
+                metrics.pairing_rank_of(date(2016, 9, 7)),
+                metrics.pairing_rank_of(date(2016, 10, 4)),
+                metrics.top_pairing_days(10),
+            )
+
+        sep7, oct4, _ = benchmark(rank)
+        assert sep7 < oct4

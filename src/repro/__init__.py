@@ -1,0 +1,25 @@
+"""repro — an open-source multi-factor authentication infrastructure for HPC.
+
+A full reproduction of Proctor, Storm, Hanlon & Mendoza, *Securing HPC:
+Development of a Low Cost, Open Source Multi-factor Authentication
+Infrastructure* (SC'17): TOTP token devices, a LinOTP-equivalent OTP back
+end, RADIUS middleware, the four in-house PAM modules with the opt-in
+enforcement ladder, SSH login-node and portal front ends, and a
+discrete-event rollout simulator that regenerates the paper's evaluation
+figures.
+
+Quickstart::
+
+    from repro.core import MFACenter
+
+    center = MFACenter()
+    system = center.add_system("stampede", mode="full")
+    center.create_user("alice", password="hunter2")
+    serial, secret = center.pair_soft("alice")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import MFACenter
+
+__all__ = ["MFACenter", "__version__"]

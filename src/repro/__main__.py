@@ -1,0 +1,70 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [population] [seed]`` — run the rollout simulation and print
+  the paper-vs-measured evaluation report (default 1500 accounts).
+* ``demo`` — the quickstart walkthrough (pair a token, log in).
+* ``qr <text>`` — render any text as a terminal QR code (the portal's
+  pairing renderer, exposed because it is genuinely handy).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _cmd_report(args: list) -> int:
+    from repro.analysis.report import evaluation_report
+
+    population = int(args[0]) if args else 1500
+    seed = int(args[1]) if len(args) > 1 else 20160810
+    print(evaluation_report(population=population, seed=seed))
+    return 0
+
+
+def _cmd_demo(_args: list) -> int:
+    import random
+
+    from repro.common.clock import SimulatedClock
+    from repro.core import MFACenter
+    from repro.crypto.totp import TOTPGenerator
+    from repro.ssh import SSHClient
+
+    clock = SimulatedClock.at("2016-10-05T09:00:00")
+    center = MFACenter(clock=clock, rng=random.Random(42))
+    system = center.add_system("stampede", mode="full")
+    center.create_user("demo", password="demo-password")
+    _, secret = center.pair_soft("demo")
+    device = TOTPGenerator(secret=secret, clock=clock)
+    client = SSHClient(source_ip="198.51.100.7")
+    result, _ = client.connect(
+        system.login_node(), "demo",
+        password="demo-password", token=device.current_code,
+    )
+    print("demo login:", "GRANTED" if result.success else "DENIED")
+    print("session items:", result.session_items)
+    return 0 if result.success else 1
+
+
+def _cmd_qr(args: list) -> int:
+    from repro.qr import encode
+
+    if not args:
+        print("usage: python -m repro qr <text>", file=sys.stderr)
+        return 2
+    qr = encode(" ".join(args), level="M")
+    print(qr.to_text(dark="##", light="  ", border=2))
+    return 0
+
+
+def main(argv: list) -> int:
+    commands = {"report": _cmd_report, "demo": _cmd_demo, "qr": _cmd_qr}
+    if not argv or argv[0] not in commands:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return commands[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,29 @@
+"""Analysis tools: the Section 4.1 login audit, cost and assurance models.
+
+* :mod:`repro.analysis.loginaudit` — the information-gathering campaign:
+  aggregate entry-audit log events, rank users by login volume, use staff
+  activity as the targeting threshold, flag TTY-less automation and
+  likely shared accounts.
+* :mod:`repro.analysis.cost` — the economics of Section 2/3.3: commercial
+  per-user subscription pricing vs the in-house build, Twilio SMS costs,
+  hard-token batch economics, and the crossover analysis that motivated
+  building instead of buying.
+* :mod:`repro.analysis.nist` — the NIST SP 800-63-2 Level-of-Assurance
+  model: combining factor types into the LoA the paper cites (level 2 → 3).
+"""
+
+from repro.analysis.assurance import AssuranceProfile, assurance_profile
+from repro.analysis.cost import CommercialVendor, CostModel, InHouseCosts
+from repro.analysis.loginaudit import LoginAuditor
+from repro.analysis.nist import FactorKind, level_of_assurance
+
+__all__ = [
+    "LoginAuditor",
+    "CostModel",
+    "CommercialVendor",
+    "InHouseCosts",
+    "FactorKind",
+    "level_of_assurance",
+    "AssuranceProfile",
+    "assurance_profile",
+]

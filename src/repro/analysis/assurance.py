@@ -1,0 +1,59 @@
+"""Center-wide Level-of-Assurance reporting.
+
+The paper frames the whole effort as raising remote-authentication
+assurance "from a level 2 to a level 3".  This module computes that
+profile over a live :class:`~repro.directory.identity.IdentityBackend`:
+which LoA each account's current pairing achieves, and the share of
+accounts at or above LoA 3 — the number a security officer reports up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.analysis.nist import pairing_loa
+from repro.directory.identity import IdentityBackend, PairingStatus
+
+
+@dataclass
+class AssuranceProfile:
+    """The LoA census of an identity back end."""
+
+    accounts_by_loa: Dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    @property
+    def share_at_or_above_3(self) -> float:
+        if not self.total:
+            return 0.0
+        strong = sum(count for loa, count in self.accounts_by_loa.items() if loa >= 3)
+        return strong / self.total
+
+    @property
+    def modal_loa(self) -> int:
+        if not self.accounts_by_loa:
+            return 1
+        return max(self.accounts_by_loa.items(), key=lambda kv: kv[1])[0]
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"LoA{loa}: {count}" for loa, count in sorted(self.accounts_by_loa.items())
+        )
+        return f"{parts} — {self.share_at_or_above_3:.0%} at LoA 3+"
+
+
+def assurance_profile(
+    identity: IdentityBackend, first_factor: str = "password"
+) -> AssuranceProfile:
+    """Compute the LoA census for every account's current pairing."""
+    profile = AssuranceProfile()
+    for username in identity.usernames():
+        status = identity.get(username).pairing_status
+        if status is PairingStatus.UNPAIRED:
+            loa = 2 if first_factor in ("password", "publickey") else 1
+        else:
+            loa = pairing_loa(status.value, first_factor)
+        profile.accounts_by_loa[loa] = profile.accounts_by_loa.get(loa, 0) + 1
+        profile.total += 1
+    return profile

@@ -1,0 +1,134 @@
+"""The Section 4.1 information-gathering analysis.
+
+"a script was installed throughout major systems to create a log event upon
+successful entry with explicit information pertaining to the user's current
+shell properties and whether a terminal session (TTY) had been initiated
+... Users were ranked by the number of log in events in a fixed time
+period.  Any known gateway or community accounts ... were filtered out and
+contacted separately.  ... staff members, who generally tend to be quite
+active on the systems, served as threshold cutoffs.  Any user more active
+in log ins than this threshold were separated out to be targeted for
+inquiry."
+
+:class:`LoginAuditor` reproduces the pipeline over
+:class:`~repro.ssh.authlog.AuthLog` entries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.ssh.authlog import AuthLogEntry
+
+
+@dataclass(frozen=True)
+class UserActivity:
+    """Aggregated login behaviour for one account."""
+
+    username: str
+    total_events: int
+    tty_events: int
+    distinct_ips: int
+
+    @property
+    def notty_events(self) -> int:
+        return self.total_events - self.tty_events
+
+    @property
+    def notty_fraction(self) -> float:
+        return self.notty_events / self.total_events if self.total_events else 0.0
+
+
+class LoginAuditor:
+    """Aggregates entry events and applies the targeting methodology."""
+
+    #: Events that represent a successful system entry.
+    ENTRY_EVENTS = frozenset({"session_open", "multiplexed_channel"})
+
+    def __init__(self, entries: Iterable[AuthLogEntry]) -> None:
+        events: Dict[str, List[AuthLogEntry]] = defaultdict(list)
+        for entry in entries:
+            if entry.event in self.ENTRY_EVENTS:
+                events[entry.username].append(entry)
+        self._activity: Dict[str, UserActivity] = {}
+        for username, user_events in events.items():
+            self._activity[username] = UserActivity(
+                username=username,
+                total_events=len(user_events),
+                tty_events=sum(1 for e in user_events if e.tty),
+                distinct_ips=len({e.remote_ip for e in user_events}),
+            )
+
+    def __len__(self) -> int:
+        return len(self._activity)
+
+    def activity(self, username: str) -> UserActivity:
+        return self._activity.get(username, UserActivity(username, 0, 0, 0))
+
+    def ranked(self) -> List[UserActivity]:
+        """All users by descending login-event count."""
+        return sorted(self._activity.values(), key=lambda a: -a.total_events)
+
+    def staff_threshold(self, staff_usernames: Iterable[str]) -> int:
+        """The cutoff: the most active staff member's event count."""
+        counts = [
+            self._activity[u].total_events
+            for u in staff_usernames
+            if u in self._activity
+        ]
+        return max(counts) if counts else 0
+
+    def targets(
+        self,
+        staff_usernames: Iterable[str],
+        known_service_accounts: Iterable[str] = (),
+    ) -> List[UserActivity]:
+        """Accounts to contact: more active than any staff member, with
+        known gateway/community accounts filtered out (they are "contacted
+        separately")."""
+        staff = set(staff_usernames)
+        service: Set[str] = set(known_service_accounts)
+        threshold = self.staff_threshold(staff)
+        return [
+            a
+            for a in self.ranked()
+            if a.total_events > threshold
+            and a.username not in staff
+            and a.username not in service
+        ]
+
+    def automation_summary(self) -> Tuple[int, float]:
+        """(users with mostly TTY-less logins, their share of all events) —
+        "a minority of users were responsible for the majority of entries"."""
+        automated = [a for a in self._activity.values() if a.notty_fraction > 0.8]
+        total_events = sum(a.total_events for a in self._activity.values())
+        automated_events = sum(a.total_events for a in automated)
+        return len(automated), (automated_events / total_events if total_events else 0.0)
+
+    def concentration(self, top_fraction: float = 0.1) -> float:
+        """Share of all entry events produced by the most active
+        ``top_fraction`` of users — the skew that justified targeting."""
+        ranked = self.ranked()
+        if not ranked:
+            return 0.0
+        top_n = max(1, int(len(ranked) * top_fraction))
+        total = sum(a.total_events for a in ranked)
+        return sum(a.total_events for a in ranked[:top_n]) / total
+
+    def shared_account_suspects(self, min_ips: int = 8, min_events: int = 20) -> List[str]:
+        """Accounts logging in from many distinct origins — the inquiry that
+        "led to the discovery of groups of users that were sharing accounts"."""
+        return [
+            a.username
+            for a in self.ranked()
+            if a.distinct_ips >= min_ips and a.total_events >= min_events
+        ]
+
+    def event_histogram(self) -> Counter:
+        """Event-count histogram for reporting."""
+        histogram: Counter = Counter()
+        for a in self._activity.values():
+            histogram[a.total_events] += 1
+        return histogram

@@ -1,0 +1,70 @@
+"""NIST SP 800-63-2 Level-of-Assurance model (Section 3.3).
+
+"Both soft and hard tokens are considered 'single-factor one-time password
+devices' while the SMS token is considered an 'out of band token' ...
+Combining one of these three tokens with either a password or authorized
+public key increases our Level of Assurance ... from a level 2 to a level 3
+on a scale from 1 to 4."
+
+The model classifies factor combinations per the SP 800-63-2 token tables:
+memorized secrets / key pairs alone reach LoA 2; combining one with an OTP
+device or out-of-band token is multi-factor and reaches LoA 3; LoA 4
+requires a hardware cryptographic token, which this deployment does not
+issue.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Set
+
+
+class FactorKind(str, Enum):
+    """Token types from the SP 800-63-2 vocabulary used in the paper."""
+
+    MEMORIZED_SECRET = "memorized_secret"  # password
+    KEY_PAIR = "key_pair"  # SSH public key ("something you have/know")
+    OTP_DEVICE = "otp_device"  # soft and hard tokens
+    OUT_OF_BAND = "out_of_band"  # SMS token
+    STATIC_CODE = "static_code"  # training tokens: a shared secret, not OTP
+    HARDWARE_CRYPTO = "hardware_crypto"  # PIV-class tokens (not deployed)
+
+
+#: Factors that count as a knowledge/possession first factor at LoA 2.
+_FIRST_FACTORS = {FactorKind.MEMORIZED_SECRET, FactorKind.KEY_PAIR}
+#: Factors that upgrade a first factor to LoA 3.
+_SECOND_FACTORS = {FactorKind.OTP_DEVICE, FactorKind.OUT_OF_BAND}
+
+
+def level_of_assurance(factors: Iterable[FactorKind]) -> int:
+    """LoA (1-4) for a combination of authentication factors."""
+    present: Set[FactorKind] = set(factors)
+    if not present:
+        return 1
+    if FactorKind.HARDWARE_CRYPTO in present and present & _FIRST_FACTORS:
+        return 4
+    has_first = bool(present & _FIRST_FACTORS)
+    has_second = bool(present & _SECOND_FACTORS)
+    if has_first and has_second:
+        return 3
+    if has_first or has_second:
+        return 2
+    # Only a static training code: no better than a single weak secret.
+    return 1
+
+
+def pairing_loa(pairing_type: str, first_factor: str = "password") -> int:
+    """LoA of a login with the given device pairing and first factor."""
+    first = (
+        FactorKind.KEY_PAIR
+        if first_factor == "publickey"
+        else FactorKind.MEMORIZED_SECRET
+    )
+    second = {
+        "soft": FactorKind.OTP_DEVICE,
+        "hard": FactorKind.OTP_DEVICE,
+        "sms": FactorKind.OUT_OF_BAND,
+        "training": FactorKind.STATIC_CODE,
+    }.get(pairing_type)
+    factors = [first] if second is None else [first, second]
+    return level_of_assurance(factors)

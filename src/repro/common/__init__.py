@@ -1,0 +1,31 @@
+"""Shared utilities used by every subsystem.
+
+This package holds the small cross-cutting pieces the rest of the
+infrastructure builds on: a controllable clock (so that TOTP windows,
+exemption expiry dates and the rollout simulation all agree on what "now"
+means), the exception hierarchy, and tagged identifier generation.
+"""
+
+from repro.common.clock import Clock, SimulatedClock, SystemClock
+from repro.common.errors import (
+    ConfigurationError,
+    MFAError,
+    NotFoundError,
+    ProtocolError,
+    ReproError,
+    ValidationError,
+)
+from repro.common.ids import IdAllocator
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+    "ReproError",
+    "MFAError",
+    "ConfigurationError",
+    "ValidationError",
+    "ProtocolError",
+    "NotFoundError",
+    "IdAllocator",
+]

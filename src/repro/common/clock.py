@@ -1,0 +1,87 @@
+"""Clock abstraction.
+
+Every time-dependent component (TOTP windows, exemption expiry, SMS code
+lifetimes, audit timestamps, the rollout simulator) takes a :class:`Clock`
+rather than calling ``time.time()`` directly.  Production deployments use
+:class:`SystemClock`; tests and the discrete-event simulation use
+:class:`SimulatedClock`, which only moves when told to.  This is what lets
+us reproduce the paper's time-sensitive behaviours — token expiry during a
+delayed SMS delivery, countdown-mode deadline arithmetic, the two-month
+phased rollout — deterministically.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from datetime import datetime, timezone
+
+
+class Clock:
+    """Interface: a source of POSIX timestamps (seconds, float)."""
+
+    def now(self) -> float:
+        """Return the current POSIX timestamp."""
+        raise NotImplementedError
+
+    def today(self) -> datetime:
+        """Return the current instant as an aware UTC datetime."""
+        return datetime.fromtimestamp(self.now(), tz=timezone.utc)
+
+
+class SystemClock(Clock):
+    """Wall-clock time from the operating system."""
+
+    def now(self) -> float:
+        return _time.time()
+
+
+class SimulatedClock(Clock):
+    """A clock that advances only under test/simulation control.
+
+    The clock is monotonic by construction: :meth:`advance` rejects negative
+    deltas and :meth:`set` rejects moving backwards.  Monotonicity matters
+    because the OTP server's replay protection ("the provided token code is
+    nullified") assumes time never rewinds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new timestamp."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative delta {seconds!r}")
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, timestamp: float) -> float:
+        """Jump directly to ``timestamp`` (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    @classmethod
+    def at(cls, iso: str) -> "SimulatedClock":
+        """Build a clock positioned at an ISO-8601 instant (UTC assumed)."""
+        dt = datetime.fromisoformat(iso)
+        if dt.tzinfo is None:
+            dt = dt.replace(tzinfo=timezone.utc)
+        return cls(dt.timestamp())
+
+
+def parse_date(text: str) -> datetime:
+    """Parse ``YYYY-MM-DD`` (or full ISO-8601) into an aware UTC datetime.
+
+    Used by the exemption ACL parser and the countdown-mode deadline
+    configuration, both of which the paper specifies as date-valued fields.
+    """
+    dt = datetime.fromisoformat(text)
+    if dt.tzinfo is None:
+        dt = dt.replace(tzinfo=timezone.utc)
+    return dt

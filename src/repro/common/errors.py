@@ -1,0 +1,39 @@
+"""Exception hierarchy for the MFA infrastructure.
+
+A single root (:class:`ReproError`) so callers integrating the library can
+catch everything from one place, with branches that mirror the subsystem
+boundaries: configuration problems (bad PAM stack files, malformed ACLs),
+validation failures (wrong token code, locked account), and protocol errors
+(malformed RADIUS packets, digest-auth failures).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration file or parameter is invalid.
+
+    Note the paper's fail-safe rule: when the *token module's* configuration
+    is bad it does not raise — it falls back to ``full`` enforcement.  This
+    exception is for contexts where failing closed means refusing to start.
+    """
+
+
+class MFAError(ReproError):
+    """Base class for authentication-path failures."""
+
+
+class ValidationError(MFAError):
+    """A credential (password, token code, serial number) failed to verify."""
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (user, token, session) does not exist."""
+
+
+class ProtocolError(ReproError):
+    """A wire-format or protocol-state violation (RADIUS, digest auth)."""

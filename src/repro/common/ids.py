@@ -1,0 +1,30 @@
+"""Deterministic tagged identifier allocation.
+
+The infrastructure crosses several databases that the paper says share "a
+unique user ID ... common to both databases" (LDAP and LinOTP).  Components
+also need ids for tokens, audit rows, RADIUS packets and pairing sessions.
+We allocate them from per-tag counters so runs are reproducible and ids are
+self-describing (``user-000123``, ``token-000042``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IdAllocator:
+    """Allocates ``<tag>-<zero-padded counter>`` identifiers."""
+
+    def __init__(self, width: int = 6) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._width = width
+
+    def next(self, tag: str) -> str:
+        """Return the next identifier for ``tag`` (first is ``<tag>-000001``)."""
+        self._counters[tag] += 1
+        return f"{tag}-{self._counters[tag]:0{self._width}d}"
+
+    def peek(self, tag: str) -> int:
+        """Return how many ids have been allocated for ``tag`` so far."""
+        return self._counters[tag]

@@ -1,0 +1,11 @@
+"""The assembled MFA infrastructure (deliverable S15).
+
+:class:`~repro.core.infrastructure.MFACenter` wires every substrate into
+the deployment topology of the paper's Figure 1/2 world: one identity
+back end and OTP server, a farm of RADIUS servers behind firewall rules,
+and per-system login nodes whose PAM stacks run the four in-house modules.
+"""
+
+from repro.core.infrastructure import HPCSystem, MFACenter
+
+__all__ = ["MFACenter", "HPCSystem"]

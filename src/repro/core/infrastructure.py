@@ -1,0 +1,338 @@
+"""End-to-end wiring of the MFA infrastructure.
+
+``MFACenter`` owns the shared back end — identity/LDAP, the OTP server
+with its SMS gateway, and the RADIUS farm — and stamps out per-system
+front ends (:class:`HPCSystem`): login nodes running the Figure-1 PAM
+stack, a per-system exemption ACL pre-seeded with the internal-traffic
+exemption, and live enforcement-mode switching ("any of these modes may be
+set during production operation").
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import NotFoundError, ValidationError
+from repro.directory.identity import AccountClass, IdentityBackend, PairingStatus
+from repro.otpserver.server import OTPServer, OTPServerConfig
+from repro.otpserver.sms_gateway import SMSGateway
+from repro.otpserver.tokens import HardTokenBatch, random_static_code
+from repro.pam.acl import InMemoryExemptionACL
+from repro.pam.framework import PAMStack
+from repro.pam.modules.exemption import MFAExemptionModule
+from repro.pam.modules.pubkey import PublicKeySuccessModule
+from repro.pam.modules.token import MFATokenModule
+from repro.pam.modules.unix_password import UnixPasswordModule
+from repro.radius.client import RADIUSClient
+from repro.radius.server import RADIUSServer
+from repro.radius.transport import UDPFabric
+from repro.ssh.authlog import AuthLog
+from repro.ssh.daemon import SSHDaemon
+
+DEFAULT_RADIUS_SECRET = b"center-radius-secret"
+
+
+class UsernameResolvingBackend:
+    """Adapter between the RADIUS User-Name and the OTP server's key space.
+
+    RADIUS requests carry the login *username*; the OTP server stores
+    tokens under the unique user id "common to both databases" (Section
+    3.1).  This adapter performs the LDAP-side join before validation —
+    an unknown username validates to "no token" rather than erroring.
+    """
+
+    def __init__(self, identity: IdentityBackend, otp: OTPServer) -> None:
+        self._identity = identity
+        self._otp = otp
+
+    def validate(self, username: str, code: Optional[str]):
+        try:
+            uid = self._identity.get(username).uid
+        except NotFoundError:
+            from repro.otpserver.server import ValidateResult, ValidateStatus
+
+            return ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
+        return self._otp.validate(uid, code)
+
+
+class HPCSystem:
+    """One production system: login nodes + ACL + enforcement mode."""
+
+    def __init__(
+        self,
+        center: "MFACenter",
+        name: str,
+        ip_prefix: str,
+        login_nodes: int = 2,
+        mode: str = "full",
+        deadline: Optional[str] = None,
+    ) -> None:
+        self.center = center
+        self.name = name
+        self.ip_prefix = ip_prefix  # e.g. "10.3.1"
+        self.mode = mode
+        self.deadline = deadline
+        # "Within each HPC system, an MFA exemption is configured to allow
+        # any SSH traffic to move freely from IP addresses that are a part
+        # of that particular system."
+        self.acl = InMemoryExemptionACL(
+            f"+ : ALL : {ip_prefix}.0/24 : ALL\n", clock=center.clock
+        )
+        self._extra_acl_lines: List[str] = []
+        self.authlog = AuthLog(center.clock)
+        # File-backed PAM configuration when the center has a pam.d
+        # directory: every login resolves the stack through the manager,
+        # so config edits are live ("in effect as soon as written to disk").
+        self._pam_manager = None
+        if center.pam_dir is not None:
+            from repro.pam.registry import PAMServiceManager, standard_registry
+
+            registry = standard_registry(
+                center.identity,
+                self.authlog,
+                self.acl,
+                radius_factory=lambda: center.new_radius_client(f"{ip_prefix}.5"),
+            )
+            self._pam_manager = PAMServiceManager(
+                os.path.join(center.pam_dir, name), registry
+            )
+            self._pam_manager.set_enforcement_mode("sshd", mode, deadline)
+        self.daemons: List[SSHDaemon] = []
+        for i in range(login_nodes):
+            address = f"{ip_prefix}.{10 + i}"
+            daemon = SSHDaemon(
+                hostname=f"login{i + 1}.{name}",
+                address=address,
+                identity=center.identity,
+                pam_stack=None if self._pam_manager else self._build_stack(),
+                stack_provider=(
+                    (lambda: self._pam_manager.stack("sshd"))
+                    if self._pam_manager
+                    else None
+                ),
+                authlog=self.authlog,
+                clock=center.clock,
+                banner=f"*** {name}: multi-factor authentication in effect ***",
+            )
+            self.daemons.append(daemon)
+
+    # -- PAM stack construction (the Figure-1 configuration) --------------------
+
+    def _build_stack(self) -> PAMStack:
+        stack = PAMStack("sshd")
+        # Public key success? yes -> jump over the password module.
+        stack.append(
+            "[success=1 default=ignore]",
+            PublicKeySuccessModule(self.authlog),
+        )
+        stack.append("requisite", UnixPasswordModule(self.center.identity))
+        stack.append("sufficient", MFAExemptionModule(self.acl))
+        stack.append(
+            "requisite",
+            MFATokenModule(
+                ldap=self.center.identity.ldap,
+                radius=self.center.new_radius_client(f"{self.ip_prefix}.5"),
+                mode=self.mode,
+                deadline=self.deadline,
+            ),
+        )
+        return stack
+
+    def set_mode(self, mode: str, deadline: Optional[str] = None) -> None:
+        """Switch enforcement mode; effective immediately — via an actual
+        pam.d file write when the center is file-backed."""
+        self.mode = mode
+        if deadline is not None:
+            self.deadline = deadline
+        if self._pam_manager is not None:
+            self._pam_manager.set_enforcement_mode("sshd", mode, self.deadline)
+            return
+        for daemon in self.daemons:
+            daemon.pam_stack = self._build_stack()
+
+    # -- exemption policy --------------------------------------------------------
+
+    def _rebuild_acl(self) -> None:
+        base = f"+ : ALL : {self.ip_prefix}.0/24 : ALL\n"
+        self.acl.set_text(base + "\n".join(self._extra_acl_lines) + "\n")
+
+    def add_exemption(
+        self, accounts: str = "ALL", origins: str = "ALL", expiry: str = "ALL"
+    ) -> None:
+        """Append a grant rule (the staff 'temporary variance' operation)."""
+        self._extra_acl_lines.append(f"+ : {accounts} : {origins} : {expiry}")
+        self._rebuild_acl()
+
+    def add_denial(
+        self, accounts: str = "ALL", origins: str = "ALL", expiry: str = "ALL"
+    ) -> None:
+        self._extra_acl_lines.append(f"- : {accounts} : {origins} : {expiry}")
+        self._rebuild_acl()
+
+    def login_node(self, index: int = 0) -> SSHDaemon:
+        return self.daemons[index]
+
+
+class MFACenter:
+    """The whole deployment: back end plus any number of HPC systems."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        rng: Optional[random.Random] = None,
+        num_radius_servers: int = 3,
+        radius_secret: bytes = DEFAULT_RADIUS_SECRET,
+        otp_config: Optional[OTPServerConfig] = None,
+        fabric_loss_rate: float = 0.0,
+        pam_dir: Optional[str] = None,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.rng = rng or random.Random()
+        # Optional pam.d root: systems then read their stacks from real
+        # per-service config files with hot reload.
+        self.pam_dir = pam_dir
+        self.identity = IdentityBackend()
+        self.sms_gateway = SMSGateway(self.clock, rng=self.rng)
+        self.otp = OTPServer(
+            clock=self.clock,
+            config=otp_config,
+            sms_gateway=self.sms_gateway,
+            rng=self.rng,
+        )
+        self.fabric = UDPFabric(loss_rate=fabric_loss_rate, rng=self.rng)
+        self.radius_secret = radius_secret
+        self.radius_backend = UsernameResolvingBackend(self.identity, self.otp)
+        self.radius_servers: List[RADIUSServer] = []
+        for i in range(num_radius_servers):
+            server = RADIUSServer(
+                f"10.0.0.{10 + i}:1812",
+                self.fabric,
+                self.radius_backend,
+                name=f"radius{i + 1}",
+            )
+            # Firewall posture: only internal login-node subnets may speak
+            # to the RADIUS farm (and only RADIUS speaks to the OTP server).
+            server.add_client("10.", radius_secret)
+            self.radius_servers.append(server)
+        self.systems: Dict[str, HPCSystem] = {}
+        self._storage_systems: List[str] = []
+        self._next_system_subnet = 3
+
+    # -- topology ----------------------------------------------------------------
+
+    def new_radius_client(self, source_ip: str) -> RADIUSClient:
+        return RADIUSClient(
+            self.fabric,
+            [s.address for s in self.radius_servers],
+            self.radius_secret,
+            source=source_ip,
+            rng=self.rng,
+        )
+
+    def add_system(
+        self,
+        name: str,
+        login_nodes: int = 2,
+        mode: str = "full",
+        deadline: Optional[str] = None,
+    ) -> HPCSystem:
+        if name in self.systems:
+            raise ValidationError(f"system {name!r} already exists")
+        ip_prefix = f"10.{self._next_system_subnet}.1"
+        self._next_system_subnet += 1
+        system = HPCSystem(self, name, ip_prefix, login_nodes, mode, deadline)
+        self.systems[name] = system
+        # "Remote storage systems are configured to accept SSH traffic from
+        # all HPC systems within the internal network" — a new compute
+        # system's subnet is immediately exempted on every storage system.
+        for storage_name in self._storage_systems:
+            self.systems[storage_name].add_exemption(
+                accounts="ALL", origins=f"{ip_prefix}.0/24"
+            )
+        return system
+
+    def add_storage_system(
+        self, name: str, login_nodes: int = 2, mode: str = "full"
+    ) -> HPCSystem:
+        """A remote storage system (Ranch-style archive): exempts SSH
+        traffic from every HPC system's internal subnet, so batch jobs can
+        push files "as their jobs run without their presence"."""
+        existing_prefixes = [s.ip_prefix for s in self.systems.values()]
+        storage = self.add_system(name, login_nodes=login_nodes, mode=mode)
+        self._storage_systems.append(name)
+        for prefix in existing_prefixes:
+            storage.add_exemption(accounts="ALL", origins=f"{prefix}.0/24")
+        return storage
+
+    def system(self, name: str) -> HPCSystem:
+        system = self.systems.get(name)
+        if system is None:
+            raise NotFoundError(f"no such system: {name}")
+        return system
+
+    # -- enrollment conveniences (the portal wraps these with its stateful UI) ----
+
+    def create_user(
+        self,
+        username: str,
+        email: str = "",
+        password: str = "",
+        account_class: AccountClass = AccountClass.INDIVIDUAL,
+    ):
+        return self.identity.create_account(
+            username, email or f"{username}@example.edu", password, account_class
+        )
+
+    def pair_soft(self, username: str) -> Tuple[str, bytes]:
+        """Direct soft-token pairing (no portal ceremony)."""
+        serial, secret = self.otp.enroll_soft(self.identity.get(username).uid)
+        self.identity.notify_pairing(username, PairingStatus.SOFT)
+        return serial, secret
+
+    def pair_sms(self, username: str, phone: str) -> str:
+        serial = self.otp.enroll_sms(self.identity.get(username).uid, phone)
+        self.identity.notify_pairing(username, PairingStatus.SMS)
+        return serial
+
+    def pair_hard(self, username: str, serial: str) -> str:
+        self.otp.assign_hard(self.identity.get(username).uid, serial)
+        self.identity.notify_pairing(username, PairingStatus.HARD)
+        return serial
+
+    def pair_training(self, username: str, code: Optional[str] = None) -> str:
+        code = code or random_static_code(self.rng)
+        self.otp.enroll_static(self.identity.get(username).uid, code)
+        self.identity.notify_pairing(username, PairingStatus.TRAINING)
+        return code
+
+    def unpair(self, username: str) -> None:
+        self.otp.unpair(self.identity.get(username).uid)
+        self.identity.notify_pairing(username, PairingStatus.UNPAIRED)
+
+    def receive_hard_batch(self, size: int) -> HardTokenBatch:
+        """Take delivery of a manufacturer batch and load its secrets."""
+        batch = HardTokenBatch(size, rng=self.rng)
+        self.otp.import_hard_batch(batch)
+        return batch
+
+    # -- but the token module looks pairing up by *username* via LDAP while
+    #    the OTP server keys tokens by the shared unique uid; translate. ---------
+
+    def uid_of(self, username: str) -> str:
+        return self.identity.get(username).uid
+
+    def pairing_breakdown(self) -> Dict[str, float]:
+        """Table-1 percentages over currently paired users."""
+        counts: Dict[str, int] = {}
+        for account in (self.identity.get(u) for u in self.identity.usernames()):
+            status = account.pairing_status
+            if status is PairingStatus.UNPAIRED:
+                continue
+            counts[status.value] = counts.get(status.value, 0) + 1
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {k: 100.0 * v / total for k, v in counts.items()}

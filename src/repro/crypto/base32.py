@@ -1,0 +1,78 @@
+"""RFC 4648 base32 codec, implemented from scratch.
+
+Shared secrets travel between the LinOTP back end, the portal's QR codes and
+the soft-token app as base32 text (the ``secret=`` field of an
+``otpauth://`` URI).  We implement the codec directly rather than using
+:mod:`base64` so the library is self-contained and the decoder can be strict
+about the malformed inputs a pairing form might submit.
+"""
+
+from __future__ import annotations
+
+_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+_DECODE_MAP = {ch: i for i, ch in enumerate(_ALPHABET)}
+# Number of base32 characters emitted for each possible tail length (bytes
+# mod 5), per RFC 4648 section 6.
+_PAD_FOR_REMAINDER = {0: 0, 1: 6, 2: 4, 3: 3, 4: 1}
+_CHARS_FOR_REMAINDER = {0: 0, 1: 2, 2: 4, 3: 5, 4: 7}
+
+
+def b32encode(data: bytes, pad: bool = True) -> str:
+    """Encode ``data`` to base32 text.
+
+    ``pad=False`` omits trailing ``=`` characters, matching what Google
+    Authenticator expects inside otpauth URIs.
+    """
+    out = []
+    # Process 5-byte groups -> 8 characters of 5 bits each.
+    for i in range(0, len(data) - len(data) % 5, 5):
+        chunk = int.from_bytes(data[i : i + 5], "big")
+        for shift in range(35, -1, -5):
+            out.append(_ALPHABET[(chunk >> shift) & 0x1F])
+    rem = len(data) % 5
+    if rem:
+        tail = data[len(data) - rem :]
+        bits = int.from_bytes(tail, "big") << (5 * 8 - 8 * rem)
+        nchars = _CHARS_FOR_REMAINDER[rem]
+        for shift in range(35, 35 - 5 * nchars, -5):
+            out.append(_ALPHABET[(bits >> shift) & 0x1F])
+        if pad:
+            out.append("=" * _PAD_FOR_REMAINDER[rem])
+    return "".join(out)
+
+
+def b32decode(text: str, casefold: bool = True) -> bytes:
+    """Decode base32 ``text`` back to bytes.
+
+    Raises :class:`ValueError` on characters outside the alphabet, on
+    impossible lengths, and on non-zero padding bits — strictness that the
+    portal relies on to reject mistyped secrets at pairing time.
+    """
+    if casefold:
+        text = text.upper()
+    text = text.rstrip("=")
+    if any(ch not in _DECODE_MAP for ch in text):
+        bad = next(ch for ch in text if ch not in _DECODE_MAP)
+        raise ValueError(f"invalid base32 character {bad!r}")
+    # Lengths congruent to 1, 3 or 6 (mod 8) can never result from encoding.
+    if len(text) % 8 in (1, 3, 6):
+        raise ValueError(f"invalid base32 length {len(text)}")
+    out = bytearray()
+    for i in range(0, len(text) - len(text) % 8, 8):
+        chunk = 0
+        for ch in text[i : i + 8]:
+            chunk = (chunk << 5) | _DECODE_MAP[ch]
+        out.extend(chunk.to_bytes(5, "big"))
+    rem = len(text) % 8
+    if rem:
+        tail = text[len(text) - rem :]
+        bits = 0
+        for ch in tail:
+            bits = (bits << 5) | _DECODE_MAP[ch]
+        nbytes = {2: 1, 4: 2, 5: 3, 7: 4}[rem]
+        total_bits = 5 * rem
+        extra = total_bits - 8 * nbytes
+        if bits & ((1 << extra) - 1):
+            raise ValueError("non-zero padding bits in base32 input")
+        out.extend((bits >> extra).to_bytes(nbytes, "big"))
+    return bytes(out)

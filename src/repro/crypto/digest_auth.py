@@ -1,0 +1,147 @@
+"""HTTP Digest Access Authentication (RFC 7616 subset).
+
+"The portal back end authenticates to the admin API using HTTP Digest
+Authentication over a TLS-secured connection" (Section 3.5).  We implement
+the qop="auth" digest handshake — challenge generation, response
+computation, nonce-count replay tracking and verification — which the
+portal client and the LinOTP admin API simulation both use.  TLS itself is
+out of scope (the in-process transport is already private); what matters to
+reproduce is that the portal never sends the admin password in the clear
+and that replayed requests are rejected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+def _h(text: str) -> str:
+    return hashlib.md5(text.encode()).hexdigest()
+
+
+def ha1(username: str, realm: str, password: str) -> str:
+    """RFC 7616 HA1 = H(username:realm:password)."""
+    return _h(f"{username}:{realm}:{password}")
+
+
+def ha2(method: str, uri: str) -> str:
+    """RFC 7616 HA2 = H(method:uri) for qop=auth."""
+    return _h(f"{method}:{uri}")
+
+
+def digest_response(
+    _ha1: str, nonce: str, nc: str, cnonce: str, qop: str, _ha2: str
+) -> str:
+    """The response field: H(HA1:nonce:nc:cnonce:qop:HA2)."""
+    return _h(f"{_ha1}:{nonce}:{nc}:{cnonce}:{qop}:{_ha2}")
+
+
+@dataclass
+class DigestChallenge:
+    """The WWW-Authenticate challenge a server issues."""
+
+    realm: str
+    nonce: str
+    qop: str = "auth"
+    opaque: str = ""
+
+
+@dataclass
+class DigestCredentials:
+    """The Authorization header fields a client sends back."""
+
+    username: str
+    realm: str
+    nonce: str
+    uri: str
+    response: str
+    nc: str
+    cnonce: str
+    qop: str = "auth"
+
+
+class DigestClient:
+    """Client half: answer challenges for a (username, password) pair."""
+
+    def __init__(self, username: str, password: str, rng: random.Random | None = None) -> None:
+        self.username = username
+        self._password = password
+        self._rng = rng or random.Random()
+        self._nonce_counts: Dict[str, int] = {}
+
+    def respond(self, challenge: DigestChallenge, method: str, uri: str) -> DigestCredentials:
+        """Build credentials for one request under ``challenge``."""
+        self._nonce_counts[challenge.nonce] = self._nonce_counts.get(challenge.nonce, 0) + 1
+        nc = f"{self._nonce_counts[challenge.nonce]:08x}"
+        cnonce = f"{self._rng.getrandbits(64):016x}"
+        resp = digest_response(
+            ha1(self.username, challenge.realm, self._password),
+            challenge.nonce,
+            nc,
+            cnonce,
+            challenge.qop,
+            ha2(method, uri),
+        )
+        return DigestCredentials(
+            username=self.username,
+            realm=challenge.realm,
+            nonce=challenge.nonce,
+            uri=uri,
+            response=resp,
+            nc=nc,
+            cnonce=cnonce,
+            qop=challenge.qop,
+        )
+
+
+@dataclass
+class _NonceState:
+    issued: bool = True
+    seen_counts: set = field(default_factory=set)
+
+
+class DigestVerifier:
+    """Server half: issue challenges and verify credential responses.
+
+    Tracks nonce counts so a captured Authorization header cannot be
+    replayed — part of the "hardened to handle form resubmissions and
+    replays" behaviour of the portlet application.
+    """
+
+    def __init__(self, realm: str, rng: random.Random | None = None) -> None:
+        self.realm = realm
+        self._rng = rng or random.Random()
+        self._users: Dict[str, str] = {}
+        self._nonces: Dict[str, _NonceState] = {}
+
+    def add_user(self, username: str, password: str) -> None:
+        self._users[username] = ha1(username, self.realm, password)
+
+    def challenge(self) -> DigestChallenge:
+        nonce = f"{self._rng.getrandbits(128):032x}"
+        self._nonces[nonce] = _NonceState()
+        return DigestChallenge(realm=self.realm, nonce=nonce)
+
+    def verify(self, creds: DigestCredentials, method: str, uri: str) -> bool:
+        """Return True iff the credentials authenticate this request."""
+        stored_ha1 = self._users.get(creds.username)
+        if stored_ha1 is None:
+            return False
+        state = self._nonces.get(creds.nonce)
+        if state is None:
+            return False  # stale or fabricated nonce
+        if creds.nc in state.seen_counts:
+            return False  # replay of an already-used nonce count
+        if creds.uri != uri or creds.realm != self.realm:
+            return False
+        expected = digest_response(
+            stored_ha1, creds.nonce, creds.nc, creds.cnonce, creds.qop, ha2(method, uri)
+        )
+        if not hmac.compare_digest(expected, creds.response):
+            return False
+        state.seen_counts.add(creds.nc)
+        return True

@@ -1,0 +1,207 @@
+"""A small LDAP server model: DN-keyed entries plus RFC 4515 search filters.
+
+This stands in for the center's OpenLDAP service.  It stores multi-valued
+attributes under distinguished names, answers scoped searches with a filter
+language supporting equality, presence, substring, AND/OR/NOT, and keeps a
+``uidNumber``-style unique id in each user entry — the id the paper says is
+"common to both databases" (LDAP and LinOTP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import NotFoundError
+
+
+def _normalize_dn(dn: str) -> str:
+    return ",".join(part.strip().lower() for part in dn.split(","))
+
+
+def _dn_parent(dn: str) -> str:
+    head, _, tail = dn.partition(",")
+    _ = head
+    return tail
+
+
+@dataclass
+class LDAPEntry:
+    """One directory entry: a DN and multi-valued attributes."""
+
+    dn: str
+    attributes: Dict[str, List[str]] = field(default_factory=dict)
+
+    def get(self, attr: str) -> List[str]:
+        return self.attributes.get(attr.lower(), [])
+
+    def first(self, attr: str, default: Optional[str] = None) -> Optional[str]:
+        values = self.get(attr)
+        return values[0] if values else default
+
+    def set(self, attr: str, values: Iterable[str]) -> None:
+        self.attributes[attr.lower()] = [str(v) for v in values]
+
+    def add_value(self, attr: str, value: str) -> None:
+        self.attributes.setdefault(attr.lower(), []).append(str(value))
+
+    def remove_attr(self, attr: str) -> None:
+        self.attributes.pop(attr.lower(), None)
+
+
+# ---------------------------------------------------------------------------
+# Search filters (RFC 4515 subset): (attr=value), (attr=*), substring
+# patterns with '*', and the boolean combinators &, |, !.
+# ---------------------------------------------------------------------------
+
+FilterFn = Callable[[LDAPEntry], bool]
+
+
+def _match_substring(pattern: str, value: str) -> bool:
+    parts = pattern.lower().split("*")
+    value = value.lower()
+    if not value.startswith(parts[0]):
+        return False
+    if not value.endswith(parts[-1]):
+        return False
+    pos = len(parts[0])
+    for middle in parts[1:-1]:
+        found = value.find(middle, pos)
+        if found < 0:
+            return False
+        pos = found + len(middle)
+    return pos <= len(value) - len(parts[-1])
+
+
+def _parse_expr(text: str, pos: int) -> Tuple[FilterFn, int]:
+    if pos >= len(text) or text[pos] != "(":
+        raise ValueError(f"expected '(' at position {pos} in filter {text!r}")
+    pos += 1
+    if pos >= len(text):
+        raise ValueError("truncated filter")
+    op = text[pos]
+    if op in "&|":
+        pos += 1
+        subs: List[FilterFn] = []
+        while pos < len(text) and text[pos] == "(":
+            sub, pos = _parse_expr(text, pos)
+            subs.append(sub)
+        if pos >= len(text) or text[pos] != ")":
+            raise ValueError(f"unbalanced filter near position {pos}")
+        pos += 1
+        if op == "&":
+            return (lambda e, subs=subs: all(f(e) for f in subs)), pos
+        return (lambda e, subs=subs: any(f(e) for f in subs)), pos
+    if op == "!":
+        pos += 1
+        sub, pos = _parse_expr(text, pos)
+        if pos >= len(text) or text[pos] != ")":
+            raise ValueError(f"unbalanced '!' near position {pos}")
+        return (lambda e, sub=sub: not sub(e)), pos + 1
+    end = text.find(")", pos)
+    if end < 0:
+        raise ValueError("unterminated comparison in filter")
+    comparison = text[pos:end]
+    if "=" not in comparison:
+        raise ValueError(f"comparison missing '=': {comparison!r}")
+    attr, _, value = comparison.partition("=")
+    attr = attr.strip().lower()
+    if value == "*":
+        return (lambda e, a=attr: bool(e.get(a))), end + 1
+    if "*" in value:
+        return (
+            lambda e, a=attr, v=value: any(_match_substring(v, x) for x in e.get(a)),
+            end + 1,
+        )
+    return (
+        lambda e, a=attr, v=value.lower(): any(x.lower() == v for x in e.get(a)),
+        end + 1,
+    )
+
+
+def parse_filter(text: str) -> FilterFn:
+    """Compile an LDAP filter string to a predicate over entries."""
+    text = text.strip()
+    if not text.startswith("("):
+        text = f"({text})"
+    fn, pos = _parse_expr(text, 0)
+    if pos != len(text):
+        raise ValueError(f"trailing garbage after position {pos} in {text!r}")
+    return fn
+
+
+class LDAPDirectory:
+    """The directory service: add/modify/delete/search over a DN tree."""
+
+    def __init__(self, base_dn: str = "dc=center,dc=edu") -> None:
+        self.base_dn = _normalize_dn(base_dn)
+        self._entries: Dict[str, LDAPEntry] = {}
+        self.query_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, dn: str, attributes: Dict[str, Iterable[str]]) -> LDAPEntry:
+        norm = _normalize_dn(dn)
+        if norm in self._entries:
+            raise ValueError(f"entry already exists: {dn}")
+        entry = LDAPEntry(dn=norm)
+        for attr, values in attributes.items():
+            if isinstance(values, str):
+                values = [values]
+            entry.set(attr, values)
+        self._entries[norm] = entry
+        return entry
+
+    def get(self, dn: str) -> LDAPEntry:
+        norm = _normalize_dn(dn)
+        entry = self._entries.get(norm)
+        if entry is None:
+            raise NotFoundError(f"no such entry: {dn}")
+        return entry
+
+    def exists(self, dn: str) -> bool:
+        return _normalize_dn(dn) in self._entries
+
+    def modify(self, dn: str, changes: Dict[str, Optional[Iterable[str]]]) -> LDAPEntry:
+        """Replace-style modify; a value of ``None`` deletes the attribute."""
+        entry = self.get(dn)
+        for attr, values in changes.items():
+            if values is None:
+                entry.remove_attr(attr)
+            else:
+                if isinstance(values, str):
+                    values = [values]
+                entry.set(attr, values)
+        return entry
+
+    def delete(self, dn: str) -> None:
+        norm = _normalize_dn(dn)
+        if norm not in self._entries:
+            raise NotFoundError(f"no such entry: {dn}")
+        del self._entries[norm]
+
+    def search(
+        self, base: str, filter_text: str = "(objectclass=*)", scope: str = "sub"
+    ) -> List[LDAPEntry]:
+        """Search under ``base`` with an RFC 4515 filter.
+
+        ``scope`` is ``base`` (the entry itself), ``one`` (direct children)
+        or ``sub`` (the whole subtree).
+        """
+        self.query_count += 1
+        base_norm = _normalize_dn(base)
+        predicate = parse_filter(filter_text)
+        results = []
+        for dn, entry in self._entries.items():
+            if scope == "base":
+                in_scope = dn == base_norm
+            elif scope == "one":
+                in_scope = _dn_parent(dn) == base_norm
+            elif scope == "sub":
+                in_scope = dn == base_norm or dn.endswith("," + base_norm)
+            else:
+                raise ValueError(f"invalid scope {scope!r}")
+            if in_scope and predicate(entry):
+                results.append(entry)
+        return results

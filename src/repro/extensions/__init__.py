@@ -1,0 +1,37 @@
+"""Extension features from the paper's conclusion.
+
+"This software infrastructure is freely available for open source
+distribution and is ready to be grown to incorporate new features
+including geolocation services, dynamic risk assessment, or biometric
+security."  This package grows it by two of the three:
+
+* :mod:`repro.extensions.geolocation` — an IP-geolocation database model,
+  an impossible-travel (geo-velocity) detector, and a ``pam_geo_check``
+  module enforcing country allow-lists and travel-speed limits.
+* :mod:`repro.extensions.risk` — a dynamic risk-assessment engine scoring
+  each login from signals the infrastructure already has (failure bursts,
+  novel origins, unusual hours, geo-velocity), with a ``pam_risk_gate``
+  module that converts scores into allow / step-up / deny decisions.
+
+Biometric tokens would slot in as a fifth token type; they are out of
+scope here because nothing observable distinguishes them from a hard
+token in a simulation.
+"""
+
+from repro.extensions.geolocation import (
+    GeoDatabase,
+    GeoPoint,
+    GeoVelocityMonitor,
+    PamGeoCheckModule,
+)
+from repro.extensions.risk import PamRiskGateModule, RiskDecision, RiskEngine
+
+__all__ = [
+    "GeoDatabase",
+    "GeoPoint",
+    "GeoVelocityMonitor",
+    "PamGeoCheckModule",
+    "RiskEngine",
+    "RiskDecision",
+    "PamRiskGateModule",
+]

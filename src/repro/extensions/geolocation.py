@@ -1,0 +1,176 @@
+"""Geolocation services (conclusion future-work item #1).
+
+Three pieces:
+
+* :class:`GeoDatabase` — a CIDR-prefix → location registry standing in
+  for a MaxMind-style GeoIP database.  Lookups use longest-prefix match.
+* :class:`GeoVelocityMonitor` — the "impossible travel" detector: it
+  remembers each user's last login location/time and computes the great-
+  circle speed a new login would imply.
+* :class:`PamGeoCheckModule` — a PAM module enforcing a country
+  allow/deny policy plus a speed ceiling, designed to sit between the
+  first factor and the token module (suspicious geography can then be
+  made to *require* the second factor rather than deny outright, via the
+  risk engine).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock, SystemClock
+from repro.pam.acl import OriginMatcher
+from repro.pam.framework import PAMResult, PAMSession
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A resolved location."""
+
+    latitude: float
+    longitude: float
+    country: str
+    city: str = ""
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance (haversine)."""
+        lat1, lon1 = math.radians(self.latitude), math.radians(self.longitude)
+        lat2, lon2 = math.radians(other.latitude), math.radians(other.longitude)
+        dlat, dlon = lat2 - lat1, lon2 - lon1
+        a = (
+            math.sin(dlat / 2) ** 2
+            + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+        )
+        return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+class GeoDatabase:
+    """Longest-prefix-match IP → :class:`GeoPoint` registry."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[OriginMatcher, int, GeoPoint]] = []
+
+    def add_range(self, cidr: str, point: GeoPoint) -> None:
+        matcher = OriginMatcher.parse(cidr)
+        prefix_len = bin(matcher.mask).count("1") if not matcher.match_all else 0
+        self._entries.append((matcher, prefix_len, point))
+        # Keep longest prefixes first so lookup() returns the most specific.
+        self._entries.sort(key=lambda e: -e[1])
+
+    def lookup(self, ip: str) -> Optional[GeoPoint]:
+        for matcher, _, point in self._entries:
+            if matcher.matches(ip):
+                return point
+        return None
+
+    @classmethod
+    def with_sample_data(cls) -> "GeoDatabase":
+        """A small world map adequate for tests and examples."""
+        db = cls()
+        db.add_range("129.114.0.0/16", GeoPoint(30.39, -97.73, "US", "Austin"))
+        db.add_range("198.51.100.0/24", GeoPoint(30.27, -97.74, "US", "Austin"))
+        db.add_range("192.0.2.0/24", GeoPoint(46.23, 6.05, "CH", "Geneva"))
+        db.add_range("203.0.113.0/24", GeoPoint(39.90, 116.41, "CN", "Beijing"))
+        db.add_range("100.64.0.0/10", GeoPoint(52.52, 13.40, "DE", "Berlin"))
+        db.add_range("10.0.0.0/8", GeoPoint(30.39, -97.73, "US", "Austin"))
+        return db
+
+
+@dataclass
+class TravelVerdict:
+    """Outcome of a geo-velocity check."""
+
+    plausible: bool
+    speed_kmh: float = 0.0
+    from_city: str = ""
+    to_city: str = ""
+
+
+class GeoVelocityMonitor:
+    """Impossible-travel detection across consecutive logins."""
+
+    def __init__(
+        self,
+        geo: GeoDatabase,
+        clock: Optional[Clock] = None,
+        max_speed_kmh: float = 950.0,  # airliner cruise: anything above is fake
+    ) -> None:
+        self._geo = geo
+        self._clock = clock or SystemClock()
+        self.max_speed_kmh = max_speed_kmh
+        self._last_seen: Dict[str, Tuple[float, GeoPoint]] = {}
+
+    def observe(self, username: str, ip: str) -> TravelVerdict:
+        """Record a login and judge the travel it implies."""
+        now = self._clock.now()
+        point = self._geo.lookup(ip)
+        if point is None:
+            return TravelVerdict(True)  # unmapped space: nothing to judge
+        previous = self._last_seen.get(username)
+        self._last_seen[username] = (now, point)
+        if previous is None:
+            return TravelVerdict(True, to_city=point.city)
+        then, there = previous
+        elapsed_h = max((now - then) / 3600.0, 1e-9)
+        distance = there.distance_km(point)
+        if distance < 50.0:
+            return TravelVerdict(True, 0.0, there.city, point.city)
+        speed = distance / elapsed_h
+        return TravelVerdict(
+            speed <= self.max_speed_kmh, speed, there.city, point.city
+        )
+
+    def forget(self, username: str) -> None:
+        self._last_seen.pop(username, None)
+
+
+class PamGeoCheckModule:
+    """``pam_geo_check`` — country policy + impossible-travel enforcement.
+
+    Verdicts: SUCCESS when the origin is acceptable, AUTH_ERR when the
+    country is denied or the implied travel speed is impossible, IGNORE
+    for unmapped origins (policy decision: fail open on coverage gaps,
+    closed on positive signals — flip ``unmapped_is_error`` to harden).
+    """
+
+    name = "pam_geo_check"
+
+    def __init__(
+        self,
+        geo: GeoDatabase,
+        monitor: Optional[GeoVelocityMonitor] = None,
+        allowed_countries: Optional[List[str]] = None,
+        denied_countries: Optional[List[str]] = None,
+        unmapped_is_error: bool = False,
+    ) -> None:
+        self._geo = geo
+        self._monitor = monitor
+        self._allowed = set(allowed_countries or [])
+        self._denied = set(denied_countries or [])
+        self._unmapped_is_error = unmapped_is_error
+
+    def authenticate(self, session: PAMSession) -> PAMResult:
+        point = self._geo.lookup(session.remote_ip)
+        if point is None:
+            return PAMResult.AUTH_ERR if self._unmapped_is_error else PAMResult.IGNORE
+        session.items["geo_country"] = point.country
+        session.items["geo_city"] = point.city
+        if point.country in self._denied:
+            return PAMResult.AUTH_ERR
+        if self._allowed and point.country not in self._allowed:
+            return PAMResult.AUTH_ERR
+        if self._monitor is not None:
+            verdict = self._monitor.observe(session.username, session.remote_ip)
+            session.items["geo_speed_kmh"] = verdict.speed_kmh
+            if not verdict.plausible:
+                if session.conversation is not None:
+                    session.conversation.error(
+                        f"login from {verdict.to_city} would require travel at "
+                        f"{verdict.speed_kmh:.0f} km/h from {verdict.from_city}"
+                    )
+                return PAMResult.AUTH_ERR
+        return PAMResult.SUCCESS

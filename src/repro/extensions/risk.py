@@ -1,0 +1,201 @@
+"""Dynamic risk assessment (conclusion future-work item #2).
+
+The engine scores each login attempt from signals the infrastructure
+already produces, then maps the score to one of three actions:
+
+* **ALLOW** — proceed normally (the exemption/token policy still applies);
+* **STEP_UP** — force the second factor even where policy would have
+  waived it (e.g. an exempted account from a never-seen origin);
+* **DENY** — refuse outright.
+
+Signals and default weights:
+
+=====================  ======  ==========================================
+signal                 weight  source
+=====================  ======  ==========================================
+failure burst          0.40    recent failed logins for the account
+novel origin           0.25    first login ever from this IP
+unusual hour           0.10    00:00-05:00 local logins for day-working
+                               accounts
+impossible travel      0.50    :class:`GeoVelocityMonitor`
+watchlisted network    0.35    operator-maintained CIDR watchlist
+=====================  ======  ==========================================
+
+Scores clamp to [0, 1]; thresholds default to step-up at 0.3 and deny at
+0.7.  All weights/thresholds are constructor parameters, so deployments
+tune them — the point of *dynamic* assessment is that policy follows the
+measured threat, not a fixed ACL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.common.clock import Clock, SystemClock
+from repro.extensions.geolocation import GeoVelocityMonitor
+from repro.pam.acl import OriginMatcher
+from repro.pam.framework import PAMResult, PAMSession
+
+
+class RiskAction(str, Enum):
+    ALLOW = "allow"
+    STEP_UP = "step_up"
+    DENY = "deny"
+
+
+@dataclass
+class RiskDecision:
+    """Score, action, and the named signals that fired."""
+
+    score: float
+    action: RiskAction
+    signals: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RiskWeights:
+    failure_burst: float = 0.40
+    novel_origin: float = 0.25
+    unusual_hour: float = 0.10
+    impossible_travel: float = 0.50
+    watchlisted_network: float = 0.35
+
+
+class RiskEngine:
+    """Scores logins and remembers per-user history."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        weights: Optional[RiskWeights] = None,
+        geo_monitor: Optional[GeoVelocityMonitor] = None,
+        step_up_threshold: float = 0.3,
+        deny_threshold: float = 0.7,
+        failure_window: float = 600.0,
+        failure_burst_size: int = 3,
+    ) -> None:
+        if not 0 <= step_up_threshold <= deny_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 <= step_up <= deny <= 1")
+        self._clock = clock or SystemClock()
+        self.weights = weights or RiskWeights()
+        self._geo = geo_monitor
+        self.step_up_threshold = step_up_threshold
+        self.deny_threshold = deny_threshold
+        self._failure_window = failure_window
+        self._failure_burst_size = failure_burst_size
+        self._known_origins: Dict[str, Set[str]] = {}
+        self._failures: Dict[str, List[float]] = {}
+        self._watchlist: List[OriginMatcher] = []
+
+    # -- signal feeds ------------------------------------------------------------
+
+    def record_failure(self, username: str) -> None:
+        """Feed from the authlog: a failed login for this account."""
+        self._failures.setdefault(username, []).append(self._clock.now())
+
+    def record_success(self, username: str, ip: str) -> None:
+        """Feed on successful entry: the origin becomes known-good and the
+        failure burst resets (the legitimate user is clearly present)."""
+        self._known_origins.setdefault(username, set()).add(ip)
+        self._failures.pop(username, None)
+
+    def add_watchlist(self, cidr: str) -> None:
+        """Operator action: flag a hostile network range."""
+        self._watchlist.append(OriginMatcher.parse(cidr))
+
+    # -- scoring --------------------------------------------------------------------
+
+    def _recent_failures(self, username: str) -> int:
+        cutoff = self._clock.now() - self._failure_window
+        timestamps = self._failures.get(username, [])
+        live = [t for t in timestamps if t >= cutoff]
+        self._failures[username] = live
+        return len(live)
+
+    def assess(self, username: str, ip: str) -> RiskDecision:
+        """Score one attempt (before the credentials are even checked)."""
+        score = 0.0
+        signals: List[str] = []
+        if self._recent_failures(username) >= self._failure_burst_size:
+            score += self.weights.failure_burst
+            signals.append("failure_burst")
+        known = self._known_origins.get(username, set())
+        if known and ip not in known:
+            score += self.weights.novel_origin
+            signals.append("novel_origin")
+        hour = int(self._clock.now() // 3600) % 24
+        if hour < 5:
+            score += self.weights.unusual_hour
+            signals.append("unusual_hour")
+        if any(m.matches(ip) for m in self._watchlist):
+            score += self.weights.watchlisted_network
+            signals.append("watchlisted_network")
+        if self._geo is not None:
+            verdict = self._geo.observe(username, ip)
+            if not verdict.plausible:
+                score += self.weights.impossible_travel
+                signals.append("impossible_travel")
+        score = min(score, 1.0)
+        if score >= self.deny_threshold:
+            action = RiskAction.DENY
+        elif score >= self.step_up_threshold:
+            action = RiskAction.STEP_UP
+        else:
+            action = RiskAction.ALLOW
+        return RiskDecision(score, action, signals)
+
+
+class PamRiskGateModule:
+    """``pam_risk_gate`` — converts a risk decision into stack behaviour.
+
+    Configured ``required`` ahead of the exemption module, it returns:
+
+    * SUCCESS for ALLOW — the stack proceeds normally;
+    * IGNORE for STEP_UP — and stamps ``risk_step_up`` into the session,
+      which :class:`RiskAwareExemptionModule` honours by refusing to waive
+      the second factor;
+    * AUTH_ERR for DENY — the attempt fails before any factor is tried.
+    """
+
+    name = "pam_risk_gate"
+
+    def __init__(self, engine: RiskEngine) -> None:
+        self._engine = engine
+
+    def authenticate(self, session: PAMSession) -> PAMResult:
+        decision = self._engine.assess(session.username, session.remote_ip)
+        session.items["risk_score"] = decision.score
+        session.items["risk_signals"] = decision.signals
+        if decision.action is RiskAction.DENY:
+            if session.conversation is not None:
+                session.conversation.error("login denied by risk policy")
+            return PAMResult.AUTH_ERR
+        if decision.action is RiskAction.STEP_UP:
+            session.items["risk_step_up"] = True
+            return PAMResult.IGNORE
+        return PAMResult.SUCCESS
+
+
+class RiskAwareExemptionModule:
+    """Exemption module variant that honours ``risk_step_up``.
+
+    Same ACL semantics as the stock module, but a step-up decision from
+    the risk gate suppresses the exemption so the token module always
+    runs.  This is the composition the paper's conclusion gestures at:
+    risk assessment *tightens* the static policy, never loosens it.
+    """
+
+    name = "pam_mfa_exemption_risk"
+
+    def __init__(self, acl) -> None:
+        self._acl = acl
+
+    def authenticate(self, session: PAMSession) -> PAMResult:
+        if session.items.get("risk_step_up"):
+            return PAMResult.AUTH_ERR  # ignored under `sufficient`
+        if self._acl.check(session.username, session.remote_ip):
+            session.items["mfa_exempt"] = True
+            return PAMResult.SUCCESS
+        return PAMResult.AUTH_ERR

@@ -1,0 +1,36 @@
+"""The OTP back end — our open-source LinOTP-equivalent (Section 3.1).
+
+Subsystems:
+
+* :mod:`repro.otpserver.database` — the relational store standing in for
+  the encrypted MariaDB repository: tables, unique constraints, indices and
+  snapshot transactions.
+* :mod:`repro.otpserver.tokens` — token records and the four device types
+  (soft, SMS, hard, static/training), plus Feitian-style pre-programmed
+  hard-token batch manufacturing.
+* :mod:`repro.otpserver.sms_gateway` — the Twilio simulation: per-message
+  pricing, carrier delivery delays, the delayed-SMS failure mode.
+* :mod:`repro.otpserver.server` — the validation engine: TOTP checking with
+  drift window, per-token failure counters with the 20-strike lockout,
+  SMS challenge lifecycle, audit logging, admin operations.
+* :mod:`repro.otpserver.admin_api` — the REST admin interface the portal
+  authenticates to with HTTP Digest.
+"""
+
+from repro.otpserver.database import Database, Table
+from repro.otpserver.server import OTPServer, OTPServerConfig, ValidateResult
+from repro.otpserver.sms_gateway import SMSGateway, SMSPricing
+from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
+
+__all__ = [
+    "Database",
+    "Table",
+    "OTPServer",
+    "OTPServerConfig",
+    "ValidateResult",
+    "SMSGateway",
+    "SMSPricing",
+    "TokenRecord",
+    "TokenType",
+    "HardTokenBatch",
+]

@@ -1,0 +1,497 @@
+"""The OTP validation server — functional equivalent of LinOTP (Section 3.1).
+
+Responsibilities reproduced from the paper:
+
+* keep "track of users and their associated one-time password secret key"
+  in the relational store, sealed at rest;
+* validate six-digit TOTP codes within the ±300 s drift window, nullifying
+  each accepted code (replay protection);
+* maintain per-token consecutive-failure counters and "temporarily
+  deactivate" a token after 20 consecutive failed attempts, with the
+  lockout visible to staff through the audit log;
+* run the SMS challenge lifecycle: a null first request triggers a Twilio
+  send, repeated requests while a code is outstanding answer "SMS already
+  sent" instead of re-sending;
+* support the admin operations the built-in web UI offers: view pairings,
+  re-synchronize tokens, clear failure counters, enable/disable tokens;
+* hold pre-programmed hard-token batches so users can pair by serial
+  number, and static codes for training accounts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.ids import IdAllocator
+from repro.crypto.hotp import verify_hotp
+from repro.crypto.secrets import SecretSealer, generate_secret
+from repro.crypto.totp import TOTPValidator, totp_at
+from repro.otpserver.audit import AuditLog
+from repro.otpserver.database import Database
+from repro.otpserver.sms_gateway import SMSGateway
+from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
+
+
+@dataclass(frozen=True)
+class OTPServerConfig:
+    """Tunables, defaulted to the paper's deployment values."""
+
+    lockout_threshold: int = 20  # consecutive failures before deactivation
+    drift_seconds: int = 300  # device clock drift tolerance
+    totp_step: int = 30
+    digits: int = 6
+    sms_code_validity: float = 300.0  # how long an SMS code stays usable
+    hotp_look_ahead: int = 10  # event-token counter search window
+    issuer: str = "HPC-Center"
+
+    def __post_init__(self) -> None:
+        if self.lockout_threshold < 1:
+            raise ValueError("lockout threshold must be at least 1")
+        if self.drift_seconds < 0 or self.totp_step <= 0:
+            raise ValueError("invalid drift/step configuration")
+        if not 6 <= self.digits <= 10:
+            raise ValueError("digits must be in [6, 10]")
+        if self.sms_code_validity <= 0 or self.hotp_look_ahead < 0:
+            raise ValueError("invalid SMS validity / HOTP look-ahead")
+
+
+class ValidateStatus(str, Enum):
+    OK = "ok"
+    REJECT = "reject"
+    CHALLENGE_SENT = "challenge_sent"  # SMS dispatched, awaiting code
+    CHALLENGE_PENDING = "challenge_pending"  # "SMS already sent" message
+    LOCKED = "locked"
+    NO_TOKEN = "no_token"
+
+
+@dataclass
+class ValidateResult:
+    status: ValidateStatus
+    message: str = ""
+    serial: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ValidateStatus.OK
+
+
+_TOKEN_COLUMNS = (
+    "serial",
+    "user_id",
+    "token_type",
+    "sealed_secret",
+    "active",
+    "failcount",
+    "phone_number",
+    "static_code_sealed",
+    "pairing_confirmed",
+    "hotp_counter",  # event-based tokens only
+)
+
+_CHALLENGE_COLUMNS = ("user_id", "serial", "sealed_code", "sent_at", "expires_at")
+
+
+class OTPServer:
+    """The back-end validation engine RADIUS proxies queries to."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        config: Optional[OTPServerConfig] = None,
+        sms_gateway: Optional[SMSGateway] = None,
+        master_key: bytes = b"linotp-master-key-0123456789abcdef",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.clock = clock or SystemClock()
+        self.config = config or OTPServerConfig()
+        self._rng = rng or random.Random()
+        self.sms = sms_gateway or SMSGateway(self.clock, rng=self._rng)
+        self._sealer = SecretSealer(master_key, rng=self._rng)
+        self.db = Database("linotp")
+        self.db.create_table(
+            "tokens", _TOKEN_COLUMNS, primary_key="serial", indexed=("user_id",)
+        )
+        self.db.create_table("challenges", _CHALLENGE_COLUMNS, primary_key="user_id")
+        self.audit = AuditLog(self.clock)
+        self._validator = TOTPValidator(
+            clock=self.clock,
+            digits=self.config.digits,
+            step=self.config.totp_step,
+            drift=self.config.drift_seconds,
+        )
+        self._ids = IdAllocator()
+        # Hard-token inventory: serial -> secret for fobs imported from a
+        # manufacturer batch but not yet paired to a user.
+        self._hard_inventory: Dict[str, bytes] = {}
+        self.validate_requests = 0
+
+    # -- enrollment ---------------------------------------------------------
+
+    def _insert_token(self, record: TokenRecord, static_code: Optional[str]) -> None:
+        self.db.table("tokens").insert(
+            {
+                "serial": record.serial,
+                "user_id": record.user_id,
+                "token_type": record.token_type.value,
+                "sealed_secret": record.sealed_secret,
+                "active": record.active,
+                "failcount": record.failcount,
+                "phone_number": record.phone_number,
+                "static_code_sealed": (
+                    self._sealer.seal(static_code.encode()) if static_code else None
+                ),
+                "pairing_confirmed": record.pairing_confirmed,
+                "hotp_counter": 0,
+            }
+        )
+
+    def enroll_hotp(self, user_id: str, secret: Optional[bytes] = None) -> Tuple[str, bytes]:
+        """Create an event-based (HOTP, Feitian c100-class) token.
+
+        Unlike the time-based fobs, the device advances a press counter;
+        the server keeps its own counter and searches a look-ahead window
+        at validation time (RFC 4226 section 7.2).
+        """
+        self._ensure_unpaired(user_id)
+        secret = secret or generate_secret(rng=self._rng)
+        serial = self._ids.next("LSHO")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.HOTP,
+            sealed_secret=self._sealer.seal(secret),
+        )
+        self._insert_token(record, None)
+        self.audit.record("enroll", user_id, serial, detail="hotp")
+        return serial, secret
+
+    def enroll_soft(self, user_id: str) -> Tuple[str, bytes]:
+        """Create a soft token; returns (serial, secret) — the secret leaves
+        the server exactly once, inside the pairing QR code."""
+        self._ensure_unpaired(user_id)
+        secret = generate_secret(rng=self._rng)
+        serial = self._ids.next("LSSO")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.SOFT,
+            sealed_secret=self._sealer.seal(secret),
+        )
+        self._insert_token(record, None)
+        self.audit.record("enroll", user_id, serial, detail="soft")
+        return serial, secret
+
+    def enroll_sms(self, user_id: str, phone_number: str) -> str:
+        """Create an SMS token bound to a phone number."""
+        self._ensure_unpaired(user_id)
+        if not phone_number:
+            raise ValidationError("SMS enrollment requires a phone number")
+        secret = generate_secret(rng=self._rng)
+        serial = self._ids.next("LSSM")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.SMS,
+            sealed_secret=self._sealer.seal(secret),
+            phone_number=phone_number,
+        )
+        self._insert_token(record, None)
+        self.audit.record("enroll", user_id, serial, detail="sms")
+        return serial
+
+    def import_hard_batch(self, batch: HardTokenBatch) -> int:
+        """Load a manufacturer batch's (serial, secret) pairs into inventory."""
+        for serial in batch.serials():
+            if serial in self._hard_inventory or self.db.table("tokens").exists(serial):
+                raise ValidationError(f"duplicate hard-token serial {serial}")
+            self._hard_inventory[serial] = batch.secret_for(serial)
+        self.audit.record("import_batch", "-", detail=f"{len(batch)} fobs")
+        return len(batch)
+
+    def hard_inventory_serials(self) -> List[str]:
+        return list(self._hard_inventory)
+
+    def assign_hard(self, user_id: str, serial: str) -> str:
+        """Pair an inventory fob to a user by its serial number."""
+        self._ensure_unpaired(user_id)
+        secret = self._hard_inventory.pop(serial, None)
+        if secret is None:
+            raise NotFoundError(f"serial {serial!r} is not in hard-token inventory")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.HARD,
+            sealed_secret=self._sealer.seal(secret),
+        )
+        self._insert_token(record, None)
+        self.audit.record("enroll", user_id, serial, detail="hard")
+        return serial
+
+    def enroll_static(self, user_id: str, code: str) -> str:
+        """Assign a training account its static six-digit code."""
+        if len(code) != self.config.digits or not code.isdigit():
+            raise ValidationError(f"static code must be {self.config.digits} digits")
+        existing = self._user_tokens(user_id)
+        for row in existing:  # regenerating replaces the previous session code
+            self.db.table("tokens").delete(row["serial"])
+        serial = self._ids.next("LSST")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.STATIC,
+            sealed_secret=self._sealer.seal(b"\x00" * 20),
+        )
+        self._insert_token(record, code)
+        self.audit.record("enroll", user_id, serial, detail="static")
+        return serial
+
+    def _ensure_unpaired(self, user_id: str) -> None:
+        # Device pairings are "mutually exclusive" (Section 1): one active
+        # pairing per user.
+        if self._user_tokens(user_id):
+            raise ValidationError(f"user {user_id} already has a token pairing")
+
+    # -- queries ------------------------------------------------------------
+
+    def _user_tokens(self, user_id: str) -> List[dict]:
+        return self.db.table("tokens").select(where={"user_id": user_id})
+
+    def user_tokens(self, user_id: str) -> List[TokenRecord]:
+        """The admin view of a user's pairings."""
+        out = []
+        for row in self._user_tokens(user_id):
+            out.append(
+                TokenRecord(
+                    serial=row["serial"],
+                    user_id=row["user_id"],
+                    token_type=TokenType(row["token_type"]),
+                    sealed_secret=row["sealed_secret"],
+                    active=row["active"],
+                    failcount=row["failcount"],
+                    phone_number=row["phone_number"],
+                    pairing_confirmed=row["pairing_confirmed"],
+                )
+            )
+        return out
+
+    def has_pairing(self, user_id: str) -> bool:
+        return bool(self._user_tokens(user_id))
+
+    def pairing_type(self, user_id: str) -> Optional[TokenType]:
+        rows = self._user_tokens(user_id)
+        return TokenType(rows[0]["token_type"]) if rows else None
+
+    def is_locked(self, user_id: str) -> bool:
+        rows = self._user_tokens(user_id)
+        return bool(rows) and all(not r["active"] for r in rows)
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult:
+        """The ``/validate/check`` equivalent RADIUS servers call.
+
+        ``code=None`` (the "null request") triggers the SMS challenge for
+        SMS-paired users; any other value is checked as a token code.
+        """
+        self.validate_requests += 1
+        rows = self._user_tokens(user_id)
+        if not rows:
+            self.audit.record("validate", user_id, success=False, detail="no token")
+            return ValidateResult(ValidateStatus.NO_TOKEN, "no device pairing")
+        active = [r for r in rows if r["active"]]
+        if not active:
+            self.audit.record("validate", user_id, success=False, detail="locked")
+            return ValidateResult(
+                ValidateStatus.LOCKED, "account temporarily deactivated"
+            )
+        row = active[0]
+        token_type = TokenType(row["token_type"])
+
+        if code is None or code == "":
+            if token_type is TokenType.SMS:
+                return self._start_sms_challenge(user_id, row)
+            # Null request against a non-SMS token is just a failed attempt
+            # without a counter hit (nothing was guessed).
+            return ValidateResult(ValidateStatus.REJECT, "token code required")
+
+        if token_type is TokenType.SMS:
+            result = self._check_sms_code(user_id, row, code)
+        elif token_type is TokenType.HOTP:
+            secret = self._sealer.unseal(row["sealed_secret"])
+            matched = verify_hotp(
+                secret,
+                code,
+                counter=row["hotp_counter"],
+                look_ahead=self.config.hotp_look_ahead,
+                digits=self.config.digits,
+            )
+            if matched is not None:
+                # Advance past the matched counter: consumed codes and any
+                # skipped presses can never be replayed.
+                self.db.table("tokens").update(
+                    row["serial"], {"hotp_counter": matched + 1}
+                )
+                result = ValidateResult(ValidateStatus.OK, serial=row["serial"])
+            else:
+                result = ValidateResult(
+                    ValidateStatus.REJECT, "invalid token code", serial=row["serial"]
+                )
+        elif token_type is TokenType.STATIC:
+            stored = self._sealer.unseal(row["static_code_sealed"]).decode()
+            ok = stored == code
+            result = ValidateResult(
+                ValidateStatus.OK if ok else ValidateStatus.REJECT,
+                "" if ok else "invalid token code",
+                serial=row["serial"],
+            )
+        else:  # soft and hard tokens share the TOTP path
+            secret = self._sealer.unseal(row["sealed_secret"])
+            outcome = self._validator.validate(row["serial"], secret, code)
+            result = ValidateResult(
+                ValidateStatus.OK if outcome.ok else ValidateStatus.REJECT,
+                outcome.reason,
+                serial=row["serial"],
+            )
+        self._apply_outcome(user_id, row, result)
+        return result
+
+    def _apply_outcome(self, user_id: str, row: dict, result: ValidateResult) -> None:
+        tokens = self.db.table("tokens")
+        if result.ok:
+            tokens.update(
+                row["serial"], {"failcount": 0, "pairing_confirmed": True}
+            )
+            self.audit.record("validate", user_id, row["serial"], success=True)
+            return
+        failcount = row["failcount"] + 1
+        changes: Dict[str, object] = {"failcount": failcount}
+        self.audit.record(
+            "validate", user_id, row["serial"], success=False, detail=result.message
+        )
+        if failcount >= self.config.lockout_threshold:
+            changes["active"] = False
+            self.audit.record(
+                "lockout",
+                user_id,
+                row["serial"],
+                success=False,
+                detail=f"{failcount} consecutive failures",
+            )
+        tokens.update(row["serial"], changes)
+
+    # -- SMS challenge lifecycle ---------------------------------------------
+
+    def _start_sms_challenge(self, user_id: str, row: dict) -> ValidateResult:
+        challenges = self.db.table("challenges")
+        now = self.clock.now()
+        if challenges.exists(user_id):
+            outstanding = challenges.get(user_id)
+            if outstanding["expires_at"] > now:
+                # "LinOTP will not forward to Twilio and instead ... a
+                # response message ... that the SMS has already been sent."
+                return ValidateResult(
+                    ValidateStatus.CHALLENGE_PENDING,
+                    "an SMS token code has already been sent",
+                    serial=row["serial"],
+                )
+            challenges.delete(user_id)
+        secret = self._sealer.unseal(row["sealed_secret"])
+        code = totp_at(secret, now, digits=self.config.digits, step=self.config.totp_step)
+        self.sms.send(
+            row["phone_number"], f"Your {self.config.issuer} token code is {code}"
+        )
+        challenges.insert(
+            {
+                "user_id": user_id,
+                "serial": row["serial"],
+                "sealed_code": self._sealer.seal(code.encode()),
+                "sent_at": now,
+                "expires_at": now + self.config.sms_code_validity,
+            }
+        )
+        self.audit.record("sms_challenge", user_id, row["serial"])
+        return ValidateResult(
+            ValidateStatus.CHALLENGE_SENT, "SMS token code sent", serial=row["serial"]
+        )
+
+    def _check_sms_code(self, user_id: str, row: dict, code: str) -> ValidateResult:
+        challenges = self.db.table("challenges")
+        if not challenges.exists(user_id):
+            return ValidateResult(
+                ValidateStatus.REJECT, "no SMS challenge outstanding", serial=row["serial"]
+            )
+        challenge = challenges.get(user_id)
+        now = self.clock.now()
+        if challenge["expires_at"] <= now:
+            challenges.delete(user_id)
+            return ValidateResult(
+                ValidateStatus.REJECT, "token code expired", serial=row["serial"]
+            )
+        expected = self._sealer.unseal(challenge["sealed_code"]).decode()
+        if expected == code:
+            challenges.delete(user_id)  # the code is nullified on success
+            return ValidateResult(ValidateStatus.OK, serial=row["serial"])
+        # A mismatch leaves the challenge outstanding (Section 3.2: "In the
+        # event of a token mismatch, the token code remains valid").
+        return ValidateResult(
+            ValidateStatus.REJECT, "invalid token code", serial=row["serial"]
+        )
+
+    # -- admin operations (the built-in web UI, Section 3.1) -----------------
+
+    def clear_failcount(self, user_id: str) -> int:
+        """Clear failure counters and re-activate the user's tokens."""
+        cleared = 0
+        for row in self._user_tokens(user_id):
+            self.db.table("tokens").update(
+                row["serial"], {"failcount": 0, "active": True}
+            )
+            cleared += 1
+        self.audit.record("clear_failcount", user_id)
+        return cleared
+
+    def resync(self, user_id: str, code1: str, code2: str) -> bool:
+        """Re-synchronize a drifted soft/hard token from two codes."""
+        for row in self._user_tokens(user_id):
+            if TokenType(row["token_type"]) in (TokenType.SOFT, TokenType.HARD):
+                secret = self._sealer.unseal(row["sealed_secret"])
+                outcome = self._validator.resync(row["serial"], secret, code1, code2)
+                self.audit.record(
+                    "resync", user_id, row["serial"], success=outcome.ok
+                )
+                return outcome.ok
+        return False
+
+    def disable_token(self, serial: str) -> None:
+        self.db.table("tokens").update(serial, {"active": False})
+        row = self.db.table("tokens").get(serial)
+        self.audit.record("disable", row["user_id"], serial)
+
+    def enable_token(self, serial: str) -> None:
+        self.db.table("tokens").update(serial, {"active": True, "failcount": 0})
+        row = self.db.table("tokens").get(serial)
+        self.audit.record("enable", row["user_id"], serial)
+
+    def unpair(self, user_id: str) -> int:
+        """Remove the user's pairing (portal unpair or staff ticket)."""
+        removed = 0
+        for row in self._user_tokens(user_id):
+            self.db.table("tokens").delete(row["serial"])
+            self._validator.forget(row["serial"])
+            removed += 1
+        if self.db.table("challenges").exists(user_id):
+            self.db.table("challenges").delete(user_id)
+        self.audit.record("unpair", user_id, detail=f"{removed} token(s)")
+        return removed
+
+    def token_count_by_type(self) -> Dict[str, int]:
+        """The Table-1 style breakdown of current pairings."""
+        counts: Dict[str, int] = {}
+        for row in self.db.table("tokens").select():
+            counts[row["token_type"]] = counts.get(row["token_type"], 0) + 1
+        return counts

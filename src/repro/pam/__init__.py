@@ -1,0 +1,40 @@
+"""Pluggable Authentication Modules (Section 3.4) — the paper's core.
+
+:mod:`repro.pam.framework` reimplements Linux-PAM stack semantics —
+``required`` / ``requisite`` / ``sufficient`` / ``optional`` and the full
+bracketed ``[success=N default=bad ...]`` action syntax — driven by
+pam.d-style configuration text, so the four in-house modules compose
+exactly the way Figure 1 shows.
+
+The in-house modules (:mod:`repro.pam.modules`):
+
+1. ``pam_pubkey_success`` — detects a successful SSH public-key first
+   factor by scanning recent secure logs (SSH does not tell PAM).
+2. ``pam_mfa_exemption`` — the exemption ACL check: users / IPs / CIDR
+   ranges / expiry dates / ``ALL`` wildcards, hot-reloaded from disk.
+3. ``pam_mfa_token`` — the RADIUS challenge-response token check with the
+   four-tier enforcement ladder (``off``/``paired``/``countdown``/``full``).
+4. ``pam_solaris_mfa`` — the Solaris variant combining (1) and (2).
+
+plus a stock ``pam_unix``-style password module as the fallback first
+factor.
+"""
+
+from repro.pam.acl import ExemptionACL
+from repro.pam.conversation import Conversation, ScriptedConversation
+from repro.pam.framework import (
+    PAMResult,
+    PAMSession,
+    PAMStack,
+    parse_pam_config,
+)
+
+__all__ = [
+    "PAMResult",
+    "PAMSession",
+    "PAMStack",
+    "parse_pam_config",
+    "Conversation",
+    "ScriptedConversation",
+    "ExemptionACL",
+]

@@ -1,0 +1,31 @@
+"""``pam_mfa_exemption`` — in-house module #2.
+
+"The user's information, including username and remote IP address are
+compared with an existing configuration file that contains white and
+blacklists specific to the second factor ... If an exemption is granted, no
+further action by the user is required to gain SSH entry" (Section 3.4).
+
+In the Figure-1 stack the module is ``sufficient``: a granted exemption
+short-circuits past the token module; a denial is ignored and the user
+continues to the token prompt.
+"""
+
+from __future__ import annotations
+
+from repro.pam.acl import ExemptionACL
+from repro.pam.framework import PAMResult, PAMSession
+
+
+class MFAExemptionModule:
+    """Answers Figure 1's "MFA Exemption Granted?" from the live ACL."""
+
+    name = "pam_mfa_exemption"
+
+    def __init__(self, acl: ExemptionACL) -> None:
+        self._acl = acl
+
+    def authenticate(self, session: PAMSession) -> PAMResult:
+        if self._acl.check(session.username, session.remote_ip):
+            session.items["mfa_exempt"] = True
+            return PAMResult.SUCCESS
+        return PAMResult.AUTH_ERR

@@ -1,0 +1,49 @@
+"""``pam_solaris_mfa`` — in-house module #4.
+
+"a module specific for use on Oracle Solaris operating systems that combine
+the public key and MFA exemption checks to accommodate differences in PAM
+stack processing logic" (Section 3.4).  Solaris PAM lacks the Linux jump
+actions, so the two checks are fused: success means *either* the public key
+already passed *and* an exemption applies (skip everything), and the module
+communicates partial outcomes through session items instead of stack
+position.
+"""
+
+from __future__ import annotations
+
+from repro.pam.acl import ExemptionACL
+from repro.pam.framework import PAMResult, PAMSession
+from repro.ssh.authlog import AuthLog
+
+
+class SolarisMFAModule:
+    """Combined public-key-success + exemption check for Solaris stacks."""
+
+    name = "pam_solaris_mfa"
+
+    def __init__(
+        self,
+        authlog: AuthLog,
+        acl: ExemptionACL,
+        window_seconds: float = 30.0,
+    ) -> None:
+        self._authlog = authlog
+        self._acl = acl
+        self._window = window_seconds
+
+    def authenticate(self, session: PAMSession) -> PAMResult:
+        pubkey_ok = self._authlog.publickey_accepted_recently(
+            session.username, session.remote_ip, self._window
+        )
+        if pubkey_ok:
+            session.items["first_factor"] = "publickey"
+        exempt = self._acl.check(session.username, session.remote_ip)
+        if exempt:
+            session.items["mfa_exempt"] = True
+        if pubkey_ok and exempt:
+            # First factor proven and second factor waived: nothing left for
+            # the rest of the stack to ask.
+            return PAMResult.SUCCESS
+        # Otherwise the stack continues: IGNORE keeps Solaris's sequential
+        # processing moving without contributing a verdict.
+        return PAMResult.IGNORE

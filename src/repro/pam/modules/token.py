@@ -1,0 +1,192 @@
+"""``pam_mfa_token`` — in-house module #3, the heart of the opt-in design.
+
+Implements Figure 2's decision tree and the four-tier enforcement ladder of
+Section 3.4:
+
+* ``off``       — module exits success; the system is back to single factor.
+* ``paired``    — users with a device pairing are challenged; everyone else
+  passes through untouched (phase 1 of the rollout).
+* ``countdown`` — unpaired users see "you have X days to pair, visit Y" and
+  must press return to acknowledge; paired users are challenged (phase 2).
+  Past the deadline the module behaves as ``full``.
+* ``full``      — everyone is challenged; no pairing means no entry
+  (phase 3).  Configuration errors also land here: the module fails closed.
+
+The pairing type comes from an LDAP query; the token code round trip runs
+over the round-robin RADIUS client, including the SMS null-request /
+challenge-response exchange.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from enum import Enum
+from math import ceil
+from typing import Optional
+
+from repro.common.clock import parse_date
+from repro.pam.framework import PAMResult, PAMSession
+from repro.radius.client import AuthStatus, RADIUSClient
+
+
+class EnforcementMode(str, Enum):
+    OFF = "off"
+    PAIRED = "paired"
+    COUNTDOWN = "countdown"
+    FULL = "full"
+
+
+DEFAULT_PROMPT = "Token Code: "
+
+
+class MFATokenModule:
+    """The RADIUS-backed token-code check with opt-in enforcement modes."""
+
+    name = "pam_mfa_token"
+
+    def __init__(
+        self,
+        ldap,
+        radius: RADIUSClient,
+        base_dn: str = "ou=people,dc=center,dc=edu",
+        mode: str = "full",
+        deadline: Optional[str] = None,
+        info_url: str = "https://portal.center.edu/mfa",
+        prompt: str = DEFAULT_PROMPT,
+        passive_notice: bool = False,
+    ) -> None:
+        self._ldap = ldap
+        self._radius = radius
+        self._base_dn = base_dn
+        self._info_url = info_url
+        self._prompt = prompt
+        # Section 4.2's first messaging wave: in `paired` mode, show
+        # unpaired interactive users a passive one-line notice (no
+        # acknowledgement required — that escalation is `countdown` mode).
+        self._passive_notice = passive_notice
+        self._config_error = False
+        try:
+            self._mode = EnforcementMode(mode)
+        except ValueError:
+            # "if any configuration errors occur, the token module defaults
+            # to the fourth enforcement mode."
+            self._mode = EnforcementMode.FULL
+            self._config_error = True
+        self._deadline: Optional[datetime] = None
+        if deadline is not None:
+            try:
+                self._deadline = parse_date(deadline)
+            except ValueError:
+                self._mode = EnforcementMode.FULL
+                self._config_error = True
+        elif self._mode is EnforcementMode.COUNTDOWN:
+            # Countdown without a deadline is a configuration error.
+            self._mode = EnforcementMode.FULL
+            self._config_error = True
+
+    @property
+    def effective_mode(self) -> EnforcementMode:
+        return self._mode
+
+    @property
+    def had_config_error(self) -> bool:
+        return self._config_error
+
+    # -- LDAP pairing lookup (Figure 2, first box) ----------------------------
+
+    def _pairing_type(self, username: str) -> Optional[str]:
+        entries = self._ldap.search(self._base_dn, f"(uid={username})")
+        if not entries:
+            return None
+        pairing = entries[0].first("mfaPairingType", "unpaired")
+        return None if pairing == "unpaired" else pairing
+
+    # -- the module entry point ------------------------------------------------
+
+    def authenticate(self, session: PAMSession) -> PAMResult:
+        mode = self._mode
+        if mode is EnforcementMode.COUNTDOWN and self._deadline is not None:
+            now = datetime.fromtimestamp(session.clock.now(), tz=timezone.utc)
+            if now >= self._deadline:
+                # "If the configured countdown date expires, the token
+                # module will default to the fourth mode."
+                mode = EnforcementMode.FULL
+
+        if mode is EnforcementMode.OFF:
+            return PAMResult.SUCCESS
+
+        pairing = self._pairing_type(session.username)
+        session.items["mfa_pairing"] = pairing
+
+        if mode is EnforcementMode.PAIRED:
+            if pairing is None:
+                if self._passive_notice and session.conversation is not None:
+                    session.conversation.info(
+                        "Multi-factor authentication is available; pair a "
+                        f"device at {self._info_url}"
+                    )
+                return PAMResult.SUCCESS
+            return self._challenge(session, pairing)
+
+        if mode is EnforcementMode.COUNTDOWN:
+            if pairing is None:
+                return self._countdown_notice(session)
+            return self._challenge(session, pairing)
+
+        # FULL: prompt regardless; an unpaired user is denied after the
+        # round trip (the prompt itself leaks nothing about pairing state).
+        return self._challenge(session, pairing)
+
+    # -- countdown messaging (phase 2) -----------------------------------------
+
+    def _countdown_notice(self, session: PAMSession) -> PAMResult:
+        assert self._deadline is not None
+        if session.conversation is None:
+            return PAMResult.AUTH_ERR
+        now = datetime.fromtimestamp(session.clock.now(), tz=timezone.utc)
+        days_left = max(0, ceil((self._deadline - now).total_seconds() / 86400))
+        session.conversation.info(
+            f"Multi-factor authentication will be mandatory in {days_left} "
+            f"day(s). Pair a device now: {self._info_url}"
+        )
+        # "the user must press return to acknowledge that they have read
+        # and received this statement."
+        session.conversation.prompt_echo_on("Press return to acknowledge: ")
+        session.items["mfa_countdown_days"] = days_left
+        return PAMResult.SUCCESS
+
+    # -- the Figure-2 challenge-response ----------------------------------------
+
+    def _challenge(self, session: PAMSession, pairing: Optional[str]) -> PAMResult:
+        if session.conversation is None:
+            return PAMResult.AUTH_ERR
+        state = None
+        if pairing == "sms":
+            # "a null request is first sent to the LinOTP back end to
+            # initiate a text message."
+            response = self._radius.authenticate(
+                session.username, "", source_override=None
+            )
+            if response.status is AuthStatus.CHALLENGE:
+                session.conversation.info(response.message)
+                state = response.state
+            elif response.status is AuthStatus.TIMEOUT:
+                session.conversation.error(
+                    "authentication service unavailable; try again later"
+                )
+                return PAMResult.AUTH_ERR
+            else:
+                session.conversation.error(response.message)
+                return PAMResult.AUTH_ERR
+        code = session.conversation.prompt_echo_off(self._prompt)
+        response = self._radius.authenticate(session.username, code, state=state)
+        if response.status is AuthStatus.ACCEPT:
+            session.items["second_factor"] = pairing or "none"
+            return PAMResult.SUCCESS
+        if response.status is AuthStatus.TIMEOUT:
+            session.conversation.error(
+                "authentication service unavailable; try again later"
+            )
+        else:
+            session.conversation.error(response.message or "authentication error")
+        return PAMResult.AUTH_ERR

@@ -1,0 +1,30 @@
+"""The web user portal (Section 3.5).
+
+Users "manage their own MFA device pairings via our web-based user portal".
+This package models the Liferay portlet's behaviour:
+
+* :mod:`repro.portal.pairing` — the *stateful* pairing session: the whole
+  flow happens without a page refresh, and a refresh, back-button or replay
+  mid-flow aborts it and rolls back any half-created token.
+* :mod:`repro.portal.portal` — the portal application: login with the
+  interstitial "splash screen" for unpaired users, the three pairing flows
+  (soft via QR, SMS via phone number, hard via serial), unpairing with
+  current-code proof, and the signed-URL out-of-band unpair email.
+* :mod:`repro.portal.store` — the hard-token web store: $25 orders,
+  fulfillment from the imported Feitian batch, international shipping.
+* :mod:`repro.portal.mailer` — the outbound email channel.
+"""
+
+from repro.portal.mailer import Mailer
+from repro.portal.pairing import PairingSession, PairingState
+from repro.portal.portal import PortalLogin, UserPortal
+from repro.portal.store import HardTokenStore
+
+__all__ = [
+    "UserPortal",
+    "PortalLogin",
+    "PairingSession",
+    "PairingState",
+    "HardTokenStore",
+    "Mailer",
+]

@@ -1,0 +1,66 @@
+"""Stateful pairing sessions.
+
+"The pairing process itself is a stateful operation between the browser
+client and the portal back end ... the complete pairing process occurs
+without a page refresh.  If a user refreshes in the middle of the process,
+e.g. after requesting a token but before confirming it, the process is
+aborted and the user will have to restart from the beginning.  This also
+protects against using the browser's back button" (Section 3.5).
+
+A session walks ``STARTED → AWAITING_CONFIRMATION → CONFIRMED``; any
+refresh/back/replay event moves it to ``ABORTED`` and triggers the portal's
+rollback of the half-created token.  Confirming twice (a form resubmission)
+is rejected — the hardening the paper calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from repro.common.errors import ValidationError
+
+
+class PairingState(str, Enum):
+    STARTED = "started"
+    AWAITING_CONFIRMATION = "awaiting_confirmation"
+    CONFIRMED = "confirmed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PairingSession:
+    """One in-flight pairing flow for one user."""
+
+    session_id: str
+    username: str
+    method: str  # "soft" | "sms" | "hard"
+    state: PairingState = PairingState.STARTED
+    serial: str = ""
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def to_awaiting(self, serial: str) -> None:
+        if self.state is not PairingState.STARTED:
+            raise ValidationError(
+                f"pairing session in state {self.state.value}; expected 'started'"
+            )
+        self.serial = serial
+        self.state = PairingState.AWAITING_CONFIRMATION
+
+    def confirm(self) -> None:
+        if self.state is not PairingState.AWAITING_CONFIRMATION:
+            # Replayed confirmations and post-abort confirms both land here.
+            raise ValidationError(
+                f"cannot confirm a pairing session in state {self.state.value}"
+            )
+        self.state = PairingState.CONFIRMED
+
+    def abort(self) -> None:
+        if self.state is PairingState.CONFIRMED:
+            raise ValidationError("cannot abort a completed pairing")
+        self.state = PairingState.ABORTED
+
+    @property
+    def live(self) -> bool:
+        return self.state in (PairingState.STARTED, PairingState.AWAITING_CONFIRMATION)

@@ -1,0 +1,97 @@
+"""The hard-token web store (Section 3.3).
+
+"Users were able to acquire the hard tokens online via a web-based store
+for a fee of $25 to help cover the cost of the device, shipping and
+handling, as well as staff time for processing."  Fobs come from the
+imported Feitian batch, ship with a transit delay, and only after delivery
+can the user pair by serial number in the portal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.clock import Clock
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.ids import IdAllocator
+from repro.otpserver.tokens import (
+    HARD_TOKEN_SHIP_COUNTRIES,
+    HARD_TOKEN_USER_FEE,
+    HardTokenBatch,
+)
+
+#: Typical door-to-door transit by destination; domestic is fastest.
+_TRANSIT_DAYS = {"United States": 4.0}
+_DEFAULT_INTL_TRANSIT_DAYS = 10.0
+
+
+@dataclass
+class TokenOrder:
+    order_id: str
+    username: str
+    country: str
+    serial: str
+    fee_charged: float
+    ordered_at: float
+    arrives_at: float
+
+    def delivered(self, now: float) -> bool:
+        return now >= self.arrives_at
+
+
+class HardTokenStore:
+    """Order intake + fulfillment from batch inventory."""
+
+    def __init__(self, batch: HardTokenBatch, clock: Clock) -> None:
+        self._batch = batch
+        self._clock = clock
+        self._orders: Dict[str, TokenOrder] = {}
+        self._by_user: Dict[str, List[str]] = {}
+        self._ids = IdAllocator()
+        self.revenue = 0.0
+
+    def order(self, username: str, country: str = "United States") -> TokenOrder:
+        """Charge the $25 fee and ship the next fob from inventory."""
+        if country not in HARD_TOKEN_SHIP_COUNTRIES:
+            raise ValidationError(
+                f"no shipping to {country!r}; supported: {HARD_TOKEN_SHIP_COUNTRIES}"
+            )
+        unshipped = self._batch.unshipped()
+        if not unshipped:
+            raise ValidationError("hard-token inventory exhausted; reorder batch")
+        serial = unshipped[0]
+        self._batch.ship(serial, country)
+        transit = _TRANSIT_DAYS.get(country, _DEFAULT_INTL_TRANSIT_DAYS)
+        now = self._clock.now()
+        order = TokenOrder(
+            order_id=self._ids.next("order"),
+            username=username,
+            country=country,
+            serial=serial,
+            fee_charged=HARD_TOKEN_USER_FEE,
+            ordered_at=now,
+            arrives_at=now + transit * 86400,
+        )
+        self._orders[order.order_id] = order
+        self._by_user.setdefault(username, []).append(order.order_id)
+        self.revenue += order.fee_charged
+        return order
+
+    def get(self, order_id: str) -> TokenOrder:
+        order = self._orders.get(order_id)
+        if order is None:
+            raise NotFoundError(f"no such order: {order_id}")
+        return order
+
+    def delivered_serial(self, username: str) -> Optional[str]:
+        """The serial on the back of the fob, once it has arrived."""
+        now = self._clock.now()
+        for order_id in self._by_user.get(username, []):
+            order = self._orders[order_id]
+            if order.delivered(now):
+                return order.serial
+        return None
+
+    def orders_for(self, username: str) -> List[TokenOrder]:
+        return [self._orders[oid] for oid in self._by_user.get(username, [])]

@@ -1,0 +1,33 @@
+"""QR code provisioning substrate.
+
+The paper's soft-token pairing shows the user "a QR code which contains the
+user's secret key encoded as an image that can be scanned by the mobile
+application for import" (Section 3.5).  We reproduce that round trip with a
+real QR implementation rather than a placeholder:
+
+* :mod:`repro.qr.galois` / :mod:`repro.qr.reed_solomon` — GF(256)
+  arithmetic and Reed-Solomon encoding *and* error-correcting decoding.
+* :mod:`repro.qr.bitstream` — bit-level readers/writers.
+* :mod:`repro.qr.encoder` — byte-mode QR symbols, versions 1-10, all four
+  ECC levels, automatic mask selection by penalty score.
+* :mod:`repro.qr.decoder` — reads a module matrix back to its payload,
+  correcting injected module errors through Reed-Solomon.
+* :mod:`repro.qr.otpauth` — the ``otpauth://totp/...`` URI format the
+  Google-Authenticator-derived app imports.
+
+The "camera" in our simulation is simply handing the decoder the module
+matrix (optionally with bit errors to model scan noise).
+"""
+
+from repro.qr.decoder import decode_matrix
+from repro.qr.encoder import QRCode, encode
+from repro.qr.otpauth import OtpauthURI, build_otpauth_uri, parse_otpauth_uri
+
+__all__ = [
+    "encode",
+    "QRCode",
+    "decode_matrix",
+    "build_otpauth_uri",
+    "parse_otpauth_uri",
+    "OtpauthURI",
+]

@@ -1,0 +1,72 @@
+"""Bit-level stream helpers for QR payload assembly and disassembly."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BitWriter:
+    """Accumulates values as big-endian bit strings."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` of ``value``, most-significant first."""
+        if value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        for shift in range(nbits - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        for byte in data:
+            self.write(byte, 8)
+
+    def bits(self) -> List[int]:
+        return list(self._bits)
+
+    def to_bytes(self) -> bytes:
+        """Pack to bytes; the tail is zero-padded to a byte boundary."""
+        out = bytearray()
+        for i in range(0, len(self._bits), 8):
+            chunk = self._bits[i : i + 8]
+            chunk = chunk + [0] * (8 - len(chunk))
+            byte = 0
+            for bit in chunk:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads big-endian bit strings back out of a bit list or bytes."""
+
+    def __init__(self, source) -> None:
+        if isinstance(source, (bytes, bytearray)):
+            self._bits = [
+                (byte >> shift) & 1 for byte in source for shift in range(7, -1, -1)
+            ]
+        else:
+            self._bits = list(source)
+        self._pos = 0
+
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` as an unsigned integer; raises past the end."""
+        if nbits > self.remaining():
+            raise ValueError(
+                f"requested {nbits} bits but only {self.remaining()} remain"
+            )
+        value = 0
+        for _ in range(nbits):
+            value = (value << 1) | self._bits[self._pos]
+            self._pos += 1
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        return bytes(self.read(8) for _ in range(count))

@@ -1,0 +1,121 @@
+"""QR module-matrix decoder.
+
+This is the "camera" half of the soft-token pairing round trip: given the
+module matrix the portal rendered (possibly with scan noise injected), it
+recovers the otpauth payload.  Format information is BCH-corrected from
+either copy; data codewords are Reed-Solomon corrected per block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.qr.bitstream import BitReader
+from repro.qr.matrix import Matrix, build_skeleton, data_positions, read_format_info
+from repro.qr.reed_solomon import RSDecodeError, rs_decode
+from repro.qr.segments import read_payload
+from repro.qr.tables import (
+    EC_TABLE,
+    ECC_LEVELS,
+    MASK_FUNCTIONS,
+    format_info_bits,
+    total_codewords,
+)
+
+
+class QRDecodeError(ValueError):
+    """The matrix could not be decoded to a payload."""
+
+
+def _best_format(word1: int, word2: int) -> tuple:
+    """Choose (level, mask) using *both* format-info copies.
+
+    For each of the 32 valid codewords, the score is the smaller Hamming
+    distance to either copy — so one copy can be completely destroyed (a
+    smudge over a finder corner) as long as the other is within the BCH
+    correction radius.  Scores above 3 on both copies are unrecoverable.
+    """
+    best = None
+    best_dist = 16
+    for level in ECC_LEVELS:
+        for mask in range(8):
+            candidate = format_info_bits(level, mask)
+            dist = min(
+                bin(candidate ^ word1).count("1"),
+                bin(candidate ^ word2).count("1"),
+            )
+            if dist < best_dist:
+                best_dist = dist
+                best = (level, mask)
+    if best is None or best_dist > 3:
+        raise QRDecodeError("format information unrecoverable")
+    return best
+
+
+def _version_from_size(size: int) -> int:
+    if size < 21 or (size - 17) % 4:
+        raise QRDecodeError(f"{size}x{size} is not a valid QR symbol size")
+    return (size - 17) // 4
+
+
+def _deinterleave(codewords: List[int], version: int, level: str) -> List[int]:
+    """Undo codeword interleaving; returns concatenated data codewords after
+    per-block Reed-Solomon correction."""
+    ec_per_block, groups = EC_TABLE[(version, level)]
+    block_sizes = [length for nblocks, length in groups for _ in range(nblocks)]
+    nblocks = len(block_sizes)
+    data_total = sum(block_sizes)
+
+    data_blocks: List[List[int]] = [[] for _ in range(nblocks)]
+    idx = 0
+    for i in range(max(block_sizes)):
+        for b in range(nblocks):
+            if i < block_sizes[b]:
+                data_blocks[b].append(codewords[idx])
+                idx += 1
+    if idx != data_total:
+        raise QRDecodeError("codeword stream shorter than expected")
+    ec_blocks: List[List[int]] = [[] for _ in range(nblocks)]
+    for _ in range(ec_per_block):
+        for b in range(nblocks):
+            ec_blocks[b].append(codewords[idx])
+            idx += 1
+
+    data: List[int] = []
+    for b in range(nblocks):
+        try:
+            data.extend(rs_decode(data_blocks[b] + ec_blocks[b], ec_per_block))
+        except RSDecodeError as exc:
+            raise QRDecodeError(f"block {b} uncorrectable: {exc}") from exc
+    return data
+
+
+def decode_matrix(matrix: Matrix) -> bytes:
+    """Decode a QR module matrix to its byte-mode payload."""
+    size = len(matrix)
+    if any(len(row) != size for row in matrix):
+        raise QRDecodeError("matrix is not square")
+    version = _version_from_size(size)
+
+    word1, word2 = read_format_info(matrix, size)
+    level, mask = _best_format(word1, word2)
+
+    _, reserved = build_skeleton(version)
+    mask_fn = MASK_FUNCTIONS[mask]
+    bits: List[int] = []
+    needed = 8 * total_codewords(version, level)
+    for r, c in data_positions(version, reserved):
+        if len(bits) >= needed:
+            break
+        bits.append(matrix[r][c] ^ (1 if mask_fn(r, c) else 0))
+    if len(bits) < needed:
+        raise QRDecodeError("matrix has fewer data modules than required")
+
+    codewords = list(BitReader(bits[:needed]).read_bytes(needed // 8))
+    data = _deinterleave(codewords, version, level)
+
+    reader = BitReader(bytes(data))
+    try:
+        return read_payload(reader, version)
+    except ValueError as exc:
+        raise QRDecodeError(str(exc)) from exc

@@ -1,0 +1,246 @@
+"""QR symbol encoder (versions 1-10, ECC levels L/M/Q/H).
+
+Implements the full ISO/IEC 18004 pipeline: segment encoding (numeric,
+alphanumeric and byte modes, auto-selected), padding, block splitting,
+Reed-Solomon parity, codeword interleaving, module placement, mask
+selection by penalty score, and format/version words.  The output is a
+module matrix plus enough metadata for the decoder (or a renderer) to
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.qr.bitstream import BitWriter
+from repro.qr.matrix import (
+    Matrix,
+    build_skeleton,
+    data_positions,
+    place_format_info,
+    place_version_info,
+)
+from repro.qr.reed_solomon import rs_encode
+from repro.qr.segments import (
+    MODE_ALPHANUMERIC,
+    MODE_BYTE,
+    MODE_NUMERIC,
+    choose_mode,
+    segment_bit_length,
+    write_segment,
+)
+from repro.qr.tables import (
+    EC_TABLE,
+    MASK_FUNCTIONS,
+    MAX_VERSION,
+    byte_mode_capacity,
+    data_codewords,
+    format_info_bits,
+    symbol_size,
+)
+
+PAD_BYTES = (0xEC, 0x11)
+
+_MODE_NAMES = {
+    "numeric": MODE_NUMERIC,
+    "alphanumeric": MODE_ALPHANUMERIC,
+    "byte": MODE_BYTE,
+}
+
+
+@dataclass
+class QRCode:
+    """An encoded QR symbol: the module matrix plus its parameters."""
+
+    version: int
+    level: str
+    mask: int
+    matrix: Matrix
+
+    @property
+    def size(self) -> int:
+        return len(self.matrix)
+
+    def to_text(self, dark: str = "##", light: str = "  ", border: int = 2) -> str:
+        """Render as terminal-friendly text (what the portal tutorial shows
+        for users pairing over SSH without a browser)."""
+        size = self.size
+        blank = light * (size + 2 * border)
+        lines = [blank] * border
+        for row in self.matrix:
+            cells = "".join(dark if m else light for m in row)
+            lines.append(light * border + cells + light * border)
+        lines.extend([blank] * border)
+        return "\n".join(lines)
+
+
+def _build_payload(data: bytes, mode: int, version: int) -> BitWriter:
+    writer = BitWriter()
+    write_segment(writer, data, mode, version)
+    return writer
+
+
+def _choose_version(data: bytes, mode: int, level: str, minimum: int = 1) -> int:
+    for version in range(minimum, MAX_VERSION + 1):
+        needed = segment_bit_length(mode, len(data), version)
+        if needed <= 8 * data_codewords(version, level):
+            return version
+    raise ValueError(
+        f"payload of {len(data)} characters exceeds version-{MAX_VERSION} "
+        f"level-{level} capacity"
+    )
+
+
+def _final_codewords(data: bytes, mode: int, version: int, level: str) -> List[int]:
+    """Terminated, padded, block-split, RS-protected, interleaved codewords."""
+    writer = _build_payload(data, mode, version)
+    capacity_bits = 8 * data_codewords(version, level)
+    if len(writer) > capacity_bits:
+        raise ValueError("payload does not fit selected version")
+    # Terminator: up to 4 zero bits, then pad to a byte boundary.
+    writer_bits = len(writer)
+    terminator = min(4, capacity_bits - writer_bits)
+    writer.write(0, terminator)
+    if len(writer) % 8:
+        writer.write(0, 8 - len(writer) % 8)
+    codewords = list(writer.to_bytes())
+    # Alternating pad codewords to full capacity.
+    idx = 0
+    while len(codewords) < data_codewords(version, level):
+        codewords.append(PAD_BYTES[idx % 2])
+        idx += 1
+
+    ec_per_block, groups = EC_TABLE[(version, level)]
+    data_blocks: List[List[int]] = []
+    offset = 0
+    for nblocks, length in groups:
+        for _ in range(nblocks):
+            data_blocks.append(codewords[offset : offset + length])
+            offset += length
+    ec_blocks = [rs_encode(block, ec_per_block)[-ec_per_block:] for block in data_blocks]
+
+    interleaved: List[int] = []
+    max_data = max(len(b) for b in data_blocks)
+    for i in range(max_data):
+        for block in data_blocks:
+            if i < len(block):
+                interleaved.append(block[i])
+    for i in range(ec_per_block):
+        for block in ec_blocks:
+            interleaved.append(block[i])
+    return interleaved
+
+
+def _penalty(matrix: Matrix) -> int:
+    """ISO 18004 mask penalty score (rules N1-N4)."""
+    size = len(matrix)
+    score = 0
+    # N1: runs of >= 5 same-colored modules in a row/column.
+    for lines in (matrix, list(zip(*matrix))):
+        for line in lines:
+            run = 1
+            for i in range(1, size):
+                if line[i] == line[i - 1]:
+                    run += 1
+                else:
+                    if run >= 5:
+                        score += 3 + run - 5
+                    run = 1
+            if run >= 5:
+                score += 3 + run - 5
+    # N2: 2x2 blocks of the same color.
+    for r in range(size - 1):
+        for c in range(size - 1):
+            if matrix[r][c] == matrix[r][c + 1] == matrix[r + 1][c] == matrix[r + 1][c + 1]:
+                score += 3
+    # N3: finder-like 1:1:3:1:1 pattern with 4-module light zone.
+    pattern_a = [1, 0, 1, 1, 1, 0, 1, 0, 0, 0, 0]
+    pattern_b = pattern_a[::-1]
+    for lines in (matrix, list(zip(*matrix))):
+        for line in lines:
+            seq = list(line)
+            for i in range(size - 10):
+                window = seq[i : i + 11]
+                if window == pattern_a or window == pattern_b:
+                    score += 40
+    # N4: dark-module proportion deviation from 50%, in 5% steps.
+    dark = sum(sum(row) for row in matrix)
+    percent = dark * 100 / (size * size)
+    score += int(abs(percent - 50) / 5) * 10
+    return score
+
+
+def _render(
+    version: int, level: str, mask: int, codewords: List[int]
+) -> Matrix:
+    size = symbol_size(version)
+    modules, reserved = build_skeleton(version)
+    bits = [
+        (byte >> shift) & 1 for byte in codewords for shift in range(7, -1, -1)
+    ]
+    mask_fn = MASK_FUNCTIONS[mask]
+    positions = data_positions(version, reserved)
+    for i, (r, c) in enumerate(positions):
+        bit = bits[i] if i < len(bits) else 0  # remainder bits are zero
+        modules[r][c] = bit ^ (1 if mask_fn(r, c) else 0)
+    place_format_info(modules, size, format_info_bits(level, mask))
+    if version >= 7:
+        place_version_info(modules, size, version)
+    return modules
+
+
+def encode(
+    data: bytes | str,
+    level: str = "M",
+    version: Optional[int] = None,
+    mask: Optional[int] = None,
+    mode: str = "auto",
+) -> QRCode:
+    """Encode ``data`` into a QR symbol.
+
+    ``version`` and ``mask`` are normally chosen automatically (smallest
+    fitting version; lowest-penalty mask) but can be pinned for tests.
+    ``mode`` is ``auto`` (densest applicable), ``numeric``,
+    ``alphanumeric`` or ``byte``.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    if level not in ("L", "M", "Q", "H"):
+        raise ValueError(f"invalid ECC level {level!r}")
+    if mode == "auto":
+        segment_mode = choose_mode(data)
+    else:
+        segment_mode = _MODE_NAMES.get(mode)
+        if segment_mode is None:
+            raise ValueError(f"invalid mode {mode!r}")
+        if segment_mode != MODE_BYTE and choose_mode(data) == MODE_BYTE:
+            raise ValueError(f"payload cannot be encoded in {mode} mode")
+        if segment_mode == MODE_NUMERIC and not data.decode("ascii").isdigit():
+            raise ValueError("numeric mode requires a digits-only payload")
+    if version is None:
+        version = _choose_version(data, segment_mode, level)
+    else:
+        needed = segment_bit_length(segment_mode, len(data), version)
+        if needed > 8 * data_codewords(version, level):
+            raise ValueError(
+                f"payload of {len(data)} characters exceeds version-{version} "
+                f"level-{level} capacity {byte_mode_capacity(version, level)}"
+            )
+    if mask is not None and mask not in range(8):
+        raise ValueError(f"mask must be 0-7, got {mask}")
+    codewords = _final_codewords(data, segment_mode, version, level)
+    if mask is not None:
+        return QRCode(version, level, mask, _render(version, level, mask, codewords))
+    best_mask = 0
+    best_matrix: Optional[Matrix] = None
+    best_score = None
+    for candidate in range(8):
+        matrix = _render(version, level, candidate, codewords)
+        score = _penalty(matrix)
+        if best_score is None or score < best_score:
+            best_score = score
+            best_mask = candidate
+            best_matrix = matrix
+    assert best_matrix is not None
+    return QRCode(version, level, best_mask, best_matrix)

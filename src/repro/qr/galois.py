@@ -1,0 +1,121 @@
+"""GF(256) arithmetic for QR Reed-Solomon coding.
+
+QR codes use the field GF(2^8) with the primitive polynomial
+x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator element 2.  Multiplication
+and division run off precomputed exp/log tables, which is both the idiomatic
+and the fast way — the tables are built once at import.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+PRIMITIVE_POLY = 0x11D
+FIELD_SIZE = 256
+
+# exp table is doubled so mul can index exp[log a + log b] without a mod.
+EXP: List[int] = [0] * (2 * FIELD_SIZE)
+LOG: List[int] = [0] * FIELD_SIZE
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(FIELD_SIZE - 1):
+        EXP[power] = value
+        LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(FIELD_SIZE - 1, 2 * FIELD_SIZE):
+        EXP[power] = EXP[power - (FIELD_SIZE - 1)]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return EXP[LOG[a] + LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(256); division by zero raises."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return EXP[(LOG[a] - LOG[b]) % (FIELD_SIZE - 1)]
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the ``n``-th power in GF(256)."""
+    if a == 0:
+        if n == 0:
+            return 1
+        if n < 0:
+            raise ZeroDivisionError("0 has no negative powers in GF(256)")
+        return 0
+    return EXP[(LOG[a] * n) % (FIELD_SIZE - 1)]
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return EXP[(FIELD_SIZE - 1) - LOG[a]]
+
+
+# ---------------------------------------------------------------------------
+# Polynomials over GF(256), represented as lists of coefficients with the
+# highest-degree term first (the convention the RS literature uses).
+# ---------------------------------------------------------------------------
+
+
+def poly_scale(p: Sequence[int], x: int) -> List[int]:
+    """Multiply polynomial ``p`` by scalar ``x``."""
+    return [gf_mul(c, x) for c in p]
+
+
+def poly_add(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Add (XOR) two polynomials."""
+    result = [0] * max(len(p), len(q))
+    for i, c in enumerate(p):
+        result[i + len(result) - len(p)] = c
+    for i, c in enumerate(q):
+        result[i + len(result) - len(q)] ^= c
+    return result
+
+
+def poly_mul(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    """Multiply two polynomials."""
+    result = [0] * (len(p) + len(q) - 1)
+    for i, pc in enumerate(p):
+        if pc == 0:
+            continue
+        for j, qc in enumerate(q):
+            result[i + j] ^= gf_mul(pc, qc)
+    return result
+
+
+def poly_eval(p: Sequence[int], x: int) -> int:
+    """Evaluate polynomial ``p`` at ``x`` (Horner's method)."""
+    y = 0
+    for c in p:
+        y = gf_mul(y, x) ^ c
+    return y
+
+
+def poly_divmod(dividend: Sequence[int], divisor: Sequence[int]) -> tuple:
+    """Synthetic division; returns (quotient, remainder)."""
+    out = list(dividend)
+    normalizer = divisor[0]
+    for i in range(len(dividend) - len(divisor) + 1):
+        out[i] = gf_div(out[i], normalizer)
+        coef = out[i]
+        if coef != 0:
+            for j in range(1, len(divisor)):
+                out[i + j] ^= gf_mul(divisor[j], coef)
+    sep = len(dividend) - len(divisor) + 1
+    return out[:sep], out[sep:]

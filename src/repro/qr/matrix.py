@@ -1,0 +1,170 @@
+"""QR module-matrix construction shared by the encoder and decoder.
+
+The skeleton (finder, separator, timing, alignment and dark modules, plus
+reserved format/version areas) determines which modules carry data; both
+sides must agree exactly on that map, so it lives in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.qr.tables import ALIGNMENT_CENTERS, symbol_size, version_info_bits
+
+Matrix = List[List[int]]
+
+
+def empty_matrix(size: int) -> Matrix:
+    return [[0] * size for _ in range(size)]
+
+
+def build_skeleton(version: int) -> Tuple[Matrix, Matrix]:
+    """Return ``(modules, reserved)`` for a version.
+
+    ``reserved[r][c]`` is 1 where the module is a function pattern or
+    reserved information area — i.e. not available for data.  ``modules``
+    holds the function-pattern pixels (format/version areas are left 0 and
+    filled in later by the encoder).
+    """
+    size = symbol_size(version)
+    modules = empty_matrix(size)
+    reserved = empty_matrix(size)
+
+    def set_module(r: int, c: int, value: int) -> None:
+        modules[r][c] = value
+        reserved[r][c] = 1
+
+    def place_finder(row: int, col: int) -> None:
+        # 7x7 finder plus a one-module separator ring clipped to the symbol.
+        for dr in range(-1, 8):
+            for dc in range(-1, 8):
+                r, c = row + dr, col + dc
+                if not (0 <= r < size and 0 <= c < size):
+                    continue
+                in_outer = 0 <= dr <= 6 and 0 <= dc <= 6
+                on_ring = dr in (0, 6) or dc in (0, 6)
+                in_inner = 2 <= dr <= 4 and 2 <= dc <= 4
+                dark = in_outer and (on_ring or in_inner)
+                set_module(r, c, 1 if dark else 0)
+
+    place_finder(0, 0)
+    place_finder(0, size - 7)
+    place_finder(size - 7, 0)
+
+    # Timing patterns: alternating modules on row 6 and column 6.
+    for i in range(8, size - 8):
+        if not reserved[6][i]:
+            set_module(6, i, 1 - i % 2)
+        if not reserved[i][6]:
+            set_module(i, 6, 1 - i % 2)
+
+    # Alignment patterns (5x5).  Only the three candidates that would
+    # collide with finder patterns are omitted; centers on the timing
+    # row/column ARE placed (their modules coincide with the timing
+    # alternation, so the overlap is consistent).
+    centers = ALIGNMENT_CENTERS[version]
+    if centers:
+        last = centers[-1]
+        finder_corners = {(6, 6), (6, last), (last, 6)}
+        for cr in centers:
+            for cc in centers:
+                if (cr, cc) in finder_corners:
+                    continue
+                for dr in range(-2, 3):
+                    for dc in range(-2, 3):
+                        dark = max(abs(dr), abs(dc)) != 1
+                        set_module(cr + dr, cc + dc, 1 if dark else 0)
+
+    # Dark module.
+    set_module(size - 8, 8, 1)
+
+    # Reserve format information areas (filled by the encoder).
+    for i in range(9):
+        if i != 6:
+            if not reserved[8][i]:
+                set_module(8, i, 0)
+            if not reserved[i][8]:
+                set_module(i, 8, 0)
+    for i in range(8):
+        if not reserved[8][size - 1 - i]:
+            set_module(8, size - 1 - i, 0)
+        if not reserved[size - 1 - i][8]:
+            set_module(size - 1 - i, 8, 0)
+
+    # Reserve version information areas for versions >= 7.
+    if version >= 7:
+        for i in range(6):
+            for j in range(3):
+                set_module(size - 11 + j, i, 0)
+                set_module(i, size - 11 + j, 0)
+
+    return modules, reserved
+
+
+def data_positions(version: int, reserved: Matrix) -> Iterator[Tuple[int, int]]:
+    """Yield (row, col) of data modules in ISO 18004 placement order.
+
+    The scan walks two-module-wide columns from the right edge, alternating
+    upward and downward, and skips the vertical timing column at x=6.
+    """
+    size = symbol_size(version)
+    col = size - 1
+    upward = True
+    while col > 0:
+        if col == 6:  # vertical timing pattern column is skipped entirely
+            col -= 1
+        rows = range(size - 1, -1, -1) if upward else range(size)
+        for row in rows:
+            for c in (col, col - 1):
+                if not reserved[row][c]:
+                    yield row, c
+        upward = not upward
+        col -= 2
+
+
+def place_format_info(modules: Matrix, size: int, word: int) -> None:
+    """Write both copies of the 15-bit format word into the matrix."""
+    bits = [(word >> (14 - i)) & 1 for i in range(15)]
+    # Copy 1: around the top-left finder.
+    coords1 = (
+        [(8, i) for i in range(6)]
+        + [(8, 7), (8, 8), (7, 8)]
+        + [(i, 8) for i in range(5, -1, -1)]
+    )
+    for bit, (r, c) in zip(bits, coords1):
+        modules[r][c] = bit
+    # Copy 2: split between the other two finders.
+    coords2 = [(size - 1 - i, 8) for i in range(7)] + [
+        (8, size - 8 + i) for i in range(8)
+    ]
+    for bit, (r, c) in zip(bits, coords2):
+        modules[r][c] = bit
+
+
+def read_format_info(modules: Matrix, size: int) -> Tuple[int, int]:
+    """Read both format-word copies back as 15-bit integers."""
+    coords1 = (
+        [(8, i) for i in range(6)]
+        + [(8, 7), (8, 8), (7, 8)]
+        + [(i, 8) for i in range(5, -1, -1)]
+    )
+    coords2 = [(size - 1 - i, 8) for i in range(7)] + [
+        (8, size - 8 + i) for i in range(8)
+    ]
+    word1 = 0
+    for r, c in coords1:
+        word1 = (word1 << 1) | modules[r][c]
+    word2 = 0
+    for r, c in coords2:
+        word2 = (word2 << 1) | modules[r][c]
+    return word1, word2
+
+
+def place_version_info(modules: Matrix, size: int, version: int) -> None:
+    """Write both copies of the 18-bit version word (versions >= 7)."""
+    word = version_info_bits(version)
+    for i in range(18):
+        bit = (word >> i) & 1
+        r, c = i // 3, size - 11 + i % 3
+        modules[r][c] = bit
+        modules[c][r] = bit

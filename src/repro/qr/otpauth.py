@@ -1,0 +1,84 @@
+"""The ``otpauth://`` provisioning URI format.
+
+This is the Google-Authenticator key-URI convention the paper's soft token
+inherits: the QR code shown at pairing time "contains the user's unique
+secret key" as an ``otpauth://totp/...`` URI.  We implement both directions
+so the simulated phone app can import what the portal renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+from urllib.parse import parse_qs, quote, unquote, urlencode, urlsplit
+
+from repro.crypto.base32 import b32decode, b32encode
+
+
+@dataclass
+class OtpauthURI:
+    """Parsed form of an otpauth provisioning URI."""
+
+    secret: bytes
+    issuer: str
+    account: str
+    digits: int = 6
+    period: int = 30
+    algorithm: str = "SHA1"
+    type: str = "totp"
+
+    @property
+    def label(self) -> str:
+        return f"{self.issuer}:{self.account}"
+
+
+def build_otpauth_uri(
+    secret: bytes,
+    issuer: str,
+    account: str,
+    digits: int = 6,
+    period: int = 30,
+    algorithm: str = "SHA1",
+) -> str:
+    """Render the URI embedded in the pairing QR code."""
+    label = quote(f"{issuer}:{account}")
+    params = urlencode(
+        {
+            "secret": b32encode(secret, pad=False),
+            "issuer": issuer,
+            "digits": digits,
+            "period": period,
+            "algorithm": algorithm,
+        }
+    )
+    return f"otpauth://totp/{label}?{params}"
+
+
+def parse_otpauth_uri(uri: str) -> OtpauthURI:
+    """Parse and validate a provisioning URI (the app's import path)."""
+    parts = urlsplit(uri)
+    if parts.scheme != "otpauth":
+        raise ValueError(f"not an otpauth URI: scheme {parts.scheme!r}")
+    if parts.netloc != "totp":
+        raise ValueError(f"unsupported otpauth type {parts.netloc!r}")
+    label = unquote(parts.path.lstrip("/"))
+    issuer_from_label, _, account = label.partition(":")
+    if not account:
+        account, issuer_from_label = issuer_from_label, ""
+    params = parse_qs(parts.query)
+
+    def first(key: str, default: Optional[str] = None) -> Optional[str]:
+        values = params.get(key)
+        return values[0] if values else default
+
+    secret_text = first("secret")
+    if not secret_text:
+        raise ValueError("otpauth URI is missing the secret parameter")
+    return OtpauthURI(
+        secret=b32decode(secret_text),
+        issuer=first("issuer", issuer_from_label) or issuer_from_label,
+        account=account,
+        digits=int(first("digits", "6")),
+        period=int(first("period", "30")),
+        algorithm=(first("algorithm", "SHA1") or "SHA1").upper(),
+    )

@@ -1,0 +1,179 @@
+"""Constant tables from ISO/IEC 18004 for QR versions 1-10.
+
+Versions 1-10 comfortably cover otpauth provisioning URIs (a version-10
+byte-mode symbol at level M holds 213 bytes; typical otpauth URIs are under
+120 bytes), so we stop there rather than transcribing all 40 versions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Error-correction levels in format-info bit order.
+ECC_LEVELS = ("L", "M", "Q", "H")
+
+#: Format-info encoding of each level (ISO 18004 table 25).
+ECC_LEVEL_BITS = {"L": 0b01, "M": 0b00, "Q": 0b11, "H": 0b10}
+ECC_BITS_LEVEL = {v: k for k, v in ECC_LEVEL_BITS.items()}
+
+#: (version, level) -> (ec codewords per block, [(num blocks, data codewords per block), ...])
+#: Group 2, when present, holds one more data codeword per block.
+EC_TABLE: Dict[Tuple[int, str], Tuple[int, List[Tuple[int, int]]]] = {
+    (1, "L"): (7, [(1, 19)]),
+    (1, "M"): (10, [(1, 16)]),
+    (1, "Q"): (13, [(1, 13)]),
+    (1, "H"): (17, [(1, 9)]),
+    (2, "L"): (10, [(1, 34)]),
+    (2, "M"): (16, [(1, 28)]),
+    (2, "Q"): (22, [(1, 22)]),
+    (2, "H"): (28, [(1, 16)]),
+    (3, "L"): (15, [(1, 55)]),
+    (3, "M"): (26, [(1, 44)]),
+    (3, "Q"): (18, [(2, 17)]),
+    (3, "H"): (22, [(2, 13)]),
+    (4, "L"): (20, [(1, 80)]),
+    (4, "M"): (18, [(2, 32)]),
+    (4, "Q"): (26, [(2, 24)]),
+    (4, "H"): (16, [(4, 9)]),
+    (5, "L"): (26, [(1, 108)]),
+    (5, "M"): (24, [(2, 43)]),
+    (5, "Q"): (18, [(2, 15), (2, 16)]),
+    (5, "H"): (22, [(2, 11), (2, 12)]),
+    (6, "L"): (18, [(2, 68)]),
+    (6, "M"): (16, [(4, 27)]),
+    (6, "Q"): (24, [(4, 19)]),
+    (6, "H"): (28, [(4, 15)]),
+    (7, "L"): (20, [(2, 78)]),
+    (7, "M"): (18, [(4, 31)]),
+    (7, "Q"): (18, [(2, 14), (4, 15)]),
+    (7, "H"): (26, [(4, 13), (1, 14)]),
+    (8, "L"): (24, [(2, 97)]),
+    (8, "M"): (22, [(2, 38), (2, 39)]),
+    (8, "Q"): (22, [(4, 18), (2, 19)]),
+    (8, "H"): (26, [(4, 14), (2, 15)]),
+    (9, "L"): (30, [(2, 116)]),
+    (9, "M"): (22, [(3, 36), (2, 37)]),
+    (9, "Q"): (20, [(4, 16), (4, 17)]),
+    (9, "H"): (24, [(4, 12), (4, 13)]),
+    (10, "L"): (18, [(2, 68), (2, 69)]),
+    (10, "M"): (26, [(4, 43), (1, 44)]),
+    (10, "Q"): (24, [(6, 19), (2, 20)]),
+    (10, "H"): (28, [(6, 15), (2, 16)]),
+}
+
+MAX_VERSION = 10
+
+#: Alignment pattern center coordinates per version (ISO 18004 annex E).
+ALIGNMENT_CENTERS: Dict[int, List[int]] = {
+    1: [],
+    2: [6, 18],
+    3: [6, 22],
+    4: [6, 26],
+    5: [6, 30],
+    6: [6, 34],
+    7: [6, 22, 38],
+    8: [6, 24, 42],
+    9: [6, 26, 46],
+    10: [6, 28, 50],
+}
+
+
+def symbol_size(version: int) -> int:
+    """Module count per side for a version."""
+    if not 1 <= version <= 40:
+        raise ValueError(f"invalid QR version {version}")
+    return 17 + 4 * version
+
+
+def data_codewords(version: int, level: str) -> int:
+    """Number of data codewords (before EC) the symbol carries."""
+    _, groups = EC_TABLE[(version, level)]
+    return sum(n * k for n, k in groups)
+
+
+def total_codewords(version: int, level: str) -> int:
+    """Data + EC codewords."""
+    ec, groups = EC_TABLE[(version, level)]
+    blocks = sum(n for n, _ in groups)
+    return data_codewords(version, level) + ec * blocks
+
+
+def byte_mode_capacity(version: int, level: str) -> int:
+    """Maximum payload bytes in byte mode (mode + count header deducted)."""
+    bits = 8 * data_codewords(version, level)
+    header = 4 + char_count_bits(version)
+    return (bits - header) // 8
+
+
+def char_count_bits(version: int) -> int:
+    """Width of the byte-mode character-count field."""
+    return 8 if version <= 9 else 16
+
+
+# ---------------------------------------------------------------------------
+# BCH-protected format and version information.
+# ---------------------------------------------------------------------------
+
+_FORMAT_GEN = 0b10100110111  # x^10 + x^8 + x^5 + x^4 + x^2 + x + 1
+_FORMAT_MASK = 0b101010000010010
+_VERSION_GEN = 0b1111100100101  # x^12 + x^11 + x^10 + x^9 + x^8 + x^5 + x^2 + 1
+
+
+def _bch_remainder(value: int, generator: int, value_bits: int, rem_bits: int) -> int:
+    reg = value << rem_bits
+    for shift in range(value_bits - 1, -1, -1):
+        if reg & (1 << (shift + rem_bits)):
+            reg ^= generator << shift
+    return reg
+
+
+def format_info_bits(level: str, mask: int) -> int:
+    """The 15-bit masked format information word."""
+    if mask not in range(8):
+        raise ValueError(f"mask must be 0-7, got {mask}")
+    data = (ECC_LEVEL_BITS[level] << 3) | mask
+    word = (data << 10) | _bch_remainder(data, _FORMAT_GEN, 5, 10)
+    return word ^ _FORMAT_MASK
+
+
+def decode_format_info(word: int) -> Tuple[str, int]:
+    """Recover (level, mask) from a possibly-damaged format word.
+
+    Chooses the valid codeword at minimum Hamming distance; raises when the
+    nearest codeword is further than the BCH code can correct (distance 3).
+    """
+    best = None
+    best_dist = 16
+    for level in ECC_LEVELS:
+        for mask in range(8):
+            candidate = format_info_bits(level, mask)
+            dist = bin(candidate ^ word).count("1")
+            if dist < best_dist:
+                best_dist = dist
+                best = (level, mask)
+    if best is None or best_dist > 3:
+        raise ValueError(f"unrecoverable format information word {word:#017b}")
+    return best
+
+
+def version_info_bits(version: int) -> int:
+    """The 18-bit version information word (only defined for version >= 7)."""
+    if version < 7:
+        raise ValueError("version information only exists for versions >= 7")
+    return (version << 12) | _bch_remainder(version, _VERSION_GEN, 6, 12)
+
+
+# ---------------------------------------------------------------------------
+# Data mask predicates (ISO 18004 table 23): True means "flip this module".
+# ---------------------------------------------------------------------------
+
+MASK_FUNCTIONS = (
+    lambda r, c: (r + c) % 2 == 0,
+    lambda r, c: r % 2 == 0,
+    lambda r, c: c % 3 == 0,
+    lambda r, c: (r + c) % 3 == 0,
+    lambda r, c: (r // 2 + c // 3) % 2 == 0,
+    lambda r, c: (r * c) % 2 + (r * c) % 3 == 0,
+    lambda r, c: ((r * c) % 2 + (r * c) % 3) % 2 == 0,
+    lambda r, c: ((r + c) % 2 + (r * c) % 3) % 2 == 0,
+)

@@ -1,0 +1,140 @@
+"""The RADIUS client embedded in the PAM token module.
+
+"These API calls communicate with RADIUS servers in a round-robin fashion
+to provide load balancing and resiliency if specific RADIUS servers are
+unavailable" (Section 3.4).  The client rotates a starting index across
+calls (load balancing) and walks the server list with retransmits on
+timeout (resiliency); response authenticators are verified so a spoofed
+server cannot mint an Access-Accept.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.radius.dictionary import Attr, PacketCode
+from repro.radius.packet import (
+    RADIUSPacket,
+    encode_packet,
+    hide_password,
+    new_request_authenticator,
+    verify_response,
+)
+from repro.radius.transport import UDPFabric
+
+
+class AuthStatus(str, Enum):
+    ACCEPT = "accept"
+    REJECT = "reject"
+    CHALLENGE = "challenge"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class AuthResponse:
+    """What the PAM module sees from one authenticate() call."""
+
+    status: AuthStatus
+    message: str = ""
+    state: Optional[bytes] = None
+    server: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is AuthStatus.ACCEPT
+
+
+class RADIUSClient:
+    """Round-robin, failover RADIUS client."""
+
+    def __init__(
+        self,
+        fabric: UDPFabric,
+        servers: List[str],
+        secret: bytes,
+        source: str,
+        nas_identifier: str = "login-node",
+        retries: int = 2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not servers:
+            raise ConfigurationError("RADIUS client requires at least one server")
+        if retries < 1:
+            raise ConfigurationError(f"retries must be >= 1, got {retries}")
+        self._fabric = fabric
+        self._servers = list(servers)
+        self._secret = secret
+        self._source = source
+        self._nas_identifier = nas_identifier
+        self._retries = retries
+        self._rng = rng or random.Random()
+        self._next_start = 0
+        self._identifier = self._rng.randrange(256)
+        self.per_server_attempts = {s: 0 for s in servers}
+
+    def _next_identifier(self) -> int:
+        self._identifier = (self._identifier + 1) % 256
+        return self._identifier
+
+    def authenticate(
+        self,
+        username: str,
+        password: str = "",
+        state: Optional[bytes] = None,
+        source_override: Optional[str] = None,
+    ) -> AuthResponse:
+        """One challenge-response round trip.
+
+        ``password`` is the token code ("" sends the SMS null request);
+        ``state`` echoes an Access-Challenge's State attribute back.
+        """
+        authenticator = new_request_authenticator(self._rng)
+        request = RADIUSPacket(
+            PacketCode.ACCESS_REQUEST, self._next_identifier(), authenticator
+        )
+        request.add(Attr.USER_NAME, username)
+        request.add(Attr.USER_PASSWORD, hide_password(password, self._secret, authenticator))
+        request.add(Attr.NAS_IDENTIFIER, self._nas_identifier)
+        if state is not None:
+            request.add(Attr.STATE, state)
+        wire = encode_packet(request, self._secret)
+
+        start = self._next_start
+        self._next_start = (self._next_start + 1) % len(self._servers)
+        source = source_override or self._source
+        # Retransmit to the same server before failing over: the server's
+        # duplicate-detection cache (RFC 5080) can then replay a response
+        # whose first copy was lost, instead of re-consuming the one-time
+        # code on a different server.
+        for offset in range(len(self._servers)):
+            server = self._servers[(start + offset) % len(self._servers)]
+            for _ in range(self._retries):
+                self.per_server_attempts[server] += 1
+                response_bytes = self._fabric.send_request(server, wire, source)
+                if response_bytes is None:
+                    continue  # timeout: retransmit
+                try:
+                    response = verify_response(
+                        response_bytes, authenticator, self._secret
+                    )
+                except ProtocolError:
+                    continue  # forged/corrupt response is treated as a timeout
+                if response.identifier != request.identifier:
+                    continue
+                return self._to_auth_response(response, server)
+        return AuthResponse(AuthStatus.TIMEOUT, "no RADIUS server responded")
+
+    @staticmethod
+    def _to_auth_response(packet: RADIUSPacket, server: str) -> AuthResponse:
+        message = packet.get_str(Attr.REPLY_MESSAGE) or ""
+        if packet.code == PacketCode.ACCESS_ACCEPT:
+            status = AuthStatus.ACCEPT
+        elif packet.code == PacketCode.ACCESS_CHALLENGE:
+            status = AuthStatus.CHALLENGE
+        else:
+            status = AuthStatus.REJECT
+        return AuthResponse(status, message, packet.get(Attr.STATE), server)

@@ -1,0 +1,68 @@
+"""RADIUS attribute and packet-code registries (RFC 2865 section 5).
+
+Only the attributes the MFA path exercises are registered, but the codec is
+table-driven so extending the dictionary is one line per attribute — the
+same way FreeRADIUS dictionary files work.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class PacketCode(IntEnum):
+    """RADIUS packet type codes."""
+
+    ACCESS_REQUEST = 1
+    ACCESS_ACCEPT = 2
+    ACCESS_REJECT = 3
+    ACCOUNTING_REQUEST = 4
+    ACCOUNTING_RESPONSE = 5
+    ACCESS_CHALLENGE = 11
+
+
+class Attr(IntEnum):
+    """Attribute type codes used by the MFA infrastructure."""
+
+    USER_NAME = 1
+    USER_PASSWORD = 2
+    NAS_IP_ADDRESS = 4
+    SERVICE_TYPE = 6
+    REPLY_MESSAGE = 18
+    STATE = 24
+    CALLED_STATION_ID = 30
+    CALLING_STATION_ID = 31
+    NAS_IDENTIFIER = 32
+    PROXY_STATE = 33
+    ACCT_STATUS_TYPE = 40
+    ACCT_SESSION_ID = 44
+    ACCT_SESSION_TIME = 46
+
+
+class AcctStatusType(IntEnum):
+    """Acct-Status-Type values (RFC 2866 section 5.1)."""
+
+    START = 1
+    STOP = 2
+    INTERIM_UPDATE = 3
+
+
+#: Attributes whose value is protected/hidden on the wire.
+ENCRYPTED_ATTRS = frozenset({Attr.USER_PASSWORD})
+
+#: Human-readable names, mirroring a FreeRADIUS dictionary file.
+ATTR_NAMES = {
+    Attr.USER_NAME: "User-Name",
+    Attr.USER_PASSWORD: "User-Password",
+    Attr.NAS_IP_ADDRESS: "NAS-IP-Address",
+    Attr.SERVICE_TYPE: "Service-Type",
+    Attr.REPLY_MESSAGE: "Reply-Message",
+    Attr.STATE: "State",
+    Attr.CALLED_STATION_ID: "Called-Station-Id",
+    Attr.CALLING_STATION_ID: "Calling-Station-Id",
+    Attr.NAS_IDENTIFIER: "NAS-Identifier",
+    Attr.PROXY_STATE: "Proxy-State",
+    Attr.ACCT_STATUS_TYPE: "Acct-Status-Type",
+    Attr.ACCT_SESSION_ID: "Acct-Session-Id",
+    Attr.ACCT_SESSION_TIME: "Acct-Session-Time",
+}

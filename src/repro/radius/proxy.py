@@ -1,0 +1,107 @@
+"""RADIUS proxy chaining (Section 3.2).
+
+FreeRADIUS deployments commonly interpose proxies between authentication
+agents and the home server — the paper notes its framework "is capable of
+load balancing and proxy chaining across servers".  The proxy terminates
+the client's shared secret, re-protects the password for the upstream hop,
+stamps a Proxy-State attribute (RFC 2865 requires it be echoed back
+verbatim), and relays the upstream verdict to the original client.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.common.errors import ProtocolError
+from repro.radius.dictionary import Attr, PacketCode
+from repro.radius.packet import (
+    RADIUSPacket,
+    decode_packet,
+    encode_packet,
+    hide_password,
+    new_request_authenticator,
+    recover_password,
+    verify_response,
+)
+from repro.radius.transport import UDPFabric
+
+
+class RADIUSProxy:
+    """A forwarding RADIUS hop with its own upstream round-robin."""
+
+    def __init__(
+        self,
+        address: str,
+        fabric: UDPFabric,
+        upstreams: List[str],
+        client_secret: bytes,
+        upstream_secret: bytes,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not upstreams:
+            raise ValueError("proxy requires at least one upstream server")
+        self.address = address
+        self._fabric = fabric
+        self._upstreams = list(upstreams)
+        self._client_secret = client_secret
+        self._upstream_secret = upstream_secret
+        self._rng = rng or random.Random()
+        self._next = 0
+        self.forwarded = 0
+        fabric.register(address, self.handle_datagram)
+
+    def handle_datagram(self, datagram: bytes, source: str) -> Optional[bytes]:
+        try:
+            request = decode_packet(datagram)
+        except ProtocolError:
+            return None
+        if request.code != PacketCode.ACCESS_REQUEST:
+            return None
+
+        # Re-protect the password for the upstream hop.
+        upstream_auth = new_request_authenticator(self._rng)
+        upstream = RADIUSPacket(
+            PacketCode.ACCESS_REQUEST, request.identifier, upstream_auth
+        )
+        for attr, value in request.attributes:
+            if attr == Attr.USER_PASSWORD:
+                try:
+                    password = recover_password(
+                        value, self._client_secret, request.authenticator
+                    )
+                except ProtocolError:
+                    return None  # client used the wrong secret
+                upstream.add(
+                    Attr.USER_PASSWORD,
+                    hide_password(password, self._upstream_secret, upstream_auth),
+                )
+            else:
+                upstream.add(attr, value)
+        proxy_state = f"proxied-by:{self.address}".encode()
+        upstream.add(Attr.PROXY_STATE, proxy_state)
+        wire = encode_packet(upstream, self._upstream_secret)
+
+        # Round-robin with failover across upstreams.
+        start = self._next
+        self._next = (self._next + 1) % len(self._upstreams)
+        for attempt in range(2 * len(self._upstreams)):
+            target = self._upstreams[(start + attempt) % len(self._upstreams)]
+            response_bytes = self._fabric.send_request(target, wire, self.address)
+            if response_bytes is None:
+                continue
+            try:
+                response = verify_response(
+                    response_bytes, upstream_auth, self._upstream_secret
+                )
+            except ProtocolError:
+                continue
+            self.forwarded += 1
+            # Strip our Proxy-State and re-sign for the original client.
+            relayed = RADIUSPacket(response.code, request.identifier)
+            for attr, value in response.attributes:
+                if attr == Attr.PROXY_STATE and value == proxy_state:
+                    continue
+                relayed.add(attr, value)
+            return encode_packet(relayed, self._client_secret, request.authenticator)
+        return None  # every upstream timed out; the client sees a timeout

@@ -1,0 +1,152 @@
+"""The RADIUS server: the connector between login nodes and the OTP back end.
+
+Each server accepts Access-Requests from known clients (login nodes or
+proxies, identified by source address with a per-client shared secret),
+recovers the hidden User-Password — the token code, or empty for the SMS
+"null request" — asks the OTP back end to validate, and answers with
+Access-Accept, Access-Reject or Access-Challenge exactly as Section 3.2
+describes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Protocol
+
+from repro.common.errors import ProtocolError
+from repro.otpserver.server import ValidateResult, ValidateStatus
+from repro.radius.dictionary import Attr, PacketCode
+from repro.radius.packet import (
+    RADIUSPacket,
+    decode_packet,
+    encode_packet,
+    recover_password,
+)
+from repro.radius.transport import UDPFabric
+
+
+class ValidationBackend(Protocol):
+    """What the RADIUS server needs from the OTP back end."""
+
+    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult: ...
+
+
+#: ValidateStatus -> (packet code, reply message)
+_STATUS_MAP = {
+    ValidateStatus.OK: (PacketCode.ACCESS_ACCEPT, "authentication successful"),
+    ValidateStatus.REJECT: (PacketCode.ACCESS_REJECT, "invalid token code"),
+    ValidateStatus.LOCKED: (
+        PacketCode.ACCESS_REJECT,
+        "account temporarily deactivated after repeated failures",
+    ),
+    ValidateStatus.NO_TOKEN: (PacketCode.ACCESS_REJECT, "no MFA device pairing"),
+    ValidateStatus.CHALLENGE_SENT: (
+        PacketCode.ACCESS_CHALLENGE,
+        "an SMS token code has been sent to your phone; enter it now",
+    ),
+    ValidateStatus.CHALLENGE_PENDING: (
+        PacketCode.ACCESS_CHALLENGE,
+        "an SMS token code has already been sent; enter it when it arrives",
+    ),
+}
+
+
+class RADIUSServer:
+    """One RADIUS daemon bound to a fabric address."""
+
+    def __init__(
+        self,
+        address: str,
+        fabric: UDPFabric,
+        backend: ValidationBackend,
+        name: str = "",
+    ) -> None:
+        self.address = address
+        self.name = name or address
+        self._backend = backend
+        self._clients: Dict[str, bytes] = {}
+        self.handled = 0
+        self.rejected_clients = 0
+        self.duplicates_replayed = 0
+        # RFC 5080 duplicate detection: retransmissions of a request we
+        # already answered get the cached response replayed instead of
+        # being re-validated (which would burn the one-time code when the
+        # original response was lost in flight).
+        self._response_cache: "OrderedDict[Tuple[str, int, bytes], bytes]" = OrderedDict()
+        self._response_cache_size = 1024
+        fabric.register(address, self.handle_datagram)
+
+    def add_client(self, source: str, secret: bytes) -> None:
+        """Authorize a NAS (login node) or proxy by source address."""
+        self._clients[source] = secret
+
+    def _secret_for(self, source: str) -> Optional[bytes]:
+        if source in self._clients:
+            return self._clients[source]
+        # Allow prefix entries like "129.114." covering a login-node subnet.
+        for prefix, secret in self._clients.items():
+            if prefix.endswith(".") and source.startswith(prefix):
+                return secret
+        return None
+
+    def handle_datagram(self, datagram: bytes, source: str) -> Optional[bytes]:
+        """The UDP receive path.  Unknown clients and undecodable packets
+        are silently discarded, per RFC 2865 (never answer an unauthenticated
+        speaker — answering would leak the secret check)."""
+        secret = self._secret_for(source)
+        if secret is None:
+            self.rejected_clients += 1
+            return None
+        try:
+            request = decode_packet(datagram)
+        except ProtocolError:
+            return None
+        if request.code != PacketCode.ACCESS_REQUEST:
+            return None
+        cache_key = (source, request.identifier, request.authenticator)
+        cached = self._response_cache.get(cache_key)
+        if cached is not None:
+            self.duplicates_replayed += 1
+            return cached
+        self.handled += 1
+        response = self._respond(request, secret)
+        if response is not None:
+            self._response_cache[cache_key] = response
+            while len(self._response_cache) > self._response_cache_size:
+                self._response_cache.popitem(last=False)
+        return response
+
+    def _respond(self, request: RADIUSPacket, secret: bytes) -> Optional[bytes]:
+        username = request.get_str(Attr.USER_NAME)
+        if username is None:
+            return self._reply(
+                request, secret, PacketCode.ACCESS_REJECT, "User-Name is required"
+            )
+        hidden = request.get(Attr.USER_PASSWORD)
+        if hidden is None:
+            code: Optional[str] = None
+        else:
+            try:
+                code = recover_password(hidden, secret, request.authenticator)
+            except ProtocolError:
+                return None  # wrong shared secret or mangled packet
+        result = self._backend.validate(username, code if code else None)
+        # Reply with the canned per-status message, never the back end's
+        # internal reason — drift-window details and replay diagnostics
+        # would hand an attacker an oracle.
+        packet_code, message = _STATUS_MAP[result.status]
+        response = RADIUSPacket(packet_code, request.identifier)
+        response.add(Attr.REPLY_MESSAGE, message)
+        if packet_code == PacketCode.ACCESS_CHALLENGE:
+            # Opaque challenge state the client must echo back with the code.
+            response.add(Attr.STATE, f"sms-challenge:{username}".encode())
+        for proxy_state in request.get_all(Attr.PROXY_STATE):
+            response.add(Attr.PROXY_STATE, proxy_state)
+        return encode_packet(response, secret, request.authenticator)
+
+    def _reply(
+        self, request: RADIUSPacket, secret: bytes, code: PacketCode, message: str
+    ) -> bytes:
+        response = RADIUSPacket(code, request.identifier)
+        response.add(Attr.REPLY_MESSAGE, message)
+        return encode_packet(response, secret, request.authenticator)

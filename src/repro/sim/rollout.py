@@ -1,0 +1,455 @@
+"""The phased MFA rollout scenario (Section 5, Figures 3-6, Table 1).
+
+Timeline reproduced::
+
+    2016-08-01   simulation start; PAM token module already in "paired" mode
+    2016-08-10   first public announcement (mass email) — phase 1
+    2016-09-06   switch to "countdown" mode — phase 2
+    2016-10-04   switch to "full" mode — phase 3 (MFA mandatory)
+    2016-12-17.. winter holiday dip
+    2017-01-17   spring semester begins (new-user pairing uptick)
+    2017-03-31   simulation end
+
+State-changing operations run against the real infrastructure: accounts are
+created in the identity back end, pairings enroll real tokens in the OTP
+server, gateway/community exemptions are real ACL rules, and the
+enforcement-mode switches call :meth:`HPCSystem.set_mode`.  Traffic counts
+come from the behaviour models; a sampled fraction of interactive logins is
+executed through the full SSH → PAM → RADIUS → OTP path and cross-checked
+against the statistical expectation (mismatches are counted and should be
+zero).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, Optional
+
+from repro.common.clock import SimulatedClock
+from repro.core import MFACenter
+from repro.crypto.totp import TOTPGenerator
+from repro.directory.identity import AccountClass
+from repro.sim.behavior import (
+    SPRING_SEMESTER,
+    AdaptationModel,
+    AdoptionModel,
+    activity_factor,
+    automated_connections,
+    day_date,
+    interactive_sessions,
+    logs_in_today,
+)
+from repro.sim.metrics import DailyMetrics
+from repro.sim.population import Population, UserProfile
+from repro.portal.mailer import Mailer
+from repro.sim.events import EventQueue
+from repro.sim.tickets import TicketModel
+from repro.ssh.client import SSHClient
+
+
+@dataclass
+class RolloutConfig:
+    """All scenario knobs, defaulted to the paper's timeline."""
+
+    population_size: int = 2000
+    seed: int = 20160810
+    start: date = date(2016, 8, 1)
+    end: date = date(2017, 3, 31)
+    announcement: date = date(2016, 8, 10)
+    phase2: date = date(2016, 9, 6)
+    phase3: date = date(2016, 10, 4)
+    outreach: date = date(2016, 8, 5)
+    #: Fraction of interactive external logins executed through the real
+    #: SSH/PAM/RADIUS/OTP path as a consistency check.
+    real_login_fraction: float = 0.003
+    #: New accounts per day per 1000 existing (pairing at signup from late
+    #: August; doubled for three weeks at the spring semester).
+    new_accounts_per_1k: float = 0.35
+
+    @property
+    def days(self) -> int:
+        return (self.end - self.start).days + 1
+
+
+@dataclass
+class _UserState:
+    """Mutable per-user rollout state."""
+
+    profile: UserProfile
+    paired: bool = False
+    pair_scheduled_day: Optional[int] = None
+    countdown_encounters: int = 0
+    exempt: bool = False
+    device: Optional[TOTPGenerator] = None  # soft/hard real generators
+    phone: Optional[str] = None  # sms pairings
+    static_code: Optional[str] = None  # training pairings
+    workshop_day: Optional[int] = None  # training accounts pair here
+    adaptation_day: Optional[int] = None
+    adapted_split: Optional[tuple] = None
+
+
+class RolloutSimulation:
+    """Runs the scenario and fills a :class:`DailyMetrics`."""
+
+    def __init__(self, config: Optional[RolloutConfig] = None) -> None:
+        self.config = config or RolloutConfig()
+        cfg = self.config
+        self.rng = random.Random(cfg.seed)
+        self.clock = SimulatedClock.at(f"{cfg.start.isoformat()}T00:00:00")
+        self.center = MFACenter(clock=self.clock, rng=random.Random(cfg.seed + 1))
+        self.system = self.center.add_system("stampede", login_nodes=2, mode="paired")
+        self.population = Population(cfg.population_size, seed=cfg.seed + 2)
+        self.metrics = DailyMetrics(cfg.start, cfg.days)
+        self.tickets = TicketModel(cfg.population_size)
+        self.adoption = AdoptionModel(
+            announcement_day=(cfg.announcement - cfg.start).days,
+            phase2_day=(cfg.phase2 - cfg.start).days,
+            phase3_day=(cfg.phase3 - cfg.start).days,
+        )
+        self.adaptation = AdaptationModel(
+            outreach_day=(cfg.outreach - cfg.start).days,
+            phase2_day=self.adoption.phase2_day,
+            phase3_day=self.adoption.phase3_day,
+        )
+        self._phone_counter = 5_550_000
+        self._next_new_user = 0
+        self._states: Dict[str, _UserState] = {}
+        # Mass-communication channel: "communications to the public were
+        # sent out via portal user news and mass email" (Section 4.2).
+        self.mailer = Mailer(self.clock)
+        # Enough fobs for every hard-preference user plus slack.
+        hard_needed = sum(
+            1 for u in self.population.users if u.device_preference == "hard"
+        )
+        self._hard_batch = self.center.receive_hard_batch(max(10, hard_needed * 3))
+        self._provision_accounts()
+        self._ran = False
+
+    # -- setup -------------------------------------------------------------------
+
+    def _provision_accounts(self) -> None:
+        cfg = self.config
+        for user in self.population.users:
+            self.center.create_user(
+                user.username,
+                password=f"pw-{user.username}",
+                account_class=user.account_class,
+            )
+            state = _UserState(profile=user)
+            if user.is_service_account:
+                # Real ACL exemption, as staff configured for gateways and
+                # community accounts.
+                self.system.add_exemption(accounts=user.username, origins="ALL")
+                state.exempt = True
+            if user.account_class is AccountClass.TRAINING:
+                # Each training account pairs before "its" workshop.
+                state.workshop_day = self.rng.randrange(5, cfg.days - 10)
+            if user.automated and not user.is_service_account:
+                state.adaptation_day = self.adaptation.sample_adaptation_day(
+                    user, self.rng
+                )
+                state.adapted_split = self.adaptation.adapted_split(self.rng)
+            self._states[user.username] = state
+
+    def _mass_email(self, subject: str, body: str) -> int:
+        addresses = [
+            self.center.identity.get(u).email for u in self.center.identity.usernames()
+        ]
+        return self.mailer.broadcast(addresses, subject, body)
+
+    def _new_phone(self) -> str:
+        self._phone_counter += 1
+        return f"512{self._phone_counter:07d}"
+
+    # -- pairing (real enrollments) -------------------------------------------------
+
+    def _pair(self, state: _UserState, day: int) -> None:
+        if state.paired:
+            return
+        username = state.profile.username
+        preference = state.profile.device_preference
+        if preference == "training":
+            state.static_code = self.center.pair_training(username)
+        elif preference == "sms":
+            state.phone = self._new_phone()
+            self.center.pair_sms(username, state.phone)
+        elif preference == "hard":
+            unshipped = self._hard_batch.unshipped()
+            serial = unshipped[0]
+            self._hard_batch.ship(serial, "United States")
+            self.center.pair_hard(username, serial)
+            state.device = TOTPGenerator(
+                secret=self._hard_batch.secret_for(serial), clock=self.clock
+            )
+        else:  # soft
+            _, secret = self.center.pair_soft(username)
+            state.device = TOTPGenerator(secret=secret, clock=self.clock)
+        state.paired = True
+        state.pair_scheduled_day = None
+        self.metrics.new_pairings[day] += 1
+        self.metrics.pairing_types[preference] = (
+            self.metrics.pairing_types.get(preference, 0) + 1
+        )
+
+    # -- new account arrivals ----------------------------------------------------------
+
+    def _arrivals_today(self, d: date) -> int:
+        rate = self.config.new_accounts_per_1k * len(self.population.users) / 1000.0
+        if SPRING_SEMESTER <= d <= date(2017, 2, 7):
+            rate *= 2.2  # spring-semester signup wave
+        rate *= activity_factor(d) / max(activity_factor(d), 1.0) or 1.0
+        count = 0
+        acc = rate
+        while acc >= 1.0:
+            count += 1
+            acc -= 1.0
+        if self.rng.random() < acc:
+            count += 1
+        return count
+
+    def _create_new_user(self, day: int) -> None:
+        """A fresh signup; from late August they pair during registration."""
+        self._next_new_user += 1
+        username = f"newuser{self._next_new_user:05d}"
+        profile = UserProfile(
+            username=username,
+            account_class=AccountClass.INDIVIDUAL,
+            device_preference=self.rng.choices(
+                ["soft", "sms", "hard"], weights=[55.38, 40.22, 1.43]
+            )[0],
+            login_rate=min(0.9, self.rng.lognormvariate(-1.9, 0.7)),
+            sessions_per_active_day=max(1.0, self.rng.gauss(2.0, 0.8)),
+            external_fraction=0.8,
+            automated=False,
+            automated_daily_connections=0.0,
+            eagerness=1.0,
+        )
+        self.population.users.append(profile)
+        self.center.create_user(
+            username, password=f"pw-{username}", account_class=profile.account_class
+        )
+        state = _UserState(profile=profile)
+        self._states[username] = state
+        instructed_from = (date(2016, 8, 22) - self.config.start).days
+        if day >= instructed_from:
+            if profile.device_preference == "hard" and not self._hard_batch.unshipped():
+                profile.device_preference = "soft"
+            self._pair(state, day)
+
+    # -- the daily step -----------------------------------------------------------------
+
+    def run(self) -> DailyMetrics:
+        """Drive the scenario through the discrete-event engine: one daily
+        tick per simulated day, with the clock advanced by the queue."""
+        if self._ran:
+            return self.metrics
+        queue = EventQueue(self.clock)
+        queue.schedule_daily(self._day_tick, days=self.config.days)
+        queue.run_until(self.clock.now() + self.config.days * 86400.0)
+        self._ran = True
+        return self.metrics
+
+    def _day_tick(self, day: int) -> None:
+        cfg = self.config
+        phase2_day = self.adoption.phase2_day
+        phase3_day = self.adoption.phase3_day
+        announcement_day = self.adoption.announcement_day
+        d = day_date(cfg.start, day)
+        if day == announcement_day:
+            self._mass_email(
+                "Multi-factor authentication is coming",
+                f"MFA becomes mandatory on {cfg.phase3.isoformat()}. "
+                "Pair a device in the user portal.",
+            )
+        if day == phase2_day:
+            self.system.set_mode("countdown", deadline=cfg.phase3.isoformat())
+            self._mass_email(
+                "MFA countdown has begun",
+                "You will now see a daily reminder at login until you "
+                "pair a device.",
+            )
+            # The phase-2 announcement lands; part of the unpaired pool
+            # reacts by pairing the following day (the Sep 7 peak).
+            for state in self._states.values():
+                if (
+                    not state.paired
+                    and state.pair_scheduled_day is None
+                    and not state.profile.is_service_account
+                    and state.profile.device_preference != "training"
+                    and self.adoption.pairs_after_phase2_announcement(
+                        state.profile, self.rng
+                    )
+                ):
+                    state.pair_scheduled_day = day + 1
+        if day == phase3_day:
+            self.system.set_mode("full")
+            self._mass_email(
+                "MFA is now mandatory",
+                "All SSH logins now require a token code.",
+            )
+        for _ in range(self._arrivals_today(d)):
+            self._create_new_user(day)
+        countdown_encounters_today = 0
+        deadline_lockouts_today = 0
+        for state in list(self._states.values()):
+            user = state.profile
+            if user.is_service_account:
+                conns = automated_connections(user, d, self.rng)
+                # Exempt gateway traffic: external, never MFA, all phases.
+                self.metrics.external_nonmfa[day] += conns
+                continue
+            # Scheduled pairing (decided yesterday at a countdown prompt).
+            if state.pair_scheduled_day == day:
+                self._pair(state, day)
+            # Training workshops pair on their session day.
+            if (
+                state.workshop_day == day
+                and not state.paired
+                and user.account_class is AccountClass.TRAINING
+            ):
+                self._pair(state, day)
+            # Voluntary opt-in during phases 1-2.
+            if (
+                not state.paired
+                and user.device_preference != "training"
+                and day < phase3_day
+                and self.rng.random() < self.adoption.voluntary_hazard(user, day)
+            ):
+                self._pair(state, day)
+            # Mandatory-deadline day: holdouts pair proactively.
+            if (
+                not state.paired
+                and day == phase3_day
+                and user.device_preference != "training"
+                and self.adoption.pairs_at_deadline(user, self.rng)
+            ):
+                self._pair(state, day)
+
+            active = logs_in_today(user, d, self.rng)
+            if active:
+                sessions = interactive_sessions(user, self.rng)
+                external = sum(
+                    1
+                    for _ in range(sessions)
+                    if self.rng.random() < user.external_fraction
+                )
+                internal = sessions - external
+                self.metrics.internal[day] += internal
+                if external:
+                    if state.paired:
+                        # Paired users are challenged in every mode >= paired.
+                        self.metrics.external_mfa[day] += external
+                        self.metrics.unique_mfa_users[day] += 1
+                        self._maybe_real_login(state, day, expect_success=True)
+                    elif day >= phase3_day:
+                        # Unpaired in full mode: denied; pair same day
+                        # (portal) with high probability, else a lockout
+                        # ticket.
+                        deadline_lockouts_today += 1
+                        self._maybe_real_login(state, day, expect_success=False)
+                        if user.device_preference != "training" and (
+                            self.rng.random() < 0.8
+                        ):
+                            self._pair(state, day)
+                            # Their retry succeeds with MFA.
+                            self.metrics.external_mfa[day] += external
+                            self.metrics.unique_mfa_users[day] += 1
+                    else:
+                        self.metrics.external_nonmfa[day] += external
+                        self._maybe_real_login(state, day, expect_success=True)
+                        if day >= phase2_day:
+                            # Countdown message seen; decide tomorrow.
+                            state.countdown_encounters += 1
+                            countdown_encounters_today += 1
+                            if (
+                                state.pair_scheduled_day is None
+                                and user.device_preference != "training"
+                                and self.adoption.pairs_after_countdown(
+                                    user, state.countdown_encounters, self.rng
+                                )
+                            ):
+                                state.pair_scheduled_day = day + 1
+            # Automated individual traffic.
+            if user.automated:
+                conns = automated_connections(user, d, self.rng)
+                if conns == 0:
+                    pass
+                elif state.adaptation_day is not None and day >= state.adaptation_day:
+                    internal_share, mux_share, variance_share = state.adapted_split
+                    self.metrics.internal[day] += int(conns * internal_share)
+                    # Multiplexing: one MFA-authenticated master per day
+                    # carries what used to be dozens of connections.
+                    if state.paired:
+                        self.metrics.external_mfa[day] += max(
+                            1, int(conns * mux_share * 0.05)
+                        )
+                        self.metrics.unique_mfa_users[day] += (
+                            0 if logs_in_today(user, d, self.rng) else 0
+                        )
+                    self.metrics.external_nonmfa[day] += int(conns * variance_share)
+                elif day >= phase3_day:
+                    # Unadapted, unexempted automation breaks at the
+                    # deadline; they adapt within days.
+                    state.adaptation_day = min(
+                        state.adaptation_day or (day + 3), day + 3
+                    )
+                    deadline_lockouts_today += 1
+                else:
+                    self.metrics.external_nonmfa[day] += conns
+
+        self.metrics.mfa_tickets[day] = self.tickets.mfa_tickets(
+            d,
+            int(self.metrics.new_pairings[day]),
+            countdown_encounters_today,
+            deadline_lockouts_today,
+            self.rng,
+        )
+        self.metrics.other_tickets[day] = self.tickets.other_tickets(d, self.rng)
+
+    # -- the real-path consistency check ----------------------------------------------
+
+    def _maybe_real_login(self, state: _UserState, day: int, expect_success: bool) -> None:
+        if self.rng.random() >= self.config.real_login_fraction:
+            return
+        user = state.profile
+        client = SSHClient(source_ip=f"198.51.{self.rng.randrange(256)}.{self.rng.randrange(1, 255)}")
+        node = self.system.login_node(self.rng.randrange(len(self.system.daemons)))
+        token = None
+        extra = {}
+        if state.device is not None:
+            token = state.device.current_code
+        elif state.static_code is not None:
+            token = state.static_code
+        elif state.phone is not None:
+            phone = state.phone
+            gateway = self.center.sms_gateway
+            clock = self.clock
+            seen = {"last": gateway.latest(phone)}
+
+            def read_sms() -> str:
+                # Wait for the next delivery, riding out carrier stalls the
+                # way a real user does.  If the stalled code arrives expired
+                # the PAM stack's retry triggers a fresh SMS and this reader
+                # waits for that newer message instead.
+                deadline = clock.now() + 2000
+                while clock.now() < deadline:
+                    clock.advance(30)
+                    message = gateway.latest(phone)
+                    if message is not None and message is not seen["last"]:
+                        seen["last"] = message
+                        return message.body.split()[-1]
+                return "000000"
+
+            extra["token code"] = read_sms
+        result, _ = client.connect(
+            node,
+            user.username,
+            password=f"pw-{user.username}",
+            token=token,
+            extra_answers=extra,
+        )
+        self.metrics.real_logins_run += 1
+        if bool(result.success) != expect_success:
+            self.metrics.real_login_mismatches += 1

@@ -1,0 +1,121 @@
+"""Parallel cross-seed sweeps of the rollout simulation.
+
+A single seeded run shows *a* rollout; the paper's qualitative claims
+should hold for *any* seed.  This module fans independent seeds out over
+a process pool (each simulation is CPU-bound, single-threaded and fully
+deterministic, so seeds parallelize embarrassingly), reduces each run to
+a compact :class:`SeedSummary` of the figure-level statistics, and
+aggregates mean/min/max across seeds — the confidence intervals behind
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from datetime import date
+from multiprocessing import Pool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.metrics import DailyMetrics
+from repro.sim.rollout import RolloutConfig, RolloutSimulation
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """The figure-level statistics of one rollout run (picklable)."""
+
+    seed: int
+    population: int
+    sep7_rank: int
+    oct4_rank: int
+    predeadline_share: float
+    ticket_share_2016: float
+    ticket_share_2017: float
+    phase2_traffic_drop: float  # fractional drop in external non-MFA traffic
+    soft_percent: float
+    sms_percent: float
+    training_percent: float
+    hard_percent: float
+    holiday_dip: float  # holiday unique-users / pre-holiday unique-users
+
+
+def summarize(metrics: DailyMetrics, seed: int, population: int) -> SeedSummary:
+    """Reduce a run's daily series to the figure-level statistics."""
+    breakdown = metrics.pairing_breakdown_percent()
+    t1 = metrics.mean_over(metrics.external_nonmfa, date(2016, 8, 10), date(2016, 9, 5))
+    t2 = metrics.mean_over(metrics.external_nonmfa, date(2016, 9, 10), date(2016, 10, 3))
+    pre_holiday = metrics.mean_over(
+        metrics.unique_mfa_users, date(2016, 11, 28), date(2016, 12, 14)
+    )
+    holiday = metrics.mean_over(
+        metrics.unique_mfa_users, date(2016, 12, 18), date(2017, 1, 1)
+    )
+    deadline = metrics.day_of(date(2016, 10, 4))
+    total_pairings = metrics.new_pairings.sum()
+    return SeedSummary(
+        seed=seed,
+        population=population,
+        sep7_rank=metrics.pairing_rank_of(date(2016, 9, 7)),
+        oct4_rank=metrics.pairing_rank_of(date(2016, 10, 4)),
+        predeadline_share=(
+            float(metrics.new_pairings[:deadline].sum() / total_pairings)
+            if total_pairings
+            else 0.0
+        ),
+        ticket_share_2016=metrics.mfa_ticket_share(date(2016, 8, 10), date(2016, 12, 31)),
+        ticket_share_2017=metrics.mfa_ticket_share(date(2017, 1, 1), date(2017, 3, 31)),
+        phase2_traffic_drop=float(1.0 - t2 / t1) if t1 else 0.0,
+        soft_percent=breakdown.get("soft", 0.0),
+        sms_percent=breakdown.get("sms", 0.0),
+        training_percent=breakdown.get("training", 0.0),
+        hard_percent=breakdown.get("hard", 0.0),
+        holiday_dip=float(holiday / pre_holiday) if pre_holiday else 0.0,
+    )
+
+
+def _run_one(args: Tuple[int, int]) -> SeedSummary:
+    """Pool worker: build, run and summarize one seed (top-level so it
+    pickles under the spawn start method too)."""
+    seed, population = args
+    config = RolloutConfig(
+        population_size=population, seed=seed, real_login_fraction=0.0
+    )
+    metrics = RolloutSimulation(config).run()
+    return summarize(metrics, seed, population)
+
+
+def run_sweep(
+    seeds: Sequence[int],
+    population: int = 1000,
+    processes: Optional[int] = None,
+) -> List[SeedSummary]:
+    """Run one rollout per seed, in parallel, and return the summaries.
+
+    ``processes=1`` (or a single seed) runs inline — handy under pytest
+    and on machines where fork is restricted.
+    """
+    jobs = [(seed, population) for seed in seeds]
+    if processes == 1 or len(jobs) == 1:
+        return [_run_one(job) for job in jobs]
+    with Pool(processes=processes) as pool:
+        return pool.map(_run_one, jobs)
+
+
+def aggregate(summaries: Sequence[SeedSummary]) -> Dict[str, Dict[str, float]]:
+    """mean/min/max per statistic across seeds."""
+    if not summaries:
+        return {}
+    fields = [
+        name
+        for name, value in asdict(summaries[0]).items()
+        if name not in ("seed", "population") and isinstance(value, (int, float))
+    ]
+    out: Dict[str, Dict[str, float]] = {}
+    for name in fields:
+        values = [float(getattr(s, name)) for s in summaries]
+        out[name] = {
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+    return out

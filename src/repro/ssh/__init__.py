@@ -1,0 +1,27 @@
+"""SSH substrate: login-node daemon, clients, keys and the secure log.
+
+Entry into the center's systems "occurs predominately ... via SSH"
+(Section 2).  The daemon model reproduces the authentication choreography
+the paper's PAM stack assumes: public-key verification happens inside sshd
+and is only visible to PAM through the secure log; password and
+keyboard-interactive prompts flow through the PAM conversation; a failed
+password restarts the stack "up to a maximum of two more times before SSH
+disconnect"; and clients may multiplex sessions over one authenticated
+connection — the mitigation Section 5 says was "perhaps most popular of
+all".
+"""
+
+from repro.ssh.authlog import AuthLog, AuthLogEntry
+from repro.ssh.client import SSHClient, SSHResult
+from repro.ssh.daemon import SSHDaemon
+from repro.ssh.keys import KeyPair, fingerprint
+
+__all__ = [
+    "AuthLog",
+    "AuthLogEntry",
+    "SSHDaemon",
+    "SSHClient",
+    "SSHResult",
+    "KeyPair",
+    "fingerprint",
+]

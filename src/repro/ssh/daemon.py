@@ -1,0 +1,238 @@
+"""The login-node SSH daemon model.
+
+Reproduces the authentication choreography of Section 3.4:
+
+1. sshd itself verifies an offered public key against ``authorized_keys``
+   and, on success, writes "Accepted publickey" to the secure log — the
+   only trace PAM gets of it.
+2. The authentication decision is then handed to the PAM stack
+   (keyboard-interactive), which runs the Figure-1 modules.
+3. "If the password entry is incorrect, the PAM stack is restarted and the
+   user is prompted once again for a password, up to a maximum of two more
+   times before SSH disconnect."
+4. Successful entry is logged with the TTY flag the Section 4.1 audit
+   script records.
+
+The daemon also accepts multiplexed channels: once a client holds an
+authenticated master connection, additional sessions attach without
+re-authenticating — the mitigation Section 5 calls "perhaps most popular
+of all".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.ids import IdAllocator
+from repro.pam.conversation import Conversation, ConversationError
+from repro.pam.framework import PAMResult, PAMSession, PAMStack
+from repro.ssh.authlog import AuthLog
+from repro.ssh.keys import KeyPair
+
+
+@dataclass
+class SSHResult:
+    """Outcome of a connection attempt."""
+
+    success: bool
+    username: str
+    detail: str = ""
+    session_items: Dict[str, object] = field(default_factory=dict)
+    connection_id: Optional[str] = None
+    password_attempts: int = 0
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+@dataclass
+class _MasterConnection:
+    connection_id: str
+    username: str
+    source_ip: str
+    channels: int = 1
+
+
+class SSHDaemon:
+    """One login node's sshd."""
+
+    def __init__(
+        self,
+        hostname: str,
+        address: str,
+        identity,
+        pam_stack: Optional[PAMStack] = None,
+        stack_provider: Optional[Callable[[], PAMStack]] = None,
+        authlog: Optional[AuthLog] = None,
+        clock: Optional[Clock] = None,
+        banner: str = "",
+        max_auth_attempts: int = 3,
+        rng: Optional[random.Random] = None,
+        accounting=None,
+    ) -> None:
+        if pam_stack is None and stack_provider is None:
+            raise ValueError("daemon needs a pam_stack or a stack_provider")
+        self.hostname = hostname
+        self.address = address
+        self.identity = identity
+        self.pam_stack = pam_stack
+        # When set, the stack is resolved per connection — the hook that
+        # lets a pam.d file edit take effect on the very next login.
+        self.stack_provider = stack_provider
+        self.clock = clock or SystemClock()
+        # Explicit None check: an empty AuthLog is falsy (it has __len__),
+        # and a shared-but-empty log must not be replaced.
+        self.authlog = authlog if authlog is not None else AuthLog(self.clock)
+        self.banner = banner
+        self.max_auth_attempts = max_auth_attempts
+        self._rng = rng or random.Random()
+        self._verifiers: Dict[str, KeyPair] = {}
+        self._masters: Dict[str, _MasterConnection] = {}
+        self._ids = IdAllocator()
+        self.logins_accepted = 0
+        self.logins_rejected = 0
+        # Optional RFC 2866 accounting emitter (see repro.radius.accounting):
+        # session start on entry, stop on disconnect.
+        self._accounting = accounting
+        self._session_starts: Dict[str, float] = {}
+
+    # -- key management ---------------------------------------------------------
+
+    def authorize_key(self, username: str, keypair: KeyPair) -> None:
+        """Install a public key in the user's ``authorized_keys``.
+
+        The daemon keeps only what it needs to *verify* (see
+        :meth:`KeyPair.verify_with_public` for why the KeyPair object is
+        retained as the verifier stand-in); the identity backend records
+        the fingerprint.
+        """
+        self.identity.add_public_key(username, keypair.fingerprint)
+        self._verifiers[keypair.fingerprint] = keypair
+
+    def _verify_publickey(self, username: str, key: KeyPair) -> bool:
+        if not self.identity.has_public_key(username, key.fingerprint):
+            return False
+        verifier = self._verifiers.get(key.fingerprint)
+        if verifier is None:
+            return False
+        challenge = bytes(self._rng.getrandbits(8) for _ in range(32))
+        return verifier.verify_with_public(challenge, key.sign(challenge))
+
+    # -- connection handling ------------------------------------------------------
+
+    def connect(
+        self,
+        username: str,
+        source_ip: str,
+        conversation: Conversation,
+        key: Optional[KeyPair] = None,
+        tty: bool = True,
+    ) -> SSHResult:
+        """One full SSH authentication: optional public key, then PAM."""
+        if self.banner:
+            conversation.info(self.banner)
+
+        account_ok = username in self.identity
+        pubkey_ok = False
+        if key is not None and account_ok:
+            pubkey_ok = self._verify_publickey(username, key)
+            if pubkey_ok:
+                self.authlog.append(
+                    "accepted_publickey", username, source_ip, detail=key.fingerprint
+                )
+
+        stack = self.stack_provider() if self.stack_provider else self.pam_stack
+        assert stack is not None
+        result = PAMResult.AUTH_ERR
+        attempts = 0
+        items: Dict[str, object] = {}
+        for attempts in range(1, self.max_auth_attempts + 1):
+            session = PAMSession(
+                username=username,
+                remote_ip=source_ip,
+                service=stack.service,
+                conversation=conversation,
+                clock=self.clock,
+            )
+            try:
+                result = stack.authenticate(session)
+            except ConversationError:
+                result = PAMResult.ABORT
+            items = session.items
+            if result is PAMResult.SUCCESS or result is PAMResult.ABORT:
+                break
+            if not account_ok:
+                # Unknown accounts burn the full retry budget (sshd does not
+                # reveal which part failed) but can never succeed.
+                continue
+
+        # An unknown account can never enter, whatever the stack said.
+        if not account_ok:
+            result = PAMResult.AUTH_ERR
+
+        if result is not PAMResult.SUCCESS:
+            self.logins_rejected += 1
+            self.authlog.append("auth_failure", username, source_ip)
+            return SSHResult(
+                False, username, detail=result.value, password_attempts=attempts
+            )
+
+        connection_id = self._ids.next("conn")
+        self._masters[connection_id] = _MasterConnection(
+            connection_id, username, source_ip
+        )
+        mfa_used = "second_factor" in items
+        self.authlog.append(
+            "session_open",
+            username,
+            source_ip,
+            detail=(
+                f"first={items.get('first_factor', 'unknown')} "
+                f"mfa={'yes' if mfa_used else 'no'} "
+                f"exempt={'yes' if items.get('mfa_exempt') else 'no'}"
+            ),
+            tty=tty,
+        )
+        self.logins_accepted += 1
+        if self._accounting is not None:
+            self._accounting.start(username, connection_id)
+            self._session_starts[connection_id] = self.clock.now()
+        return SSHResult(
+            True,
+            username,
+            session_items=items,
+            connection_id=connection_id,
+            password_attempts=attempts,
+        )
+
+    def open_channel(self, connection_id: str) -> bool:
+        """Attach a multiplexed channel to an existing master connection —
+        no re-authentication, exactly like OpenSSH ControlMaster."""
+        master = self._masters.get(connection_id)
+        if master is None:
+            return False
+        master.channels += 1
+        self.authlog.append(
+            "multiplexed_channel",
+            master.username,
+            master.source_ip,
+            detail=f"channels={master.channels}",
+            tty=False,
+        )
+        return True
+
+    def disconnect(self, connection_id: str) -> None:
+        master = self._masters.pop(connection_id, None)
+        if master is not None and self._accounting is not None:
+            started = self._session_starts.pop(connection_id, self.clock.now())
+            self._accounting.stop(
+                master.username,
+                connection_id,
+                session_time=int(self.clock.now() - started),
+            )
+
+    def open_connections(self) -> List[str]:
+        return list(self._masters)

@@ -1,0 +1,21 @@
+"""Workload-manager substrate for the Section 5 mitigations.
+
+Two of the paper's most effective strategies for removing automated SSH
+traffic involved the batch scheduler rather than SSH at all:
+
+* "utilizing a workload manager's email capability to notify a user on
+  job start or completion ... instead of using a cron job on their remote
+  client that logged into the system";
+* "Workload manager job dependency options enabled users to automate and
+  submit more jobs without needing to make an interactive decision."
+
+:mod:`repro.workload.scheduler` implements the minimal batch system those
+mitigations need: a job queue with states, ``afterok``-style dependencies,
+mail-on-event, and a clock-driven execution loop.  The comparison between
+"poll job state over SSH every few minutes" and "let the scheduler email
+you" is measured in ``benchmarks/test_ablations.py``.
+"""
+
+from repro.workload.scheduler import BatchScheduler, Job, JobState
+
+__all__ = ["BatchScheduler", "Job", "JobState"]

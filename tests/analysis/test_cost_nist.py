@@ -1,0 +1,162 @@
+"""Cost model (build-vs-buy economics) and NIST LoA classification."""
+
+import pytest
+
+from repro.analysis.cost import CommercialVendor, CostModel, InHouseCosts
+from repro.analysis.nist import FactorKind, level_of_assurance, pairing_loa
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self):
+        return CostModel()
+
+    def test_commercial_scales_linearly(self, model):
+        c1 = model.vendor.annual_cost(1_000)
+        c10 = model.vendor.annual_cost(10_000)
+        # Dominated by the per-user term.
+        assert c10 / c1 > 8
+
+    def test_in_house_mostly_fixed(self, model):
+        i1 = model.in_house.annual_cost(1_000)
+        i10 = model.in_house.annual_cost(10_000)
+        assert i10 / i1 < 3  # only SMS usage grows
+
+    def test_crossover_below_paper_scale(self, model):
+        """At TACC's >10,000 accounts, in-house must already win."""
+        crossover = model.crossover_users()
+        assert crossover < 10_000
+
+    def test_in_house_wins_at_10k(self, model):
+        costs = model.annual(10_000)
+        assert costs["in_house"] < costs["commercial"]
+
+    def test_commercial_wins_at_small_scale(self, model):
+        costs = model.annual(100)
+        assert costs["commercial"] < costs["in_house"]
+
+    def test_sweep_rows(self, model):
+        rows = model.sweep([100, 1_000, 10_000])
+        assert len(rows) == 3
+        assert rows[0][0] == 100
+        assert all(len(r) == 3 for r in rows)
+
+    def test_per_user_cost_drops_with_scale(self, model):
+        small = model.per_user_annual(2_000)["in_house"]
+        large = model.per_user_annual(20_000)["in_house"]
+        assert large < small
+
+    def test_custom_vendor_pricing(self):
+        cheap = CostModel(vendor=CommercialVendor(per_user_per_month=0.10))
+        # A dollar-a-year vendor moves the crossover far out.
+        assert cheap.crossover_users() > CostModel().crossover_users()
+
+    def test_development_amortization_included(self):
+        with_dev = InHouseCosts().annual_cost(5_000, include_development=True)
+        without = InHouseCosts().annual_cost(5_000, include_development=False)
+        assert with_dev > without
+
+
+class TestNIST:
+    def test_paper_claim_password_plus_otp_is_loa3(self):
+        """"increases our Level of Assurance ... from a level 2 to a 3"."""
+        assert level_of_assurance([FactorKind.MEMORIZED_SECRET]) == 2
+        assert (
+            level_of_assurance([FactorKind.MEMORIZED_SECRET, FactorKind.OTP_DEVICE])
+            == 3
+        )
+
+    def test_pubkey_plus_otp_is_loa3(self):
+        assert level_of_assurance([FactorKind.KEY_PAIR, FactorKind.OTP_DEVICE]) == 3
+
+    def test_sms_out_of_band_counts(self):
+        assert level_of_assurance([FactorKind.MEMORIZED_SECRET, FactorKind.OUT_OF_BAND]) == 3
+
+    def test_otp_alone_is_loa2(self):
+        assert level_of_assurance([FactorKind.OTP_DEVICE]) == 2
+
+    def test_nothing_is_loa1(self):
+        assert level_of_assurance([]) == 1
+
+    def test_static_code_alone_is_loa1(self):
+        assert level_of_assurance([FactorKind.STATIC_CODE]) == 1
+
+    def test_hardware_crypto_reaches_loa4(self):
+        assert (
+            level_of_assurance([FactorKind.MEMORIZED_SECRET, FactorKind.HARDWARE_CRYPTO])
+            == 4
+        )
+
+    def test_two_first_factors_still_loa2(self):
+        """Password + pubkey is not multi-factor (both 'something you
+        know/have' in the same bucket for this deployment)."""
+        assert level_of_assurance([FactorKind.MEMORIZED_SECRET, FactorKind.KEY_PAIR]) == 2
+
+    @pytest.mark.parametrize(
+        "pairing,expected",
+        [("soft", 3), ("hard", 3), ("sms", 3), ("training", 2)],
+    )
+    def test_pairing_loa(self, pairing, expected):
+        assert pairing_loa(pairing, "password") == expected
+
+    def test_pairing_loa_pubkey_first_factor(self):
+        assert pairing_loa("soft", "publickey") == 3
+
+
+class TestAssuranceProfile:
+    def make_identity(self):
+        from repro.directory.identity import IdentityBackend, PairingStatus
+
+        identity = IdentityBackend()
+        for name, status in [
+            ("a", PairingStatus.SOFT),
+            ("b", PairingStatus.SMS),
+            ("c", PairingStatus.HARD),
+            ("d", PairingStatus.TRAINING),
+            ("e", PairingStatus.UNPAIRED),
+        ]:
+            identity.create_account(name, f"{name}@x.edu", password="pw")
+            if status is not PairingStatus.UNPAIRED:
+                identity.notify_pairing(name, status)
+        return identity
+
+    def test_census(self):
+        from repro.analysis.assurance import assurance_profile
+
+        profile = assurance_profile(self.make_identity())
+        assert profile.total == 5
+        # soft/sms/hard reach LoA 3; training and unpaired stay at LoA 2.
+        assert profile.accounts_by_loa == {3: 3, 2: 2}
+        assert profile.share_at_or_above_3 == pytest.approx(0.6)
+        assert profile.modal_loa == 3
+
+    def test_describe(self):
+        from repro.analysis.assurance import assurance_profile
+
+        text = assurance_profile(self.make_identity()).describe()
+        assert "LoA3: 3" in text and "60%" in text
+
+    def test_empty_identity(self):
+        from repro.analysis.assurance import assurance_profile
+        from repro.directory.identity import IdentityBackend
+
+        profile = assurance_profile(IdentityBackend())
+        assert profile.share_at_or_above_3 == 0.0
+        assert profile.modal_loa == 1
+
+    def test_paper_claim_transition_raises_loa(self):
+        """"increases our Level of Assurance ... from a level 2 to a level
+        3" — the census before pairing vs after."""
+        from repro.analysis.assurance import assurance_profile
+        from repro.directory.identity import IdentityBackend, PairingStatus
+
+        identity = IdentityBackend()
+        for i in range(10):
+            identity.create_account(f"u{i}", f"u{i}@x.edu", password="pw")
+        before = assurance_profile(identity)
+        assert before.modal_loa == 2
+        for i in range(10):
+            identity.notify_pairing(f"u{i}", PairingStatus.SOFT)
+        after = assurance_profile(identity)
+        assert after.modal_loa == 3
+        assert after.share_at_or_above_3 == 1.0

@@ -1,0 +1,65 @@
+"""The evaluation report generator and the CLI entry point."""
+
+import pytest
+
+from repro.analysis.report import evaluation_report
+from repro.sim import RolloutConfig, RolloutSimulation
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    sim = RolloutSimulation(
+        RolloutConfig(population_size=400, seed=20160810, real_login_fraction=0.0)
+    )
+    return evaluation_report(simulation=sim)
+
+
+class TestEvaluationReport:
+    def test_covers_every_artifact(self, report_text):
+        for artifact in ("Figure 3", "Figure 4", "Figure 5", "Figure 6",
+                         "Table 1", "Cost model"):
+            assert artifact in report_text
+
+    def test_reports_consistency_check(self, report_text):
+        assert "mismatches" in report_text
+
+    def test_shapes_all_ok(self, report_text):
+        assert "MISMATCH" not in report_text
+        assert report_text.count("OK") >= 5
+
+    def test_paper_reference_numbers_shown(self, report_text):
+        assert "paper 6.7%" in report_text
+        assert "55.38" in report_text
+
+    def test_crossover_reported(self, report_text):
+        assert "crossover" in report_text
+
+    def test_assurance_profile_reported(self, report_text):
+        assert "Level of Assurance" in report_text
+        assert "LoA 3+" in report_text
+
+
+class TestCLI:
+    def test_unknown_command_usage(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["frobnicate"]) == 2
+        assert "report" in capsys.readouterr().err
+
+    def test_qr_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["qr", "hello world"]) == 0
+        out = capsys.readouterr().out
+        assert "##" in out
+
+    def test_qr_requires_text(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["qr"]) == 2
+
+    def test_demo_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo"]) == 0
+        assert "GRANTED" in capsys.readouterr().out

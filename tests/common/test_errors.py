@@ -1,0 +1,34 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    MFAError,
+    NotFoundError,
+    ProtocolError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_root(self):
+        for exc in (
+            ConfigurationError,
+            MFAError,
+            ValidationError,
+            NotFoundError,
+            ProtocolError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_mfa_error(self):
+        assert issubclass(ValidationError, MFAError)
+
+    def test_catching_root_catches_all(self):
+        with pytest.raises(ReproError):
+            raise ValidationError("bad token")
+
+    def test_protocol_not_mfa(self):
+        assert not issubclass(ProtocolError, MFAError)

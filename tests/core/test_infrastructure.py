@@ -1,0 +1,246 @@
+"""MFACenter facade: topology, pairing conveniences, mode switching."""
+
+import random
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import NotFoundError, ValidationError
+from repro.core import MFACenter
+from repro.crypto.totp import TOTPGenerator
+from repro.directory.identity import AccountClass
+from repro.ssh import SSHClient
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock.at("2016-10-05T09:00:00")
+
+
+@pytest.fixture
+def center(clock):
+    return MFACenter(clock=clock, rng=random.Random(1))
+
+
+class TestTopology:
+    def test_radius_farm_size(self, clock):
+        center = MFACenter(clock=clock, num_radius_servers=5, rng=random.Random(2))
+        assert len(center.radius_servers) == 5
+
+    def test_systems_get_distinct_subnets(self, center):
+        a = center.add_system("stampede")
+        b = center.add_system("wrangler")
+        assert a.ip_prefix != b.ip_prefix
+
+    def test_duplicate_system_rejected(self, center):
+        center.add_system("stampede")
+        with pytest.raises(ValidationError):
+            center.add_system("stampede")
+
+    def test_system_lookup(self, center):
+        system = center.add_system("stampede")
+        assert center.system("stampede") is system
+        with pytest.raises(NotFoundError):
+            center.system("frontera")
+
+    def test_login_node_count(self, center):
+        system = center.add_system("stampede", login_nodes=4)
+        assert len(system.daemons) == 4
+
+    def test_nodes_share_system_authlog(self, center):
+        system = center.add_system("stampede", login_nodes=2)
+        assert system.daemons[0].authlog is system.daemons[1].authlog
+
+
+class TestPairingConveniences:
+    def test_pair_soft_updates_both_databases(self, center):
+        center.create_user("alice")
+        serial, secret = center.pair_soft("alice")
+        assert center.otp.has_pairing(center.uid_of("alice"))
+        assert center.identity.get("alice").pairing_status.value == "soft"
+        assert center.identity.pairing_type("alice").value == "soft"
+
+    def test_pair_sms(self, center):
+        center.create_user("bob")
+        center.pair_sms("bob", "5125551234")
+        assert center.identity.get("bob").pairing_status.value == "sms"
+
+    def test_pair_hard_from_batch(self, center):
+        center.create_user("carol")
+        batch = center.receive_hard_batch(3)
+        center.pair_hard("carol", batch.serials()[0])
+        assert center.identity.get("carol").pairing_status.value == "hard"
+
+    def test_pair_training_returns_code(self, center):
+        center.create_user("train01", account_class=AccountClass.TRAINING)
+        code = center.pair_training("train01")
+        assert len(code) == 6 and code.isdigit()
+        assert center.otp.validate(center.uid_of("train01"), code).ok
+
+    def test_unpair(self, center):
+        center.create_user("alice")
+        center.pair_soft("alice")
+        center.unpair("alice")
+        assert not center.otp.has_pairing(center.uid_of("alice"))
+        assert center.identity.get("alice").pairing_status.value == "unpaired"
+
+    def test_pairing_breakdown(self, center):
+        for name, pair in [
+            ("u1", lambda: center.pair_soft("u1")),
+            ("u2", lambda: center.pair_soft("u2")),
+            ("u3", lambda: center.pair_sms("u3", "5125550001")),
+            ("u4", lambda: None),  # unpaired: excluded from the breakdown
+        ]:
+            center.create_user(name)
+            pair()
+        breakdown = center.pairing_breakdown()
+        assert breakdown["soft"] == pytest.approx(200 / 3)
+        assert breakdown["sms"] == pytest.approx(100 / 3)
+
+
+class TestModeSwitch:
+    def test_live_mode_switch(self, center, clock):
+        system = center.add_system("stampede", mode="paired")
+        center.create_user("alice", password="pw")
+        client = SSHClient("198.51.100.7")
+        node = system.login_node()
+        # Unpaired user sails through in paired mode...
+        result, _ = client.connect(node, "alice", password="pw")
+        assert result.success
+        # ...until the admin flips to full.
+        system.set_mode("full")
+        clock.advance(1)
+        result, _ = client.connect(node, "alice", password="pw", token="123456")
+        assert not result.success
+
+    def test_mode_switch_back_to_off(self, center, clock):
+        system = center.add_system("stampede", mode="full")
+        center.create_user("alice", password="pw")
+        client = SSHClient("198.51.100.7")
+        result, _ = client.connect(system.login_node(), "alice", password="pw",
+                                   token="123456")
+        assert not result.success
+        system.set_mode("off")
+        result, _ = client.connect(system.login_node(), "alice", password="pw")
+        assert result.success
+
+
+class TestExemptionManagement:
+    def test_add_exemption_live(self, center):
+        system = center.add_system("stampede", mode="full")
+        center.create_user("gw", password="pw", account_class=AccountClass.GATEWAY)
+        client = SSHClient("203.0.113.5")
+        result, _ = client.connect(system.login_node(), "gw", password="pw",
+                                   token="000000")
+        assert not result.success
+        system.add_exemption(accounts="gw", origins="ALL")
+        result, _ = client.connect(system.login_node(), "gw", password="pw")
+        assert result.success
+
+    def test_internal_traffic_exempt_by_default(self, center):
+        system = center.add_system("stampede", mode="full")
+        center.create_user("alice", password="pw")
+        internal = SSHClient(f"{system.ip_prefix}.42")
+        result, _ = internal.connect(system.login_node(), "alice", password="pw")
+        assert result.success
+        assert result.session_items.get("mfa_exempt")
+
+    def test_denial_overrides_grant(self, center):
+        system = center.add_system("stampede", mode="full")
+        center.create_user("alice", password="pw")
+        system.add_denial(accounts="alice", origins="ALL")
+        system.add_exemption(accounts="ALL", origins="ALL")
+        client = SSHClient("198.51.100.9")
+        result, _ = client.connect(system.login_node(), "alice", password="pw",
+                                   token="000000")
+        assert not result.success
+
+    def test_expiring_variance(self, center, clock):
+        """The staff 'temporary variance' workflow from Section 4.2."""
+        system = center.add_system("stampede", mode="full")
+        center.create_user("alice", password="pw")
+        system.add_exemption(accounts="alice", origins="ALL", expiry="2016-10-20")
+        client = SSHClient("198.51.100.9")
+        result, _ = client.connect(system.login_node(), "alice", password="pw")
+        assert result.success
+        clock.advance(30 * 86400)  # the variance lapses
+        result, _ = client.connect(system.login_node(), "alice", password="pw",
+                                   token="000000")
+        assert not result.success
+
+
+class TestEndToEndAuth:
+    def test_radius_username_uid_translation(self, center, clock):
+        """RADIUS carries usernames; tokens live under uids — the adapter
+        must join them (Section 3.1's shared unique ID)."""
+        system = center.add_system("stampede", mode="full")
+        center.create_user("alice", password="pw")
+        _, secret = center.pair_soft("alice")
+        device = TOTPGenerator(secret=secret, clock=clock)
+        client = SSHClient("198.51.100.7")
+        result, _ = client.connect(
+            system.login_node(), "alice", password="pw", token=device.current_code
+        )
+        assert result.success
+
+    def test_unknown_user_gets_no_token_path(self, center):
+        response = center.radius_backend.validate("ghost", "123456")
+        assert response.status.value == "no_token"
+
+
+class TestFileBackedPAM:
+    """MFACenter(pam_dir=...) drives login-node stacks from pam.d files."""
+
+    def make(self, clock, tmp_path):
+        center = MFACenter(
+            clock=clock, rng=random.Random(5), pam_dir=str(tmp_path / "pam.d")
+        )
+        system = center.add_system("stampede", mode="paired")
+        center.create_user("alice", password="pw")
+        return center, system
+
+    def test_config_file_exists(self, clock, tmp_path):
+        _, system = self.make(clock, tmp_path)
+        text = system._pam_manager.read_config("sshd")
+        assert "pam_mfa_token.so mode=paired" in text
+
+    def test_login_through_file_backed_stack(self, clock, tmp_path):
+        center, system = self.make(clock, tmp_path)
+        client = SSHClient("198.51.100.7")
+        result, _ = client.connect(system.login_node(), "alice", password="pw")
+        assert result.success  # unpaired + paired mode
+
+    def test_file_edit_takes_effect_next_login(self, clock, tmp_path):
+        """The operational act itself: an admin edits the file directly."""
+        center, system = self.make(clock, tmp_path)
+        client = SSHClient("198.51.100.7")
+        assert client.connect(system.login_node(), "alice", password="pw")[0].success
+        # Hand-edit the pam.d file (not via set_mode).
+        from repro.pam.registry import figure1_config
+
+        system._pam_manager.write_config("sshd", figure1_config("full"))
+        result, _ = client.connect(
+            system.login_node(), "alice", password="pw", token="000000"
+        )
+        assert not result.success
+
+    def test_set_mode_writes_the_file(self, clock, tmp_path):
+        center, system = self.make(clock, tmp_path)
+        system.set_mode("full")
+        assert "mode=full" in system._pam_manager.read_config("sshd")
+        client = SSHClient("198.51.100.7")
+        result, _ = client.connect(
+            system.login_node(), "alice", password="pw", token="000000"
+        )
+        assert not result.success
+
+    def test_full_mode_with_token_through_files(self, clock, tmp_path):
+        center, system = self.make(clock, tmp_path)
+        system.set_mode("full")
+        _, secret = center.pair_soft("alice")
+        device = TOTPGenerator(secret=secret, clock=clock)
+        client = SSHClient("198.51.100.7")
+        result, _ = client.connect(
+            system.login_node(), "alice", password="pw", token=device.current_code
+        )
+        assert result.success

@@ -1,0 +1,76 @@
+"""Base32 codec: RFC 4648 vectors, stdlib equivalence, strictness."""
+
+import base64
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.base32 import b32decode, b32encode
+
+# RFC 4648 section 10 test vectors.
+RFC_VECTORS = [
+    (b"", ""),
+    (b"f", "MY======"),
+    (b"fo", "MZXQ===="),
+    (b"foo", "MZXW6==="),
+    (b"foob", "MZXW6YQ="),
+    (b"fooba", "MZXW6YTB"),
+    (b"foobar", "MZXW6YTBOI======"),
+]
+
+
+class TestRFCVectors:
+    @pytest.mark.parametrize("raw,encoded", RFC_VECTORS)
+    def test_encode(self, raw, encoded):
+        assert b32encode(raw) == encoded
+
+    @pytest.mark.parametrize("raw,encoded", RFC_VECTORS)
+    def test_decode(self, raw, encoded):
+        assert b32decode(encoded) == raw
+
+    @pytest.mark.parametrize("raw,encoded", RFC_VECTORS)
+    def test_unpadded_decode(self, raw, encoded):
+        assert b32decode(encoded.rstrip("=")) == raw
+
+
+class TestProperties:
+    @given(st.binary(max_size=200))
+    def test_matches_stdlib(self, data):
+        assert b32encode(data) == base64.b32encode(data).decode()
+
+    @given(st.binary(max_size=200))
+    def test_round_trip(self, data):
+        assert b32decode(b32encode(data)) == data
+
+    @given(st.binary(min_size=1, max_size=60))
+    def test_unpadded_round_trip(self, data):
+        assert b32decode(b32encode(data, pad=False)) == data
+
+    @given(st.binary(max_size=60))
+    def test_casefold(self, data):
+        assert b32decode(b32encode(data).lower()) == data
+
+
+class TestStrictness:
+    def test_invalid_character(self):
+        with pytest.raises(ValueError, match="invalid base32 character"):
+            b32decode("MZXW1===")  # '1' is not in the alphabet
+
+    def test_invalid_length(self):
+        # length 1 (mod 8) can never result from encoding
+        with pytest.raises(ValueError, match="invalid base32 length"):
+            b32decode("A")
+
+    def test_nonzero_padding_bits(self):
+        # "MZ" decodes to one byte with 2 trailing bits that must be zero;
+        # "M7" has them non-zero.
+        with pytest.raises(ValueError, match="padding bits"):
+            b32decode("M7")
+
+    def test_length_three_rejected(self):
+        with pytest.raises(ValueError):
+            b32decode("ABC")
+
+    def test_length_six_rejected(self):
+        with pytest.raises(ValueError):
+            b32decode("ABCDEF")

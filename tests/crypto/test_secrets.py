@@ -1,0 +1,85 @@
+"""Secret generation and at-rest sealing."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.secrets import SecretSealer, generate_secret, secret_to_base32
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestGenerateSecret:
+    def test_default_length(self):
+        assert len(generate_secret(rng=random.Random(1))) == 20
+
+    def test_minimum_length_enforced(self):
+        with pytest.raises(ValueError):
+            generate_secret(nbytes=15)
+
+    def test_deterministic_with_seed(self):
+        a = generate_secret(rng=random.Random(42))
+        b = generate_secret(rng=random.Random(42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_secret(rng=random.Random(1)) != generate_secret(
+            rng=random.Random(2)
+        )
+
+    def test_base32_rendering_unpadded(self):
+        text = secret_to_base32(generate_secret(rng=random.Random(3)))
+        assert "=" not in text
+        assert text.isalnum()
+
+
+class TestSealer:
+    def test_round_trip(self):
+        sealer = SecretSealer(KEY, rng=random.Random(1))
+        secret = b"12345678901234567890"
+        assert sealer.unseal(sealer.seal(secret)) == secret
+
+    def test_sealed_blob_hides_plaintext(self):
+        sealer = SecretSealer(KEY, rng=random.Random(1))
+        secret = b"A" * 20
+        assert secret not in sealer.seal(secret)
+
+    def test_nonce_makes_seals_differ(self):
+        sealer = SecretSealer(KEY, rng=random.Random(1))
+        secret = b"12345678901234567890"
+        assert sealer.seal(secret) != sealer.seal(secret)
+
+    def test_tamper_detected(self):
+        sealer = SecretSealer(KEY, rng=random.Random(1))
+        blob = bytearray(sealer.seal(b"12345678901234567890"))
+        blob[14] ^= 0x01  # flip a ciphertext bit
+        with pytest.raises(ValueError, match="integrity"):
+            sealer.unseal(bytes(blob))
+
+    def test_tag_tamper_detected(self):
+        sealer = SecretSealer(KEY, rng=random.Random(1))
+        blob = bytearray(sealer.seal(b"12345678901234567890"))
+        blob[-1] ^= 0x80
+        with pytest.raises(ValueError):
+            sealer.unseal(bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        sealer = SecretSealer(KEY, rng=random.Random(1))
+        with pytest.raises(ValueError, match="too short"):
+            sealer.unseal(b"short")
+
+    def test_wrong_key_rejected(self):
+        blob = SecretSealer(KEY, rng=random.Random(1)).seal(b"x" * 20)
+        other = SecretSealer(b"another-master-key-0123456789ab", rng=random.Random(2))
+        with pytest.raises(ValueError):
+            other.unseal(blob)
+
+    def test_short_master_key_rejected(self):
+        with pytest.raises(ValueError):
+            SecretSealer(b"short")
+
+    @given(st.binary(min_size=0, max_size=100))
+    def test_round_trip_any_payload(self, payload):
+        sealer = SecretSealer(KEY, rng=random.Random(9))
+        assert sealer.unseal(sealer.seal(payload)) == payload

@@ -1,0 +1,119 @@
+"""Identity backend: accounts, shared uid, passwords, pairing notifications."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.directory.identity import AccountClass, IdentityBackend, PairingStatus
+
+
+@pytest.fixture
+def identity():
+    backend = IdentityBackend()
+    backend.create_account("alice", "alice@utexas.edu", password="hunter2")
+    return backend
+
+
+class TestAccounts:
+    def test_create_generates_ldap_entry(self, identity):
+        account = identity.get("alice")
+        entry = identity.ldap.get(account.dn)
+        assert entry.first("uid") == "alice"
+
+    def test_shared_unique_id(self, identity):
+        """Section 3.1: the unique user ID is common to both databases."""
+        account = identity.get("alice")
+        entry = identity.ldap.get(account.dn)
+        assert entry.first("uidNumber") == account.uid
+
+    def test_uids_unique(self, identity):
+        identity.create_account("bob", "b@x.edu")
+        assert identity.get("alice").uid != identity.get("bob").uid
+
+    def test_duplicate_username_rejected(self, identity):
+        with pytest.raises(ValidationError):
+            identity.create_account("alice", "other@x.edu")
+
+    def test_get_missing_raises(self, identity):
+        with pytest.raises(NotFoundError):
+            identity.get("ghost")
+
+    def test_contains(self, identity):
+        assert "alice" in identity
+        assert "ghost" not in identity
+
+    def test_account_classes(self, identity):
+        identity.create_account("gw", "g@x.edu", account_class=AccountClass.GATEWAY)
+        assert identity.get("gw").account_class is AccountClass.GATEWAY
+        assert [a.username for a in identity.accounts_by_class(AccountClass.GATEWAY)] == ["gw"]
+
+
+class TestPasswords:
+    def test_correct_password(self, identity):
+        assert identity.check_password("alice", "hunter2")
+
+    def test_wrong_password(self, identity):
+        assert not identity.check_password("alice", "wrong")
+
+    def test_unknown_user(self, identity):
+        assert not identity.check_password("ghost", "x")
+
+    def test_no_password_set(self, identity):
+        identity.create_account("nopw", "n@x.edu")
+        assert not identity.check_password("nopw", "")
+
+    def test_inactive_account_rejected(self, identity):
+        identity.get("alice").active = False
+        assert not identity.check_password("alice", "hunter2")
+
+    def test_set_password(self, identity):
+        identity.set_password("alice", "new-secret")
+        assert identity.check_password("alice", "new-secret")
+        assert not identity.check_password("alice", "hunter2")
+
+    def test_hash_not_plaintext(self, identity):
+        assert "hunter2" not in identity.get("alice").password_hash
+
+    def test_same_password_different_users_different_hash(self, identity):
+        identity.create_account("bob", "b@x.edu", password="hunter2")
+        assert identity.get("alice").password_hash != identity.get("bob").password_hash
+
+
+class TestPublicKeys:
+    def test_add_and_check(self, identity):
+        identity.add_public_key("alice", "SHA256:abc")
+        assert identity.has_public_key("alice", "SHA256:abc")
+
+    def test_missing_key(self, identity):
+        assert not identity.has_public_key("alice", "SHA256:nope")
+
+    def test_idempotent_add(self, identity):
+        identity.add_public_key("alice", "SHA256:abc")
+        identity.add_public_key("alice", "SHA256:abc")
+        assert identity.get("alice").public_keys == ["SHA256:abc"]
+
+
+class TestPairingNotifications:
+    def test_notify_updates_account_and_ldap(self, identity):
+        identity.notify_pairing("alice", PairingStatus.SOFT)
+        assert identity.get("alice").pairing_status is PairingStatus.SOFT
+        assert identity.pairing_type("alice") is PairingStatus.SOFT
+
+    def test_ldap_attribute_updated(self, identity):
+        identity.notify_pairing("alice", PairingStatus.SMS)
+        entry = identity.ldap.get(identity.get("alice").dn)
+        assert entry.first("mfaPairingType") == "sms"
+
+    def test_notifications_recorded(self, identity):
+        identity.notify_pairing("alice", PairingStatus.HARD)
+        assert ("alice", PairingStatus.HARD) in identity.pairing_notifications
+
+    def test_unpair_notification(self, identity):
+        identity.notify_pairing("alice", PairingStatus.SOFT)
+        identity.notify_pairing("alice", PairingStatus.UNPAIRED)
+        assert identity.pairing_type("alice") is PairingStatus.UNPAIRED
+
+    def test_paired_fraction(self, identity):
+        identity.create_account("bob", "b@x.edu")
+        assert identity.paired_fraction() == 0.0
+        identity.notify_pairing("alice", PairingStatus.SOFT)
+        assert identity.paired_fraction() == pytest.approx(0.5)

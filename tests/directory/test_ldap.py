@@ -1,0 +1,149 @@
+"""LDAP directory: entries, modify semantics, filters, scopes."""
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.directory.ldap import LDAPDirectory, LDAPEntry, parse_filter
+
+
+@pytest.fixture
+def directory():
+    d = LDAPDirectory()
+    d.add(
+        "uid=alice,ou=people,dc=center,dc=edu",
+        {"uid": "alice", "mail": "alice@utexas.edu", "mfaPairingType": "soft",
+         "objectClass": ["posixAccount", "inetOrgPerson"]},
+    )
+    d.add(
+        "uid=bob,ou=people,dc=center,dc=edu",
+        {"uid": "bob", "mail": "bob@tacc.utexas.edu", "mfaPairingType": "unpaired",
+         "objectClass": ["posixAccount"]},
+    )
+    d.add(
+        "uid=gateway01,ou=services,dc=center,dc=edu",
+        {"uid": "gateway01", "accountClass": "gateway"},
+    )
+    return d
+
+
+class TestEntries:
+    def test_add_and_get(self, directory):
+        entry = directory.get("uid=alice,ou=people,dc=center,dc=edu")
+        assert entry.first("mail") == "alice@utexas.edu"
+
+    def test_dn_normalization(self, directory):
+        entry = directory.get("UID=Alice, OU=People, DC=center, DC=edu")
+        assert entry.first("uid") == "alice"
+
+    def test_duplicate_dn_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add("uid=alice,ou=people,dc=center,dc=edu", {})
+
+    def test_get_missing_raises(self, directory):
+        with pytest.raises(NotFoundError):
+            directory.get("uid=ghost,ou=people,dc=center,dc=edu")
+
+    def test_modify_replace(self, directory):
+        directory.modify(
+            "uid=bob,ou=people,dc=center,dc=edu", {"mfaPairingType": ["sms"]}
+        )
+        assert directory.get("uid=bob,ou=people,dc=center,dc=edu").first(
+            "mfaPairingType"
+        ) == "sms"
+
+    def test_modify_delete_attribute(self, directory):
+        directory.modify("uid=bob,ou=people,dc=center,dc=edu", {"mail": None})
+        assert directory.get("uid=bob,ou=people,dc=center,dc=edu").get("mail") == []
+
+    def test_delete_entry(self, directory):
+        directory.delete("uid=bob,ou=people,dc=center,dc=edu")
+        assert not directory.exists("uid=bob,ou=people,dc=center,dc=edu")
+
+    def test_multivalued_attributes(self, directory):
+        entry = directory.get("uid=alice,ou=people,dc=center,dc=edu")
+        assert entry.get("objectClass") == ["posixAccount", "inetOrgPerson"]
+
+
+class TestFilters:
+    def test_equality(self):
+        f = parse_filter("(uid=alice)")
+        assert f(LDAPEntry("x", {"uid": ["alice"]}))
+        assert not f(LDAPEntry("x", {"uid": ["bob"]}))
+
+    def test_equality_case_insensitive(self):
+        f = parse_filter("(uid=ALICE)")
+        assert f(LDAPEntry("x", {"uid": ["alice"]}))
+
+    def test_presence(self):
+        f = parse_filter("(mail=*)")
+        assert f(LDAPEntry("x", {"mail": ["a@b"]}))
+        assert not f(LDAPEntry("x", {}))
+
+    def test_substring(self):
+        f = parse_filter("(mail=*@tacc.*)")
+        assert f(LDAPEntry("x", {"mail": ["bob@tacc.utexas.edu"]}))
+        assert not f(LDAPEntry("x", {"mail": ["alice@utexas.edu"]}))
+
+    def test_prefix_substring(self):
+        f = parse_filter("(uid=gate*)")
+        assert f(LDAPEntry("x", {"uid": ["gateway01"]}))
+        assert not f(LDAPEntry("x", {"uid": ["alice"]}))
+
+    def test_and(self):
+        f = parse_filter("(&(uid=alice)(mfaPairingType=soft))")
+        assert f(LDAPEntry("x", {"uid": ["alice"], "mfapairingtype": ["soft"]}))
+        assert not f(LDAPEntry("x", {"uid": ["alice"], "mfapairingtype": ["sms"]}))
+
+    def test_or(self):
+        f = parse_filter("(|(uid=alice)(uid=bob))")
+        assert f(LDAPEntry("x", {"uid": ["bob"]}))
+        assert not f(LDAPEntry("x", {"uid": ["carol"]}))
+
+    def test_not(self):
+        f = parse_filter("(!(mfaPairingType=unpaired))")
+        assert f(LDAPEntry("x", {"mfapairingtype": ["soft"]}))
+        assert not f(LDAPEntry("x", {"mfapairingtype": ["unpaired"]}))
+
+    def test_nested_boolean(self):
+        f = parse_filter("(&(objectClass=posixAccount)(!(uid=bob)))")
+        assert f(LDAPEntry("x", {"objectclass": ["posixAccount"], "uid": ["alice"]}))
+        assert not f(LDAPEntry("x", {"objectclass": ["posixAccount"], "uid": ["bob"]}))
+
+    def test_implicit_parens(self):
+        assert parse_filter("uid=alice")(LDAPEntry("x", {"uid": ["alice"]}))
+
+    @pytest.mark.parametrize(
+        "bad", ["(uid=alice", "(&(uid=a)", "(uid)", "(!(uid=a)", "(uid=a))"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_filter(bad)
+
+
+class TestSearch:
+    def test_sub_scope(self, directory):
+        results = directory.search("dc=center,dc=edu", "(uid=*)")
+        assert len(results) == 3
+
+    def test_one_scope(self, directory):
+        results = directory.search("ou=people,dc=center,dc=edu", "(uid=*)", scope="one")
+        assert {e.first("uid") for e in results} == {"alice", "bob"}
+
+    def test_base_scope(self, directory):
+        results = directory.search(
+            "uid=alice,ou=people,dc=center,dc=edu", "(uid=*)", scope="base"
+        )
+        assert len(results) == 1
+
+    def test_filter_applied(self, directory):
+        results = directory.search("dc=center,dc=edu", "(mfaPairingType=soft)")
+        assert [e.first("uid") for e in results] == ["alice"]
+
+    def test_invalid_scope(self, directory):
+        with pytest.raises(ValueError):
+            directory.search("dc=center,dc=edu", "(uid=*)", scope="tree")
+
+    def test_query_counter(self, directory):
+        before = directory.query_count
+        directory.search("dc=center,dc=edu", "(uid=alice)")
+        assert directory.query_count == before + 1

@@ -1,0 +1,42 @@
+"""Every shipped example must run to completion without error.
+
+Examples are executed in-process via runpy so a refactor that breaks a
+public API used in the documentation fails the suite, not a user's first
+five minutes with the library.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: (script, argv) — arguments chosen to keep the suite fast.
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("gateway_workflows.py", []),
+    ("sms_token_flow.py", []),
+    ("hard_token_lifecycle.py", []),
+    ("risk_and_geolocation.py", []),
+    ("phased_rollout.py", ["400"]),
+    ("information_gathering.py", []),
+]
+
+
+@pytest.mark.parametrize("script,argv", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, argv, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    monkeypatch.setattr(sys, "argv", [str(path)] + argv)
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "Traceback" not in out
+
+
+def test_every_example_file_is_exercised():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    listed = {script for script, _ in EXAMPLES}
+    assert on_disk == listed, f"unlisted examples: {on_disk - listed}"

@@ -1,0 +1,99 @@
+"""Token records and the Feitian hard-token batch model."""
+
+import random
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.otpserver.tokens import (
+    HARD_TOKEN_LEAD_TIME_DAYS,
+    HARD_TOKEN_SHIP_COUNTRIES,
+    HardTokenBatch,
+    TokenRecord,
+    TokenType,
+    random_static_code,
+)
+
+
+class TestTokenRecord:
+    def test_describe(self):
+        record = TokenRecord("S1", "u1", TokenType.SOFT, b"sealed")
+        assert "S1" in record.describe()
+        assert "soft" in record.describe()
+        assert "active" in record.describe()
+
+    def test_disabled_describe(self):
+        record = TokenRecord("S1", "u1", TokenType.HARD, b"x", active=False)
+        assert "disabled" in record.describe()
+
+
+class TestHardTokenBatch:
+    @pytest.fixture
+    def batch(self):
+        return HardTokenBatch(20, rng=random.Random(1))
+
+    def test_size(self, batch):
+        assert len(batch) == 20
+        assert len(batch.serials()) == 20
+
+    def test_serials_unique(self, batch):
+        assert len(set(batch.serials())) == 20
+
+    def test_preprogrammed_secrets(self, batch):
+        """Fobs arrive with factory secrets: every serial has one, distinct."""
+        secrets = {batch.secret_for(s) for s in batch.serials()}
+        assert len(secrets) == 20
+        assert all(len(batch.secret_for(s)) == 20 for s in batch.serials())
+
+    def test_deterministic_with_seed(self):
+        a = HardTokenBatch(5, rng=random.Random(7))
+        b = HardTokenBatch(5, rng=random.Random(7))
+        assert a.serials() == b.serials()
+        assert [a.secret_for(s) for s in a.serials()] == [
+            b.secret_for(s) for s in b.serials()
+        ]
+
+    def test_unknown_serial(self, batch):
+        with pytest.raises(NotFoundError):
+            batch.secret_for("FT00000000-9999")
+
+    def test_shipping(self, batch):
+        serial = batch.serials()[0]
+        unit = batch.ship(serial, "Germany")
+        assert unit.shipped_to == "Germany"
+        assert serial not in batch.unshipped()
+
+    def test_double_ship_rejected(self, batch):
+        serial = batch.serials()[0]
+        batch.ship(serial, "France")
+        with pytest.raises(ValidationError, match="already shipped"):
+            batch.ship(serial, "Spain")
+
+    def test_purchase_cost_scales(self):
+        small = HardTokenBatch(10, rng=random.Random(2))
+        large = HardTokenBatch(100, rng=random.Random(3))
+        assert large.purchase_cost() == pytest.approx(10 * small.purchase_cost())
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValidationError):
+            HardTokenBatch(0)
+
+    def test_paper_constants(self):
+        assert HARD_TOKEN_LEAD_TIME_DAYS == 35  # "5 weeks after initial purchase"
+        assert "China" in HARD_TOKEN_SHIP_COUNTRIES
+        assert "United States" in HARD_TOKEN_SHIP_COUNTRIES
+
+
+class TestStaticCodes:
+    def test_six_digits(self):
+        code = random_static_code(random.Random(1))
+        assert len(code) == 6 and code.isdigit()
+
+    def test_deterministic(self):
+        assert random_static_code(random.Random(5)) == random_static_code(
+            random.Random(5)
+        )
+
+    def test_varies_with_seed(self):
+        codes = {random_static_code(random.Random(i)) for i in range(50)}
+        assert len(codes) > 40

@@ -1,0 +1,215 @@
+"""Exemption ACL: syntax, matching, expiry, ALL wildcards, hot reload."""
+
+import os
+import time
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ConfigurationError
+from repro.pam.acl import (
+    ExemptionACL,
+    InMemoryExemptionACL,
+    OriginMatcher,
+    parse_rules,
+)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock.at("2016-09-15T12:00:00")
+
+
+def acl(text, clock):
+    return InMemoryExemptionACL(text, clock=clock)
+
+
+class TestOriginMatcher:
+    def test_single_ip(self):
+        m = OriginMatcher.parse("129.114.0.5")
+        assert m.matches("129.114.0.5")
+        assert not m.matches("129.114.0.6")
+
+    def test_cidr_16(self):
+        m = OriginMatcher.parse("129.114.0.0/16")
+        assert m.matches("129.114.200.7")
+        assert not m.matches("129.115.0.1")
+
+    def test_cidr_24(self):
+        m = OriginMatcher.parse("10.3.1.0/24")
+        assert m.matches("10.3.1.254")
+        assert not m.matches("10.3.2.1")
+
+    def test_cidr_zero_matches_everything(self):
+        m = OriginMatcher.parse("0.0.0.0/0")
+        assert m.matches("8.8.8.8")
+
+    def test_all_keyword(self):
+        assert OriginMatcher.parse("ALL").matches("anything")
+        assert OriginMatcher.parse("all").match_all
+
+    def test_invalid_ip(self):
+        with pytest.raises(ConfigurationError):
+            OriginMatcher.parse("299.1.1.1")
+        with pytest.raises(ConfigurationError):
+            OriginMatcher.parse("1.2.3")
+
+    def test_invalid_prefix(self):
+        with pytest.raises(ConfigurationError):
+            OriginMatcher.parse("10.0.0.0/33")
+
+    def test_garbage_candidate_never_matches(self):
+        assert not OriginMatcher.parse("10.0.0.0/8").matches("not-an-ip")
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        rules = parse_rules("# header\n\n+ : alice : ALL : ALL  # trailing\n")
+        assert len(rules) == 1
+
+    def test_field_count_enforced(self):
+        with pytest.raises(ConfigurationError, match="4"):
+            parse_rules("+ : alice : ALL")
+
+    def test_permission_validated(self):
+        with pytest.raises(ConfigurationError, match="permission"):
+            parse_rules("* : alice : ALL : ALL")
+
+    def test_account_list(self):
+        rules = parse_rules("+ : alice,bob , carol : ALL : ALL")
+        assert rules[0].accounts == ("alice", "bob", "carol")
+
+    def test_bad_date(self):
+        with pytest.raises(ConfigurationError, match="expiry"):
+            parse_rules("+ : alice : ALL : someday")
+
+    def test_empty_accounts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_rules("+ :  : ALL : ALL")
+
+
+class TestMatching:
+    def test_default_deny(self, clock):
+        assert not acl("", clock).check("alice", "1.2.3.4")
+
+    def test_account_grant(self, clock):
+        a = acl("+ : gateway01 : ALL : ALL", clock)
+        assert a.check("gateway01", "8.8.8.8")
+        assert not a.check("alice", "8.8.8.8")
+
+    def test_ip_grant(self, clock):
+        a = acl("+ : ALL : 129.114.0.0/16 : ALL", clock)
+        assert a.check("anyone", "129.114.3.4")
+        assert not a.check("anyone", "9.9.9.9")
+
+    def test_combined_account_and_ip(self, clock):
+        a = acl("+ : alice : 203.0.113.7 : ALL", clock)
+        assert a.check("alice", "203.0.113.7")
+        assert not a.check("alice", "203.0.113.8")
+        assert not a.check("bob", "203.0.113.7")
+
+    def test_first_match_wins_denial(self, clock):
+        """A '-' entry earlier in the file overrides later grants."""
+        a = acl(
+            "- : mallory : ALL : ALL\n+ : ALL : ALL : ALL\n",
+            clock,
+        )
+        assert not a.check("mallory", "1.2.3.4")
+        assert a.check("alice", "1.2.3.4")
+
+    def test_blanket_all_all_all(self, clock):
+        a = acl("+ : ALL : ALL : ALL", clock)
+        assert a.check("anyone", "anywhere")
+
+    def test_multiple_origins(self, clock):
+        a = acl("+ : ALL : 10.3.1.0/24,10.4.1.0/24 : ALL", clock)
+        assert a.check("x", "10.3.1.9")
+        assert a.check("x", "10.4.1.9")
+        assert not a.check("x", "10.5.1.9")
+
+
+class TestExpiry:
+    def test_unexpired_variance(self, clock):
+        a = acl("+ : alice : ALL : 2016-10-15", clock)
+        assert a.check("alice", "1.2.3.4")
+
+    def test_expired_variance(self, clock):
+        a = acl("+ : alice : ALL : 2016-09-01", clock)
+        assert not a.check("alice", "1.2.3.4")
+
+    def test_expires_at_end_of_day(self):
+        clock = SimulatedClock.at("2016-10-15T20:00:00")
+        a = acl("+ : alice : ALL : 2016-10-15", clock)
+        assert a.check("alice", "1.2.3.4")  # still the named day
+        clock.advance(5 * 3600)  # past midnight
+        assert not a.check("alice", "1.2.3.4")
+
+    def test_temporary_variance_expires_in_place(self, clock):
+        """The paper's temporary variances expire without a config change."""
+        a = acl("+ : alice : ALL : 2016-09-20", clock)
+        assert a.check("alice", "1.2.3.4")
+        clock.advance(10 * 86400)
+        assert not a.check("alice", "1.2.3.4")
+
+
+class TestHotReload:
+    def test_file_acl_reloads_on_change(self, tmp_path, clock):
+        path = tmp_path / "mfa_exempt.conf"
+        path.write_text("+ : alice : ALL : ALL\n")
+        a = ExemptionACL(str(path), clock=clock)
+        assert a.check("alice", "1.2.3.4")
+        assert not a.check("bob", "1.2.3.4")
+        # "Changes take effect immediately upon write to disk."
+        path.write_text("+ : bob : ALL : ALL\n")
+        os.utime(path, (time.time() + 5, time.time() + 5))  # force mtime change
+        assert a.check("bob", "1.2.3.4")
+        assert not a.check("alice", "1.2.3.4")
+
+    def test_missing_file_means_no_exemptions(self, tmp_path, clock):
+        a = ExemptionACL(str(tmp_path / "nope.conf"), clock=clock)
+        assert not a.check("alice", "1.2.3.4")
+
+    def test_parse_error_fails_closed(self, tmp_path, clock):
+        path = tmp_path / "mfa_exempt.conf"
+        path.write_text("+ : alice : ALL : ALL\n")
+        a = ExemptionACL(str(path), clock=clock)
+        assert a.check("alice", "1.2.3.4")
+        path.write_text("this is : not valid\n")
+        os.utime(path, (time.time() + 5, time.time() + 5))
+        assert not a.check("alice", "1.2.3.4")  # no exemptions at all
+        assert a.last_error is not None
+
+    def test_file_deletion_drops_rules(self, tmp_path, clock):
+        path = tmp_path / "mfa_exempt.conf"
+        path.write_text("+ : alice : ALL : ALL\n")
+        a = ExemptionACL(str(path), clock=clock)
+        assert a.check("alice", "1.2.3.4")
+        path.unlink()
+        assert not a.check("alice", "1.2.3.4")
+
+    def test_in_memory_set_text(self, clock):
+        a = InMemoryExemptionACL("", clock=clock)
+        assert not a.check("alice", "1.2.3.4")
+        a.set_text("+ : alice : ALL : ALL\n")
+        assert a.check("alice", "1.2.3.4")
+
+    def test_in_memory_parse_error_fails_closed(self, clock):
+        a = InMemoryExemptionACL("+ : alice : ALL : ALL\n", clock=clock)
+        a.set_text("garbage")
+        assert not a.check("alice", "1.2.3.4")
+        assert a.last_error
+
+
+class TestConversationBase:
+    def test_base_class_is_abstract(self):
+        from repro.pam.conversation import Conversation
+
+        base = Conversation()
+        for method, args in (
+            ("prompt_echo_off", ("p",)),
+            ("prompt_echo_on", ("p",)),
+            ("info", ("m",)),
+            ("error", ("m",)),
+        ):
+            with pytest.raises(NotImplementedError):
+                getattr(base, method)(*args)

@@ -1,0 +1,77 @@
+"""Property-based checks of the exemption ACL against stdlib references."""
+
+import ipaddress
+
+from hypothesis import given, strategies as st
+
+from repro.common.clock import SimulatedClock
+from repro.pam.acl import InMemoryExemptionACL, OriginMatcher
+
+ipv4 = st.integers(min_value=0, max_value=2**32 - 1).map(
+    lambda v: str(ipaddress.IPv4Address(v))
+)
+prefix_len = st.integers(min_value=0, max_value=32)
+
+
+class TestCIDRAgainstStdlib:
+    @given(network_ip=ipv4, prefix=prefix_len, candidate=ipv4)
+    def test_matches_ipaddress_module(self, network_ip, prefix, candidate):
+        network = ipaddress.ip_network(f"{network_ip}/{prefix}", strict=False)
+        matcher = OriginMatcher.parse(f"{network.network_address}/{prefix}")
+        expected = ipaddress.ip_address(candidate) in network
+        assert matcher.matches(candidate) == expected
+
+    @given(ip=ipv4)
+    def test_single_ip_self_match(self, ip):
+        matcher = OriginMatcher.parse(ip)
+        assert matcher.matches(ip)
+
+    @given(ip=ipv4, other=ipv4)
+    def test_single_ip_only_matches_itself(self, ip, other):
+        matcher = OriginMatcher.parse(ip)
+        assert matcher.matches(other) == (ip == other)
+
+
+usernames = st.sampled_from(["alice", "bob", "gateway01", "mallory"])
+permissions = st.sampled_from(["+", "-"])
+accounts_field = st.sampled_from(["ALL", "alice", "bob", "alice,bob", "gateway01"])
+origins_field = st.sampled_from(
+    ["ALL", "10.0.0.0/8", "129.114.0.0/16", "203.0.113.7", "10.0.0.0/8,203.0.113.7"]
+)
+rule_strategy = st.tuples(permissions, accounts_field, origins_field)
+query_ips = st.sampled_from(["10.1.2.3", "129.114.9.9", "203.0.113.7", "8.8.8.8"])
+
+
+def reference_check(rules, username, ip):
+    """Independent first-match-wins evaluator using ipaddress."""
+    for permission, accounts, origins in rules:
+        if accounts != "ALL" and username not in accounts.split(","):
+            continue
+        matched = False
+        for origin in origins.split(","):
+            if origin == "ALL":
+                matched = True
+            else:
+                network = ipaddress.ip_network(origin, strict=False)
+                if ipaddress.ip_address(ip) in network:
+                    matched = True
+        if matched:
+            return permission == "+"
+    return False
+
+
+class TestACLAgainstReference:
+    @given(
+        rules=st.lists(rule_strategy, max_size=6),
+        username=usernames,
+        ip=query_ips,
+    )
+    def test_first_match_semantics(self, rules, username, ip):
+        text = "\n".join(f"{p} : {a} : {o} : ALL" for p, a, o in rules)
+        acl = InMemoryExemptionACL(text, clock=SimulatedClock(0.0))
+        assert acl.check(username, ip) == reference_check(rules, username, ip)
+
+    @given(rules=st.lists(rule_strategy, max_size=6))
+    def test_no_rules_means_deny(self, rules):
+        acl = InMemoryExemptionACL("", clock=SimulatedClock(0.0))
+        assert not acl.check("anyone", "1.2.3.4")

@@ -1,0 +1,110 @@
+"""Property-based check of PAM stack semantics against a reference model.
+
+The reference interpreter below is written independently of
+:mod:`repro.pam.framework` (straight from the libpam documentation); the
+property is that for any randomly generated stack of modules with keyword
+controls, both agree on the final verdict.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.pam.framework import PAMResult, PAMSession, PAMStack
+
+
+class FixedModule:
+    def __init__(self, result):
+        self.result = result
+        self.name = f"fixed_{result.value}"
+
+    def authenticate(self, session):
+        return self.result
+
+
+def reference_verdict(entries):
+    """Independent interpreter: list of (control_keyword, result)."""
+    failure = None
+    success = False
+    for control, result in entries:
+        ok = result is PAMResult.SUCCESS
+        if control == "required":
+            if ok:
+                success = True
+            elif failure is None:
+                failure = result
+        elif control == "requisite":
+            if ok:
+                success = True
+            else:
+                return failure if failure is not None else result
+        elif control == "sufficient":
+            if ok and failure is None:
+                return PAMResult.SUCCESS
+            if ok and failure is not None:
+                return failure
+            # failure under sufficient is ignored
+        elif control == "optional":
+            if ok:
+                success = True
+    if failure is not None:
+        return failure
+    if success:
+        return PAMResult.SUCCESS
+    return PAMResult.AUTH_ERR
+
+
+controls = st.sampled_from(["required", "requisite", "sufficient", "optional"])
+results = st.sampled_from([PAMResult.SUCCESS, PAMResult.AUTH_ERR, PAMResult.PERM_DENIED])
+entries_strategy = st.lists(st.tuples(controls, results), min_size=1, max_size=8)
+
+
+class TestAgainstReference:
+    @given(entries=entries_strategy)
+    def test_verdict_matches_reference(self, entries):
+        stack = PAMStack("sshd")
+        for control, result in entries:
+            stack.append(control, FixedModule(result))
+        session = PAMSession(username="u", remote_ip="1.2.3.4")
+        assert stack.authenticate(session) == reference_verdict(entries)
+
+    @given(entries=entries_strategy)
+    def test_requisite_failure_stops_execution(self, entries):
+        """No module after a failing requisite may run."""
+        stack = PAMStack("sshd")
+        modules = []
+        for control, result in entries:
+            module = FixedModule(result)
+            module.calls = 0
+            original = module.authenticate
+
+            def counted(session, m=module, orig=original):
+                m.calls += 1
+                return orig(session)
+
+            module.authenticate = counted
+            modules.append((control, module))
+            stack.append(control, module)
+        stack.authenticate(PAMSession(username="u", remote_ip="1.2.3.4"))
+        stopped = False
+        for control, module in modules:
+            if stopped:
+                assert module.calls == 0
+            elif (
+                control == "requisite" and module.result is not PAMResult.SUCCESS
+            ):
+                stopped = True
+            elif (
+                control == "sufficient"
+                and module.result is PAMResult.SUCCESS
+            ):
+                stopped = True
+
+    @given(entries=entries_strategy, data=st.data())
+    def test_prefix_determinism(self, entries, data):
+        """Running the same stack twice gives the same verdict (no hidden
+        state in the engine)."""
+        stack = PAMStack("sshd")
+        for control, result in entries:
+            stack.append(control, FixedModule(result))
+        first = stack.authenticate(PAMSession(username="u", remote_ip="1.2.3.4"))
+        second = stack.authenticate(PAMSession(username="u", remote_ip="1.2.3.4"))
+        assert first == second

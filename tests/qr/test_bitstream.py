@@ -1,0 +1,86 @@
+"""Bit-level reader/writer round trips and edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qr.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_write_single_bits(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.write(0, 1)
+        w.write(1, 1)
+        assert w.bits() == [1, 0, 1]
+
+    def test_value_too_large_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(4, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_to_bytes_pads_tail(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.to_bytes() == bytes([0b10100000])
+
+    def test_write_bytes(self):
+        w = BitWriter()
+        w.write_bytes(b"\xab\xcd")
+        assert w.to_bytes() == b"\xab\xcd"
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        w.write(0, 4)
+        w.write(255, 8)
+        assert len(w) == 12
+
+
+class TestBitReader:
+    def test_read_from_bytes(self):
+        r = BitReader(b"\xf0")
+        assert r.read(4) == 0xF
+        assert r.read(4) == 0x0
+
+    def test_read_from_bit_list(self):
+        r = BitReader([1, 0, 1, 1])
+        assert r.read(4) == 0b1011
+
+    def test_read_past_end_raises(self):
+        r = BitReader([1, 0])
+        with pytest.raises(ValueError):
+            r.read(3)
+
+    def test_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.remaining() == 16
+        r.read(5)
+        assert r.remaining() == 11
+
+    def test_read_bytes(self):
+        r = BitReader(b"\x01\x02\x03")
+        assert r.read_bytes(2) == b"\x01\x02"
+
+
+class TestRoundTrip:
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 16))))
+    def test_write_then_read(self, values):
+        w = BitWriter()
+        written = []
+        for value, nbits in values:
+            value %= 1 << nbits
+            w.write(value, nbits)
+            written.append((value, nbits))
+        r = BitReader(w.bits())
+        for value, nbits in written:
+            assert r.read(nbits) == value
+
+    @given(st.binary(max_size=50))
+    def test_bytes_round_trip(self, data):
+        w = BitWriter()
+        w.write_bytes(data)
+        assert BitReader(w.to_bytes()).read_bytes(len(data)) == data

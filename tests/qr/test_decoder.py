@@ -1,0 +1,93 @@
+"""QR decoder: noise tolerance, damage handling, malformed input."""
+
+import random
+
+import pytest
+
+from repro.qr.decoder import QRDecodeError, decode_matrix
+from repro.qr.encoder import encode
+from repro.qr.matrix import build_skeleton
+
+
+def flip_data_modules(qr, count, seed=0):
+    """Flip ``count`` random non-function modules (scan noise)."""
+    rng = random.Random(seed)
+    _, reserved = build_skeleton(qr.version)
+    matrix = [row[:] for row in qr.matrix]
+    candidates = [
+        (r, c)
+        for r in range(qr.size)
+        for c in range(qr.size)
+        if not reserved[r][c]
+    ]
+    for r, c in rng.sample(candidates, count):
+        matrix[r][c] ^= 1
+    return matrix
+
+
+class TestNoiseTolerance:
+    def test_clean_decode(self):
+        qr = encode(b"clean", level="M")
+        assert decode_matrix(qr.matrix) == b"clean"
+
+    @pytest.mark.parametrize("flips", [1, 4, 8])
+    def test_level_h_survives_noise(self, flips):
+        qr = encode(b"noise tolerance payload!", level="H")
+        matrix = flip_data_modules(qr, flips, seed=flips)
+        assert decode_matrix(matrix) == b"noise tolerance payload!"
+
+    def test_massive_damage_raises(self):
+        qr = encode(b"doomed", level="L")
+        matrix = flip_data_modules(qr, 60, seed=3)
+        with pytest.raises(QRDecodeError):
+            decode_matrix(matrix)
+
+    def test_format_info_damage_recovered(self):
+        # Corrupt up to 3 bits of copy 1; BCH correction handles it.
+        qr = encode(b"format damage", level="M")
+        matrix = [row[:] for row in qr.matrix]
+        matrix[8][0] ^= 1
+        matrix[8][2] ^= 1
+        assert decode_matrix(matrix) == b"format damage"
+
+    def test_format_copy2_used_when_copy1_destroyed(self):
+        qr = encode(b"copy two", level="M")
+        matrix = [row[:] for row in qr.matrix]
+        # Destroy most of copy 1 (around the top-left finder).
+        for i in list(range(6)) + [7, 8]:
+            matrix[8][i] ^= 1
+            matrix[i if i != 8 else 7][8] ^= 1
+        assert decode_matrix(matrix) == b"copy two"
+
+
+class TestMalformedInput:
+    def test_not_square(self):
+        with pytest.raises(QRDecodeError, match="square"):
+            decode_matrix([[0, 1], [0]])
+
+    def test_invalid_size(self):
+        with pytest.raises(QRDecodeError, match="valid QR symbol size"):
+            decode_matrix([[0] * 20 for _ in range(20)])
+
+    def test_all_zero_matrix(self):
+        with pytest.raises(QRDecodeError):
+            decode_matrix([[0] * 21 for _ in range(21)])
+
+    def test_all_ones_matrix(self):
+        with pytest.raises(QRDecodeError):
+            decode_matrix([[1] * 21 for _ in range(21)])
+
+
+class TestLargeSymbols:
+    def test_version10_round_trip_with_noise(self):
+        payload = bytes(range(140))  # v10-Q holds up to 151 bytes
+        qr = encode(payload, level="Q", version=10)
+        matrix = flip_data_modules(qr, 12, seed=10)
+        assert decode_matrix(matrix) == payload
+
+    def test_multiblock_interleaving(self):
+        # Version 5-Q uses two block groups (2x15 + 2x16): exercises the
+        # deinterleave path.
+        payload = bytes((i * 13) % 256 for i in range(60))
+        qr = encode(payload, level="Q", version=5)
+        assert decode_matrix(qr.matrix) == payload

@@ -1,0 +1,147 @@
+"""QR encoder: structural invariants and full-pipeline round trips."""
+
+import random
+
+import pytest
+
+from repro.qr.decoder import decode_matrix
+from repro.qr.encoder import encode
+from repro.qr.matrix import build_skeleton
+from repro.qr.tables import byte_mode_capacity, symbol_size
+
+
+class TestVersionSelection:
+    def test_smallest_version_chosen(self):
+        assert encode(b"x" * 10, level="L").version == 1
+        assert encode(b"x" * 18, level="L").version == 2
+
+    def test_pinned_version(self):
+        qr = encode(b"hi", level="M", version=5)
+        assert qr.version == 5
+        assert qr.size == symbol_size(5)
+
+    def test_over_capacity_pinned_version(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            encode(b"x" * 100, level="H", version=1)
+
+    def test_over_max_capacity(self):
+        with pytest.raises(ValueError):
+            encode(b"x" * 1000, level="H")
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            encode(b"x", level="X")
+
+
+class TestStructure:
+    @pytest.fixture
+    def qr(self):
+        return encode(b"structural test payload", level="M")
+
+    def test_matrix_is_square(self, qr):
+        assert all(len(row) == qr.size for row in qr.matrix)
+
+    def test_finder_pattern_top_left(self, qr):
+        # Outer ring dark, inner ring light, core dark, separator light.
+        assert qr.matrix[0][0] == 1 and qr.matrix[0][6] == 1
+        assert qr.matrix[1][1] == 0 and qr.matrix[1][5] == 0
+        assert qr.matrix[3][3] == 1
+        assert qr.matrix[7][7] == 0  # separator corner
+
+    def test_finder_patterns_all_corners(self, qr):
+        n = qr.size
+        for r0, c0 in ((0, 0), (0, n - 7), (n - 7, 0)):
+            assert qr.matrix[r0][c0] == 1
+            assert qr.matrix[r0 + 6][c0 + 6] == 1
+            assert qr.matrix[r0 + 3][c0 + 3] == 1
+
+    def test_timing_pattern_alternates(self, qr):
+        row6 = qr.matrix[6][8 : qr.size - 8]
+        for i, module in enumerate(row6, start=8):
+            assert module == 1 - i % 2
+
+    def test_dark_module(self, qr):
+        assert qr.matrix[qr.size - 8][8] == 1
+
+    def test_binary_modules_only(self, qr):
+        assert {m for row in qr.matrix for m in row} <= {0, 1}
+
+    def test_mask_chosen_in_range(self, qr):
+        assert 0 <= qr.mask <= 7
+
+    def test_alignment_pattern_version2(self):
+        qr = encode(b"x" * 20, level="L", version=2)
+        # Center at (18, 18) is dark with a light ring.
+        assert qr.matrix[18][18] == 1
+        assert qr.matrix[17][18] == 0
+        assert qr.matrix[16][16] == 1
+
+    def test_version_info_present_v7(self):
+        qr = encode(b"x" * 100, level="L", version=7)
+        _, reserved = build_skeleton(7)
+        n = qr.size
+        # Version info blocks are reserved near the top-right/bottom-left.
+        assert reserved[0][n - 11] == 1
+        assert reserved[n - 11][0] == 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("level", "LMQH")
+    @pytest.mark.parametrize("size", [1, 7, 17, 40, 90])
+    def test_payload_sizes(self, level, size):
+        payload = bytes((i * 7 + 3) % 256 for i in range(size))
+        if size > byte_mode_capacity(10, level):
+            pytest.skip("beyond version-10 capacity at this level")
+        qr = encode(payload, level=level)
+        assert decode_matrix(qr.matrix) == payload
+
+    @pytest.mark.parametrize("version", range(1, 11))
+    def test_every_version(self, version):
+        capacity = byte_mode_capacity(version, "M")
+        payload = bytes(range(min(capacity, 200)))
+        qr = encode(payload, level="M", version=version)
+        assert decode_matrix(qr.matrix) == payload
+
+    @pytest.mark.parametrize("mask", range(8))
+    def test_every_mask(self, mask):
+        payload = b"mask test"
+        qr = encode(payload, level="M", mask=mask)
+        assert qr.mask == mask
+        assert decode_matrix(qr.matrix) == payload
+
+    def test_full_capacity_payload(self):
+        capacity = byte_mode_capacity(4, "Q")
+        payload = bytes(random.Random(1).randrange(256) for _ in range(capacity))
+        qr = encode(payload, level="Q", version=4)
+        assert decode_matrix(qr.matrix) == payload
+
+    def test_empty_payload(self):
+        qr = encode(b"", level="M")
+        assert decode_matrix(qr.matrix) == b""
+
+    def test_utf8_string(self):
+        text = "otpauth://totp/TACC:user?secret=ABCD&issuer=TACC"
+        qr = encode(text)
+        assert decode_matrix(qr.matrix).decode() == text
+
+
+class TestRendering:
+    def test_to_text_contains_modules(self):
+        qr = encode(b"render", level="L")
+        text = qr.to_text(dark="#", light=".", border=1)
+        lines = text.splitlines()
+        assert len(lines) == qr.size + 2
+        assert "#" in text and "." in text
+
+    def test_border_is_light(self):
+        qr = encode(b"render", level="L")
+        text = qr.to_text(dark="#", light=".", border=2)
+        assert set(text.splitlines()[0]) == {"."}
+
+
+class TestInputValidation:
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError, match="mask"):
+            encode(b"x", mask=8)
+        with pytest.raises(ValueError, match="mask"):
+            encode(b"x", mask=-1)

@@ -1,0 +1,119 @@
+"""GF(256) field axioms and polynomial arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qr.galois import (
+    EXP,
+    LOG,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_log_inverse_of_each_other(self):
+        for value in range(1, 256):
+            assert EXP[LOG[value]] == value
+
+    def test_generator_cycles_through_field(self):
+        assert len({EXP[i] for i in range(255)}) == 255
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(elements)
+    def test_mul_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_mul_zero(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inverse(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_div_undoes_mul(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_inverse_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    @given(nonzero, st.integers(min_value=0, max_value=20))
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, n) == expected
+
+    @given(nonzero)
+    def test_negative_pow_is_inverse(self, a):
+        assert gf_pow(a, -1) == gf_inverse(a)
+
+    def test_pow_of_zero(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+
+polys = st.lists(elements, min_size=1, max_size=8)
+
+
+class TestPolynomials:
+    @given(polys, polys)
+    def test_add_commutative(self, p, q):
+        assert poly_add(p, q) == poly_add(q, p)
+
+    @given(polys, elements)
+    def test_eval_of_scale(self, p, x):
+        # (c*p)(x) == c * p(x)
+        c = 7
+        assert poly_eval(poly_scale(p, c), x) == gf_mul(c, poly_eval(p, x))
+
+    @given(polys, polys, elements)
+    def test_eval_of_product(self, p, q, x):
+        assert poly_eval(poly_mul(p, q), x) == gf_mul(poly_eval(p, x), poly_eval(q, x))
+
+    @given(polys, polys.filter(lambda q: q[0] != 0))
+    def test_divmod_reconstructs(self, p, q):
+        if len(p) < len(q):
+            return
+        quotient, remainder = poly_divmod(p, q)
+        recombined = poly_add(poly_mul(quotient, q), remainder)
+        # Strip leading zeros before comparing.
+        def strip(poly):
+            out = list(poly)
+            while len(out) > 1 and out[0] == 0:
+                out.pop(0)
+            return out
+
+        assert strip(recombined) == strip(p)

@@ -1,0 +1,60 @@
+"""QR matrix skeleton invariants shared by encoder and decoder."""
+
+import pytest
+
+from repro.qr.matrix import build_skeleton, data_positions
+from repro.qr.tables import symbol_size, total_codewords
+
+
+class TestSkeleton:
+    @pytest.mark.parametrize("version", range(1, 11))
+    def test_dimensions(self, version):
+        modules, reserved = build_skeleton(version)
+        size = symbol_size(version)
+        assert len(modules) == size and len(reserved) == size
+
+    @pytest.mark.parametrize("version", range(1, 11))
+    def test_data_positions_cover_unreserved_exactly_once(self, version):
+        _, reserved = build_skeleton(version)
+        size = symbol_size(version)
+        positions = list(data_positions(version, reserved))
+        assert len(positions) == len(set(positions))
+        unreserved = {
+            (r, c) for r in range(size) for c in range(size) if not reserved[r][c]
+        }
+        assert set(positions) == unreserved
+
+    @pytest.mark.parametrize("version", range(1, 11))
+    @pytest.mark.parametrize("level", "LMQH")
+    def test_capacity_fits_in_data_modules(self, version, level):
+        _, reserved = build_skeleton(version)
+        size = symbol_size(version)
+        data_modules = sum(
+            1 for r in range(size) for c in range(size) if not reserved[r][c]
+        )
+        needed = 8 * total_codewords(version, level)
+        assert needed <= data_modules
+        # Remainder bits are at most 7 (ISO 18004 table 1).
+        assert data_modules - needed <= 7
+
+    def test_timing_pattern_reserved(self):
+        _, reserved = build_skeleton(2)
+        size = symbol_size(2)
+        for i in range(size):
+            assert reserved[6][i] == 1
+            assert reserved[i][6] == 1
+
+    def test_version_info_reserved_only_v7_plus(self):
+        _, reserved6 = build_skeleton(6)
+        _, reserved7 = build_skeleton(7)
+        size6, size7 = symbol_size(6), symbol_size(7)
+        # v6: the version-info corner is free for data.
+        assert reserved6[0][size6 - 9] == 0
+        # v7: it is reserved.
+        assert reserved7[0][size7 - 11] == 1
+
+    def test_placement_order_starts_bottom_right(self):
+        _, reserved = build_skeleton(1)
+        first = next(iter(data_positions(1, reserved)))
+        size = symbol_size(1)
+        assert first == (size - 1, size - 1)

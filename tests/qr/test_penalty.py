@@ -1,0 +1,74 @@
+"""The mask penalty rules (ISO 18004 N1-N4), tested in isolation."""
+
+from repro.qr.encoder import _penalty, encode
+
+
+def blank(size=21, value=0):
+    return [[value] * size for _ in range(size)]
+
+
+class TestRuleN1:
+    def test_run_of_five_scores_three(self):
+        matrix = blank()
+        # Alternate everything so only our run contributes.
+        for r in range(21):
+            for c in range(21):
+                matrix[r][c] = (r + c) % 2
+        base = _penalty(matrix)
+        for c in range(5):
+            matrix[0][c] = 1
+        assert _penalty(matrix) > base
+
+    def test_longer_runs_score_more(self):
+        a = blank()
+        b = blank()
+        for r in range(21):
+            for c in range(21):
+                a[r][c] = b[r][c] = (r + c) % 2
+        for c in range(5):
+            a[0][c] = 1
+        for c in range(9):
+            b[0][c] = 1
+        assert _penalty(b) > _penalty(a)
+
+
+class TestRuleN2:
+    def test_2x2_blocks_penalized(self):
+        checker = [[(r + c) % 2 for c in range(21)] for r in range(21)]
+        base = _penalty(checker)
+        checker[0][0] = checker[0][1] = checker[1][0] = checker[1][1] = 1
+        assert _penalty(checker) > base
+
+
+class TestRuleN3:
+    def test_finder_like_pattern_costs_forty(self):
+        matrix = [[(r + c) % 2 for c in range(21)] for r in range(21)]
+        base = _penalty(matrix)
+        pattern = [1, 0, 1, 1, 1, 0, 1, 0, 0, 0, 0]
+        for i, bit in enumerate(pattern):
+            matrix[4][i] = bit
+        assert _penalty(matrix) >= base + 40 - 20  # other deltas are small
+
+
+class TestRuleN4:
+    def test_all_dark_worst(self):
+        balanced = [[(r + c) % 2 for c in range(21)] for r in range(21)]
+        dark = blank(value=1)
+        assert _penalty(dark) > _penalty(balanced)
+
+    def test_balance_minimizes_n4(self):
+        # ~50% dark has N4 == 0; 100% dark has N4 == 100.
+        dark = blank(value=1)
+        light = blank(value=0)
+        assert _penalty(dark) == _penalty(light)  # symmetric extremes
+
+
+class TestMaskSelection:
+    def test_chosen_mask_minimizes_penalty(self):
+        payload = b"mask selection check"
+        auto = encode(payload, level="M")
+        scores = {}
+        for mask in range(8):
+            pinned = encode(payload, level="M", mask=mask)
+            scores[mask] = _penalty(pinned.matrix)
+        assert scores[auto.mask] == min(scores.values())

@@ -1,0 +1,104 @@
+"""Reed-Solomon codec: round trips, correction capacity, failure modes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qr.galois import poly_eval, gf_pow
+from repro.qr.reed_solomon import (
+    RSDecodeError,
+    rs_decode,
+    rs_encode,
+    rs_generator_poly,
+)
+
+
+class TestGeneratorPoly:
+    def test_degree(self):
+        for nsym in (7, 10, 16, 30):
+            assert len(rs_generator_poly(nsym)) == nsym + 1
+
+    def test_roots_are_powers_of_alpha(self):
+        gen = list(rs_generator_poly(10))
+        for i in range(10):
+            assert poly_eval(gen, gf_pow(2, i)) == 0
+
+    def test_monic(self):
+        assert rs_generator_poly(13)[0] == 1
+
+
+class TestEncode:
+    def test_appends_nsym_parity(self):
+        data = [1, 2, 3, 4]
+        cw = rs_encode(data, 7)
+        assert len(cw) == 11
+        assert cw[:4] == data
+
+    def test_codeword_is_multiple_of_generator(self):
+        cw = rs_encode([10, 20, 30], 8)
+        for i in range(8):
+            assert poly_eval(cw, gf_pow(2, i)) == 0
+
+    def test_nsym_must_be_positive(self):
+        with pytest.raises(ValueError):
+            rs_encode([1], 0)
+
+    def test_qr_reference_block(self):
+        # The "HELLO WORLD" version-1-M reference: the well-known example
+        # codeword from the QR tutorial literature.
+        data = [
+            32, 91, 11, 120, 209, 114, 220, 77, 67, 64, 236, 17, 236, 17, 236, 17,
+        ]
+        cw = rs_encode(data, 10)
+        assert cw[16:] == [196, 35, 39, 119, 235, 215, 231, 226, 93, 23]
+
+
+class TestDecode:
+    def test_clean_round_trip(self):
+        data = list(range(30))
+        assert rs_decode(rs_encode(data, 10), 10) == data
+
+    @pytest.mark.parametrize("nerr", [1, 2, 3, 4, 5])
+    def test_corrects_up_to_capacity(self, nerr):
+        rng = random.Random(nerr)
+        data = [rng.randrange(256) for _ in range(40)]
+        cw = rs_encode(data, 10)
+        positions = rng.sample(range(len(cw)), nerr)
+        for pos in positions:
+            cw[pos] ^= rng.randrange(1, 256)
+        assert rs_decode(cw, 10) == data
+
+    def test_beyond_capacity_raises(self):
+        rng = random.Random(99)
+        data = [rng.randrange(256) for _ in range(40)]
+        cw = rs_encode(data, 10)
+        for pos in rng.sample(range(len(cw)), 9):  # capacity is 5
+            cw[pos] ^= rng.randrange(1, 256)
+        with pytest.raises(RSDecodeError):
+            rs_decode(cw, 10)
+
+    def test_errors_in_parity_corrected(self):
+        data = [5] * 20
+        cw = rs_encode(data, 10)
+        cw[-1] ^= 0xFF
+        cw[-5] ^= 0x0F
+        assert rs_decode(cw, 10) == data
+
+    def test_codeword_too_short(self):
+        with pytest.raises(ValueError):
+            rs_decode([1, 2, 3], 10)
+
+    @given(
+        data=st.lists(st.integers(0, 255), min_size=1, max_size=60),
+        nsym=st.sampled_from([7, 10, 13, 18, 22, 26, 30]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_error_patterns(self, data, nsym, seed):
+        rng = random.Random(seed)
+        cw = rs_encode(data, nsym)
+        nerr = rng.randint(0, nsym // 2)
+        for pos in rng.sample(range(len(cw)), nerr):
+            cw[pos] ^= rng.randrange(1, 256)
+        assert rs_decode(cw, nsym) == data

@@ -1,0 +1,165 @@
+"""QR segment modes: numeric/alphanumeric/byte compaction and selection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qr import decode_matrix, encode
+from repro.qr.bitstream import BitReader, BitWriter
+from repro.qr.segments import (
+    ALPHANUMERIC_CHARSET,
+    MODE_ALPHANUMERIC,
+    MODE_BYTE,
+    MODE_NUMERIC,
+    choose_mode,
+    count_bits,
+    read_payload,
+    segment_bit_length,
+    write_segment,
+)
+
+
+class TestModeSelection:
+    def test_digits_choose_numeric(self):
+        assert choose_mode(b"0123456789") == MODE_NUMERIC
+
+    def test_uppercase_chooses_alphanumeric(self):
+        assert choose_mode(b"HELLO WORLD $1.50") == MODE_ALPHANUMERIC
+
+    def test_lowercase_falls_to_byte(self):
+        assert choose_mode(b"hello") == MODE_BYTE
+
+    def test_binary_is_byte(self):
+        assert choose_mode(b"\x00\xff") == MODE_BYTE
+
+    def test_empty_is_byte(self):
+        assert choose_mode(b"") == MODE_BYTE
+
+
+class TestBitLengths:
+    def test_numeric_denser_than_alnum_denser_than_byte(self):
+        n = 30
+        numeric = segment_bit_length(MODE_NUMERIC, n, 1)
+        alnum = segment_bit_length(MODE_ALPHANUMERIC, n, 1)
+        byte = segment_bit_length(MODE_BYTE, n, 1)
+        assert numeric < alnum < byte
+
+    def test_numeric_group_remainders(self):
+        base = segment_bit_length(MODE_NUMERIC, 3, 1)
+        assert segment_bit_length(MODE_NUMERIC, 4, 1) == base + 4
+        assert segment_bit_length(MODE_NUMERIC, 5, 1) == base + 7
+        assert segment_bit_length(MODE_NUMERIC, 6, 1) == base + 10
+
+    def test_count_field_widths(self):
+        assert count_bits(MODE_NUMERIC, 9) == 10
+        assert count_bits(MODE_NUMERIC, 10) == 12
+        assert count_bits(MODE_ALPHANUMERIC, 9) == 9
+        assert count_bits(MODE_BYTE, 10) == 16
+
+
+class TestSegmentRoundTrip:
+    def round_trip(self, data, mode, version=5):
+        writer = BitWriter()
+        write_segment(writer, data, mode, version)
+        writer.write(0, 4)  # terminator
+        return read_payload(BitReader(writer.bits()), version)
+
+    @pytest.mark.parametrize("text", ["1", "12", "123", "1234", "12345", "0987654321"])
+    def test_numeric(self, text):
+        assert self.round_trip(text.encode(), MODE_NUMERIC) == text.encode()
+
+    @pytest.mark.parametrize("text", ["A", "AB", "ABC", "HELLO WORLD", "A1B2:/$%"])
+    def test_alphanumeric(self, text):
+        assert self.round_trip(text.encode(), MODE_ALPHANUMERIC) == text.encode()
+
+    def test_leading_zeros_survive(self):
+        assert self.round_trip(b"007", MODE_NUMERIC) == b"007"
+        assert self.round_trip(b"0001", MODE_NUMERIC) == b"0001"
+
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=40))
+    def test_numeric_property(self, text):
+        assert self.round_trip(text.encode(), MODE_NUMERIC) == text.encode()
+
+    @given(st.text(alphabet=ALPHANUMERIC_CHARSET, min_size=1, max_size=40))
+    def test_alphanumeric_property(self, text):
+        assert self.round_trip(text.encode(), MODE_ALPHANUMERIC) == text.encode()
+
+
+class TestEndToEndModes:
+    def test_numeric_symbol_round_trip(self):
+        payload = "31415926535897932384626433832795"
+        qr = encode(payload, level="M")
+        assert decode_matrix(qr.matrix).decode() == payload
+
+    def test_alphanumeric_symbol_round_trip(self):
+        payload = "OTPAUTH TOTP TACC:CPROCTOR $1.50"
+        qr = encode(payload, level="M")
+        assert decode_matrix(qr.matrix).decode() == payload
+
+    def test_mode_pinning(self):
+        qr = encode("12345", level="M", mode="byte")
+        assert decode_matrix(qr.matrix) == b"12345"
+
+    def test_invalid_mode_name(self):
+        with pytest.raises(ValueError, match="invalid mode"):
+            encode("x", mode="kanji")
+
+    def test_numeric_mode_rejects_text(self):
+        with pytest.raises(ValueError):
+            encode("HELLO", mode="numeric")
+
+    def test_alphanumeric_mode_rejects_lowercase(self):
+        with pytest.raises(ValueError):
+            encode("hello", mode="alphanumeric")
+
+    def test_compaction_reduces_version(self):
+        """The practical gain: the same characters need a smaller symbol
+        in a denser mode."""
+        digits = "9" * 100
+        numeric = encode(digits, level="M")  # auto -> numeric
+        forced_byte = encode(digits, level="M", mode="byte")
+        assert numeric.version < forced_byte.version
+
+    def test_uppercased_otpauth_uri_compacts(self):
+        from repro.crypto.base32 import b32encode
+
+        secret = b32encode(b"12345678901234567890", pad=False)
+        upper_uri = f"OTPAUTH://TOTP/HPC:ALICE?SECRET={secret}"
+        compact = encode(upper_uri, level="M")
+        byte_form = encode(upper_uri, level="M", mode="byte")
+        assert compact.version <= byte_form.version
+        assert decode_matrix(compact.matrix).decode() == upper_uri
+
+    def test_noise_tolerance_in_alphanumeric(self):
+        from tests.qr.test_decoder import flip_data_modules
+
+        qr = encode("ALPHANUMERIC NOISE TEST 123", level="H")
+        matrix = flip_data_modules(qr, 6, seed=4)
+        assert decode_matrix(matrix) == b"ALPHANUMERIC NOISE TEST 123"
+
+
+class TestEndToEndProperty:
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        payload=st.binary(min_size=0, max_size=100),
+        level=st.sampled_from("LMQH"),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_payload_round_trips(self, payload, level):
+        from repro.qr.tables import byte_mode_capacity
+
+        if len(payload) > byte_mode_capacity(10, level):
+            return
+        qr = encode(payload, level=level)
+        assert decode_matrix(qr.matrix) == payload
+
+    @given(
+        text=st.text(
+            alphabet=ALPHANUMERIC_CHARSET + "abcdefghijklmnop",
+            min_size=0, max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_text_auto_mode(self, text):
+        qr = encode(text, level="M")
+        assert decode_matrix(qr.matrix).decode() == text

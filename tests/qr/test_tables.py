@@ -1,0 +1,144 @@
+"""QR constant tables: capacities, format/version words, masks."""
+
+import pytest
+
+from repro.qr.tables import (
+    EC_TABLE,
+    MASK_FUNCTIONS,
+    byte_mode_capacity,
+    char_count_bits,
+    data_codewords,
+    decode_format_info,
+    format_info_bits,
+    symbol_size,
+    total_codewords,
+    version_info_bits,
+)
+
+# Total codewords per version (ISO 18004 table 1).
+TOTAL_CODEWORDS = {
+    1: 26, 2: 44, 3: 70, 4: 100, 5: 134,
+    6: 172, 7: 196, 8: 242, 9: 292, 10: 346,
+}
+
+
+class TestCapacities:
+    @pytest.mark.parametrize("version,total", TOTAL_CODEWORDS.items())
+    @pytest.mark.parametrize("level", "LMQH")
+    def test_total_codewords_consistent(self, version, total, level):
+        assert total_codewords(version, level) == total
+
+    def test_symbol_sizes(self):
+        assert symbol_size(1) == 21
+        assert symbol_size(10) == 57
+
+    def test_symbol_size_invalid(self):
+        with pytest.raises(ValueError):
+            symbol_size(0)
+        with pytest.raises(ValueError):
+            symbol_size(41)
+
+    def test_known_data_codewords(self):
+        assert data_codewords(1, "L") == 19
+        assert data_codewords(1, "H") == 9
+        assert data_codewords(5, "Q") == 2 * 15 + 2 * 16
+        assert data_codewords(10, "M") == 4 * 43 + 1 * 44
+
+    def test_byte_capacity_version1(self):
+        # v1-L: 19 data codewords, minus 4-bit mode + 8-bit count = 17 bytes.
+        assert byte_mode_capacity(1, "L") == 17
+        assert byte_mode_capacity(1, "H") == 7
+
+    def test_char_count_field_widths(self):
+        assert char_count_bits(9) == 8
+        assert char_count_bits(10) == 16
+
+    def test_capacity_monotone_in_version(self):
+        for level in "LMQH":
+            caps = [byte_mode_capacity(v, level) for v in range(1, 11)]
+            assert caps == sorted(caps)
+
+    def test_capacity_decreases_with_ecc(self):
+        for version in range(1, 11):
+            assert (
+                byte_mode_capacity(version, "L")
+                > byte_mode_capacity(version, "M")
+                > byte_mode_capacity(version, "Q")
+                > byte_mode_capacity(version, "H")
+            )
+
+
+class TestFormatInfo:
+    def test_known_word(self):
+        # ISO 18004's worked example: level M, mask 5 -> 0x40CE after masking.
+        assert format_info_bits("M", 5) == 0b100000011001110
+
+    def test_all_words_distinct(self):
+        words = {format_info_bits(lv, m) for lv in "LMQH" for m in range(8)}
+        assert len(words) == 32
+
+    def test_decode_clean(self):
+        for level in "LMQH":
+            for mask in range(8):
+                assert decode_format_info(format_info_bits(level, mask)) == (
+                    level,
+                    mask,
+                )
+
+    def test_decode_corrects_up_to_three_bit_errors(self):
+        word = format_info_bits("Q", 3)
+        damaged = word ^ 0b100000010000001  # 3 bit flips
+        assert decode_format_info(damaged) == ("Q", 3)
+
+    def test_invalid_mask_rejected(self):
+        with pytest.raises(ValueError):
+            format_info_bits("M", 8)
+
+    def test_minimum_distance_allows_3_errors(self):
+        # BCH(15,5) has minimum distance >= 7 after masking too.
+        words = [format_info_bits(lv, m) for lv in "LMQH" for m in range(8)]
+        for i, a in enumerate(words):
+            for b in words[i + 1 :]:
+                assert bin(a ^ b).count("1") >= 7
+
+
+class TestVersionInfo:
+    def test_known_word(self):
+        # ISO 18004 example: version 7 -> 0b000111110010010100.
+        assert version_info_bits(7) == 0b000111110010010100
+
+    def test_below_seven_rejected(self):
+        with pytest.raises(ValueError):
+            version_info_bits(6)
+
+    def test_top_bits_encode_version(self):
+        for version in range(7, 11):
+            assert version_info_bits(version) >> 12 == version
+
+
+class TestMasks:
+    def test_eight_masks(self):
+        assert len(MASK_FUNCTIONS) == 8
+
+    def test_mask0_checkerboard(self):
+        mask = MASK_FUNCTIONS[0]
+        assert mask(0, 0) and not mask(0, 1) and mask(1, 1)
+
+    def test_masks_differ(self):
+        # Sample a grid; no two masks agree everywhere.
+        grids = []
+        for fn in MASK_FUNCTIONS:
+            grids.append(tuple(fn(r, c) for r in range(12) for c in range(12)))
+        assert len(set(grids)) == 8
+
+
+class TestECTableIntegrity:
+    def test_group2_has_one_more_codeword(self):
+        for (version, level), (_, groups) in EC_TABLE.items():
+            if len(groups) == 2:
+                assert groups[1][1] == groups[0][1] + 1, (version, level)
+
+    def test_ec_even(self):
+        # QR EC codeword counts are always even (correction pairs).
+        for (_, _), (ec, _) in EC_TABLE.items():
+            assert ec % 2 == 0 or ec in (7, 13, 15, 17)  # v1 exceptions

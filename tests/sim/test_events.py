@@ -1,0 +1,82 @@
+"""Discrete-event engine: ordering, clock advancement, daily ticks."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimulatedClock(0.0))
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, queue):
+        fired = []
+        queue.schedule_at(30.0, lambda: fired.append("b"))
+        queue.schedule_at(10.0, lambda: fired.append("a"))
+        queue.schedule_at(20.0, lambda: fired.append("m"))
+        queue.run_until(100.0)
+        assert fired == ["a", "m", "b"]
+
+    def test_same_time_fifo(self, queue):
+        fired = []
+        for tag in "abc":
+            queue.schedule_at(10.0, lambda t=tag: fired.append(t))
+        queue.run_until(100.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, queue):
+        times = []
+        queue.schedule_at(42.0, lambda: times.append(queue.clock.now()))
+        queue.run_until(100.0)
+        assert times == [42.0]
+        assert queue.clock.now() == 100.0
+
+    def test_past_scheduling_rejected(self, queue):
+        queue.clock.advance(50)
+        with pytest.raises(ValueError):
+            queue.schedule_at(10.0, lambda: None)
+
+    def test_schedule_in(self, queue):
+        queue.clock.advance(10)
+        fired = []
+        queue.schedule_in(5.0, lambda: fired.append(queue.clock.now()))
+        queue.run_until(100.0)
+        assert fired == [15.0]
+
+    def test_run_until_leaves_future_events(self, queue):
+        fired = []
+        queue.schedule_at(10.0, lambda: fired.append(1))
+        queue.schedule_at(200.0, lambda: fired.append(2))
+        assert queue.run_until(100.0) == 1
+        assert fired == [1]
+        assert len(queue) == 1
+        queue.run_until(300.0)
+        assert fired == [1, 2]
+
+    def test_events_may_schedule_events(self, queue):
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule_in(1.0, lambda: fired.append("second"))
+
+        queue.schedule_at(10.0, first)
+        queue.run_until(100.0)
+        assert fired == ["first", "second"]
+
+
+class TestDaily:
+    def test_daily_tick_indices(self, queue):
+        days = []
+        queue.schedule_daily(lambda d: days.append(d), days=5)
+        queue.run_until(5 * 86400.0)
+        assert days == [0, 1, 2, 3, 4]
+
+    def test_daily_spacing(self, queue):
+        times = []
+        queue.schedule_daily(lambda d: times.append(queue.clock.now()), days=3)
+        queue.run_until(10 * 86400.0)
+        assert times == [0.0, 86400.0, 172800.0]

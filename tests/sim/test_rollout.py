@@ -1,0 +1,178 @@
+"""Rollout simulation: infrastructure consistency and figure shapes.
+
+These run on a reduced population (the benchmark harness uses the full
+configuration); the shape assertions use generous bands because a small
+population is noisier.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.sim import RolloutConfig, RolloutSimulation
+from repro.sim.metrics import DailyMetrics
+
+
+@pytest.fixture(scope="module")
+def sim():
+    simulation = RolloutSimulation(
+        RolloutConfig(population_size=600, seed=20160810, real_login_fraction=0.01)
+    )
+    simulation.run()
+    return simulation
+
+
+@pytest.fixture(scope="module")
+def metrics(sim):
+    return sim.metrics
+
+
+class TestInfrastructureConsistency:
+    def test_real_logins_ran(self, metrics):
+        assert metrics.real_logins_run > 10
+
+    def test_no_mismatches(self, metrics):
+        """Every sampled real login agreed with the statistical model —
+        the simulator and the actual PAM/RADIUS/OTP stack are coherent."""
+        assert metrics.real_login_mismatches == 0
+
+    def test_pairings_are_real_enrollments(self, sim):
+        """Each counted pairing exists in the OTP server's database."""
+        counted = int(sim.metrics.new_pairings.sum())
+        enrolled = sum(sim.center.otp.token_count_by_type().values())
+        assert enrolled == counted
+
+    def test_identity_and_otp_agree(self, sim):
+        from repro.directory.identity import PairingStatus
+
+        for username in sim.center.identity.usernames():
+            account = sim.center.identity.get(username)
+            has_token = sim.center.otp.has_pairing(account.uid)
+            is_paired = account.pairing_status is not PairingStatus.UNPAIRED
+            assert has_token == is_paired, username
+
+    def test_mode_followed_schedule(self, sim):
+        assert sim.system.mode == "full"
+
+
+class TestFigure3Shape:
+    """Unique MFA users/day: rising through phases 1-2, plateau in 3,
+    holiday dip, spring recovery."""
+
+    def test_monotone_adoption_phases(self, metrics):
+        phase1 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 8, 20), date(2016, 9, 5))
+        phase2 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 9, 10), date(2016, 10, 3))
+        phase3 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 10, 10), date(2016, 12, 10))
+        assert phase1 < phase2 < phase3
+
+    def test_near_max_after_mandatory(self, metrics):
+        phase3 = metrics.mean_over(metrics.unique_mfa_users, date(2016, 10, 10), date(2016, 12, 10))
+        spring = metrics.mean_over(metrics.unique_mfa_users, date(2017, 2, 1), date(2017, 3, 20))
+        assert phase3 > 0
+        assert abs(spring - phase3) / phase3 < 0.5
+
+    def test_holiday_dip(self, metrics):
+        before = metrics.mean_over(metrics.unique_mfa_users, date(2016, 11, 28), date(2016, 12, 14))
+        holiday = metrics.mean_over(metrics.unique_mfa_users, date(2016, 12, 18), date(2017, 1, 1))
+        assert holiday < 0.6 * before
+
+
+class TestFigure4Shape:
+    """SSH traffic: the phase-2 drop in external non-MFA traffic, with
+    exempt automation persisting through phase 3."""
+
+    def test_phase2_drop_in_nonmfa_external(self, metrics):
+        phase1 = metrics.mean_over(metrics.external_nonmfa, date(2016, 8, 10), date(2016, 9, 5))
+        phase2 = metrics.mean_over(metrics.external_nonmfa, date(2016, 9, 10), date(2016, 10, 3))
+        assert phase2 < 0.85 * phase1
+
+    def test_automation_persists_in_phase3(self, metrics):
+        """Exempted gateway/community traffic continues: "automated,
+        non-interactive traffic continues to account for a significant
+        portion of login events"."""
+        phase3 = metrics.mean_over(metrics.external_nonmfa, date(2016, 10, 10), date(2016, 12, 10))
+        total = metrics.mean_over(metrics.external_total, date(2016, 10, 10), date(2016, 12, 10))
+        assert phase3 / total > 0.3
+
+    def test_mfa_traffic_grows(self, metrics):
+        phase1 = metrics.mean_over(metrics.external_mfa, date(2016, 8, 10), date(2016, 9, 5))
+        phase3 = metrics.mean_over(metrics.external_mfa, date(2016, 10, 10), date(2016, 12, 10))
+        assert phase3 > phase1
+
+    def test_internal_traffic_not_disrupted(self, metrics):
+        """Internal traffic "was not particularly affected by the
+        transition" — no collapse across the mandatory boundary."""
+        before = metrics.mean_over(metrics.internal, date(2016, 9, 1), date(2016, 10, 3))
+        after = metrics.mean_over(metrics.internal, date(2016, 10, 5), date(2016, 11, 10))
+        assert after > 0.6 * before
+
+    def test_composites_consistent(self, metrics):
+        assert (metrics.external_total == metrics.external_mfa + metrics.external_nonmfa).all()
+        assert (metrics.all_traffic >= metrics.external_total).all()
+
+
+class TestFigure5Shape:
+    """Ticket load: MFA share modest during transition, waning after."""
+
+    def test_transition_share_band(self, metrics):
+        share = metrics.mfa_ticket_share(date(2016, 8, 10), date(2016, 12, 31))
+        assert 0.03 <= share <= 0.14  # paper: 6.7%
+
+    def test_steady_state_share_band(self, metrics):
+        share = metrics.mfa_ticket_share(date(2017, 1, 1), date(2017, 3, 31))
+        assert 0.005 <= share <= 0.06  # paper: 2.7%
+
+    def test_share_wanes_after_transition(self, metrics):
+        transition = metrics.mfa_ticket_share(date(2016, 8, 10), date(2016, 12, 31))
+        steady = metrics.mfa_ticket_share(date(2017, 1, 1), date(2017, 3, 31))
+        assert steady < transition
+
+
+class TestFigure6Shape:
+    """New pairings: Sep 7 the biggest day; deadline spike; announcements."""
+
+    def test_sep7_top_day(self, metrics):
+        assert metrics.pairing_rank_of(date(2016, 9, 7)) <= 2
+
+    def test_oct4_spike_but_not_peak(self, metrics):
+        rank = metrics.pairing_rank_of(date(2016, 10, 4))
+        assert 2 <= rank <= 8  # the paper ranks it fourth
+
+    def test_announcement_day_local_spike(self, metrics):
+        day = metrics.day_of(date(2016, 8, 10))
+        before = metrics.new_pairings[day - 5 : day].mean()
+        assert metrics.new_pairings[day] > 2 * max(before, 1)
+
+    def test_majority_paired_before_deadline(self, metrics):
+        """Figure 3's caption: "Most users had already paired an MFA
+        device before the mandatory deadline"."""
+        deadline = metrics.day_of(date(2016, 10, 4))
+        before = metrics.new_pairings[:deadline].sum()
+        assert before / metrics.new_pairings.sum() > 0.5
+
+
+class TestTable1Shape:
+    def test_breakdown_matches_paper(self, metrics):
+        breakdown = metrics.pairing_breakdown_percent()
+        assert 48 <= breakdown["soft"] <= 62  # paper: 55.38
+        assert 33 <= breakdown["sms"] <= 48  # paper: 40.22
+        assert 0.5 <= breakdown["training"] <= 6  # paper: 2.97
+        assert 0.3 <= breakdown["hard"] <= 4  # paper: 1.43
+
+    def test_ordering_matches_paper(self, metrics):
+        breakdown = metrics.pairing_breakdown_percent()
+        assert breakdown["soft"] > breakdown["sms"] > breakdown["training"] > breakdown["hard"]
+
+
+class TestMetricsHelpers:
+    def test_day_date_round_trip(self):
+        m = DailyMetrics(date(2016, 8, 1), 10)
+        assert m.day_of(m.date_of(5)) == 5
+
+    def test_top_pairing_days_sorted(self, metrics):
+        top = metrics.top_pairing_days(5)
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_mean_over_empty_window(self, metrics):
+        assert metrics.mean_over(metrics.internal, date(2020, 1, 1), date(2020, 2, 1)) == 0.0

@@ -1,0 +1,120 @@
+"""Rollout internals: new-account arrivals, device fallbacks, phases."""
+
+from datetime import date
+
+import pytest
+
+from repro.sim import RolloutConfig, RolloutSimulation
+from repro.sim.behavior import SPRING_SEMESTER
+
+
+@pytest.fixture(scope="module")
+def sim():
+    simulation = RolloutSimulation(
+        RolloutConfig(population_size=400, seed=17, real_login_fraction=0.0)
+    )
+    simulation.run()
+    return simulation
+
+
+class TestProvisioning:
+    def test_service_accounts_exempted(self, sim):
+        for user in sim.population.service_accounts():
+            assert sim.system.acl.check(user.username, "8.8.8.8"), user.username
+
+    def test_regular_accounts_not_exempted(self, sim):
+        regular = next(
+            u for u in sim.population.users
+            if not u.is_service_account and u.username.startswith("in")
+        )
+        assert not sim.system.acl.check(regular.username, "8.8.8.8")
+
+    def test_hard_batch_sized_for_population(self, sim):
+        hard_pref = sum(
+            1 for u in sim.population.users if u.device_preference == "hard"
+        )
+        # The batch was provisioned with slack; nobody was left fobless.
+        assert sim.metrics.pairing_types.get("hard", 0) >= 1
+        assert len(sim._hard_batch) >= hard_pref
+
+    def test_all_accounts_exist_in_identity(self, sim):
+        for user in sim.population.users:
+            assert user.username in sim.center.identity
+
+
+class TestNewAccounts:
+    def test_new_users_arrive(self, sim):
+        newcomers = [
+            u for u in sim.population.users if u.username.startswith("newuser")
+        ]
+        assert newcomers
+
+    def test_late_signups_pair_at_registration(self, sim):
+        """From late August "any new users ... began receiving instruction
+        on how to pair an MFA device" — late arrivals are all paired."""
+        from repro.directory.identity import PairingStatus
+
+        newcomers = [
+            u for u in sim.population.users if u.username.startswith("newuser")
+        ]
+        paired = sum(
+            1
+            for u in newcomers
+            if sim.center.identity.get(u.username).pairing_status
+            is not PairingStatus.UNPAIRED
+        )
+        assert paired / len(newcomers) > 0.8
+
+    def test_spring_semester_arrival_uptick(self, sim):
+        m = sim.metrics
+        december = m.mean_over(m.new_pairings, date(2016, 12, 5), date(2017, 1, 10))
+        spring = m.mean_over(
+            m.new_pairings, SPRING_SEMESTER, date(2017, 2, 7)
+        )
+        assert spring > december
+
+
+class TestPhaseMachinery:
+    def test_final_mode_full(self, sim):
+        assert sim.system.mode == "full"
+
+    def test_mass_emails_sent_at_milestones(self, sim):
+        """Three campaign-wide broadcasts: announcement, phase 2, phase 3."""
+        assert sim.mailer.sent_count >= 3 * len(sim.population.users) * 0.9
+        # A specific user's inbox holds the three announcements.
+        sample = sim.population.users[0].username
+        email = sim.center.identity.get(sample).email
+        subjects = [m.subject for m in sim.mailer.inbox(email)]
+        assert any("coming" in s for s in subjects)
+        assert any("countdown" in s for s in subjects)
+        assert any("mandatory" in s for s in subjects)
+
+    def test_training_pairings_spread(self, sim):
+        """Training accounts pair at their workshops, not in one burst."""
+        training_days = [
+            state.workshop_day
+            for state in sim._states.values()
+            if state.workshop_day is not None
+        ]
+        if len(training_days) >= 3:
+            assert len(set(training_days)) >= 3
+
+    def test_unpaired_remainder_is_small_and_inactive(self, sim):
+        """Whoever never paired is a user who effectively never logs in."""
+        from repro.directory.identity import AccountClass, PairingStatus
+
+        stragglers = [
+            state.profile
+            for state in sim._states.values()
+            if not state.paired
+            and not state.profile.is_service_account
+            and state.profile.account_class is not AccountClass.TRAINING
+        ]
+        share = len(stragglers) / len(sim.population.users)
+        assert share < 0.25
+        if stragglers:
+            mean_rate = sum(u.login_rate for u in stragglers) / len(stragglers)
+            active_mean = sum(u.login_rate for u in sim.population.users) / len(
+                sim.population.users
+            )
+            assert mean_rate < active_mean

@@ -1,0 +1,75 @@
+"""The support-ticket load model."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.sim.tickets import TicketModel
+
+
+@pytest.fixture
+def model():
+    return TicketModel(population=2000)
+
+
+WEDNESDAY = date(2016, 9, 14)
+SATURDAY = date(2016, 9, 17)
+CHRISTMAS = date(2016, 12, 25)
+
+
+class TestBaseline:
+    def test_scales_with_population(self):
+        rng = random.Random(1)
+        small = sum(TicketModel(1000).other_tickets(WEDNESDAY, rng) for _ in range(200))
+        rng = random.Random(1)
+        large = sum(TicketModel(10000).other_tickets(WEDNESDAY, rng) for _ in range(200))
+        assert 6 < large / small < 14
+
+    def test_weekend_quieter(self, model):
+        rng = random.Random(2)
+        weekday = sum(model.other_tickets(WEDNESDAY, rng) for _ in range(100))
+        rng = random.Random(2)
+        weekend = sum(model.other_tickets(SATURDAY, rng) for _ in range(100))
+        assert weekend < weekday
+
+    def test_holiday_quieter(self, model):
+        rng = random.Random(3)
+        normal = sum(model.other_tickets(WEDNESDAY, rng) for _ in range(100))
+        rng = random.Random(3)
+        holiday = sum(model.other_tickets(CHRISTMAS, rng) for _ in range(100))
+        assert holiday < normal
+
+    def test_never_negative(self, model):
+        rng = random.Random(4)
+        for _ in range(500):
+            assert model.other_tickets(WEDNESDAY, rng) >= 0
+            assert model.mfa_tickets(WEDNESDAY, 0, 0, 0, rng) >= 0
+
+
+class TestMFADrivers:
+    def test_pairings_drive_tickets(self, model):
+        rng = random.Random(5)
+        quiet = sum(model.mfa_tickets(WEDNESDAY, 0, 0, 0, rng) for _ in range(100))
+        rng = random.Random(5)
+        busy = sum(model.mfa_tickets(WEDNESDAY, 200, 0, 0, rng) for _ in range(100))
+        assert busy > quiet
+
+    def test_lockouts_drive_tickets_hardest(self, model):
+        rng = random.Random(6)
+        pairing_driven = sum(
+            model.mfa_tickets(WEDNESDAY, 100, 0, 0, rng) for _ in range(100)
+        )
+        rng = random.Random(6)
+        lockout_driven = sum(
+            model.mfa_tickets(WEDNESDAY, 0, 0, 100, rng) for _ in range(100)
+        )
+        # Per event, a deadline lockout is far likelier to open a ticket.
+        assert lockout_driven > pairing_driven
+
+    def test_steady_trickle_exists(self, model):
+        """Post-transition MFA tickets don't go to zero: new users and
+        device changes keep arriving."""
+        rng = random.Random(7)
+        total = sum(model.mfa_tickets(WEDNESDAY, 0, 0, 0, rng) for _ in range(200))
+        assert total > 0

@@ -1,0 +1,48 @@
+"""Key pairs: fingerprints, possession proofs."""
+
+import random
+
+from repro.ssh.keys import KeyPair, fingerprint
+
+
+class TestKeyPair:
+    def test_generate_deterministic(self):
+        a = KeyPair.generate(rng=random.Random(1))
+        b = KeyPair.generate(rng=random.Random(1))
+        assert a.private_seed == b.private_seed
+
+    def test_distinct_keys(self):
+        a = KeyPair.generate(rng=random.Random(1))
+        b = KeyPair.generate(rng=random.Random(2))
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_format(self):
+        key = KeyPair.generate(rng=random.Random(3))
+        assert key.fingerprint.startswith("SHA256:")
+
+    def test_fingerprint_of_public_key(self):
+        key = KeyPair.generate(rng=random.Random(4))
+        assert key.fingerprint == fingerprint(key.public_key)
+
+    def test_public_key_hides_private_seed(self):
+        key = KeyPair.generate(rng=random.Random(5))
+        assert key.private_seed.hex() not in key.public_key
+
+    def test_comment_in_public_key(self):
+        key = KeyPair.generate(comment="alice@laptop", rng=random.Random(6))
+        assert key.public_key.endswith("alice@laptop")
+
+    def test_sign_verify(self):
+        key = KeyPair.generate(rng=random.Random(7))
+        challenge = b"login-challenge"
+        assert key.verify_with_public(challenge, key.sign(challenge))
+
+    def test_wrong_signature_rejected(self):
+        key = KeyPair.generate(rng=random.Random(8))
+        other = KeyPair.generate(rng=random.Random(9))
+        challenge = b"login-challenge"
+        assert not key.verify_with_public(challenge, other.sign(challenge))
+
+    def test_signature_bound_to_challenge(self):
+        key = KeyPair.generate(rng=random.Random(10))
+        assert not key.verify_with_public(b"challenge-2", key.sign(b"challenge-1"))
