@@ -4,7 +4,11 @@ Commands:
 
 * ``report [population] [seed]`` — run the rollout simulation and print
   the paper-vs-measured evaluation report (default 1500 accounts).
-* ``demo`` — the quickstart walkthrough (pair a token, log in).
+* ``demo [--telemetry-dump]`` — the quickstart walkthrough (pair a token,
+  log in); with ``--telemetry-dump``, print the telemetry snapshot of the
+  login afterwards.
+* ``telemetry [--json]`` — run one instrumented login and dump the
+  resulting metrics snapshot and span tree (text by default).
 * ``qr <text>`` — render any text as a terminal QR code (the portal's
   pairing renderer, exposed because it is genuinely handy).
 """
@@ -23,7 +27,8 @@ def _cmd_report(args: list) -> int:
     return 0
 
 
-def _cmd_demo(_args: list) -> int:
+def _demo_login(telemetry=None):
+    """The shared quickstart scenario: pair a soft token, log in once."""
     import random
 
     from repro.common.clock import SimulatedClock
@@ -32,7 +37,7 @@ def _cmd_demo(_args: list) -> int:
     from repro.ssh import SSHClient
 
     clock = SimulatedClock.at("2016-10-05T09:00:00")
-    center = MFACenter(clock=clock, rng=random.Random(42))
+    center = MFACenter(clock=clock, rng=random.Random(42), telemetry=telemetry)
     system = center.add_system("stampede", mode="full")
     center.create_user("demo", password="demo-password")
     _, secret = center.pair_soft("demo")
@@ -42,8 +47,34 @@ def _cmd_demo(_args: list) -> int:
         system.login_node(), "demo",
         password="demo-password", token=device.current_code,
     )
+    return center, result
+
+
+def _cmd_demo(args: list) -> int:
+    dump = "--telemetry-dump" in args
+    center, result = _demo_login(telemetry=True if dump else None)
     print("demo login:", "GRANTED" if result.success else "DENIED")
     print("session items:", result.session_items)
+    if dump:
+        from repro.telemetry import render_text, render_trace_text
+
+        snapshot = center.telemetry.snapshot()
+        print()
+        print(render_text(snapshot))
+        print(render_trace_text(snapshot))
+    return 0 if result.success else 1
+
+
+def _cmd_telemetry(args: list) -> int:
+    from repro.telemetry import render_json, render_text, render_trace_text
+
+    center, result = _demo_login(telemetry=True)
+    snapshot = center.telemetry.snapshot()
+    if "--json" in args:
+        print(render_json(snapshot))
+    else:
+        print(render_text(snapshot))
+        print(render_trace_text(snapshot))
     return 0 if result.success else 1
 
 
@@ -59,7 +90,12 @@ def _cmd_qr(args: list) -> int:
 
 
 def main(argv: list) -> int:
-    commands = {"report": _cmd_report, "demo": _cmd_demo, "qr": _cmd_qr}
+    commands = {
+        "report": _cmd_report,
+        "demo": _cmd_demo,
+        "telemetry": _cmd_telemetry,
+        "qr": _cmd_qr,
+    }
     if not argv or argv[0] not in commands:
         print(__doc__, file=sys.stderr)
         return 2

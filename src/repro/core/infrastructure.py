@@ -17,8 +17,18 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import NotFoundError, ValidationError
 from repro.directory.identity import AccountClass, IdentityBackend, PairingStatus
-from repro.otpserver.server import OTPServer, OTPServerConfig
-from repro.otpserver.sms_gateway import SMSGateway
+# ValidateResult/ValidateStatus come from the package's public surface (not
+# the private server module) and at module level: the unknown-user branch
+# below sits on the per-login hot path, where a lazy import costs a dict
+# probe and lock check per call.
+from repro.otpserver import (
+    OTPServer,
+    OTPServerConfig,
+    SMSGateway,
+    TokenBackend,
+    ValidateResult,
+    ValidateStatus,
+)
 from repro.otpserver.tokens import HardTokenBatch, random_static_code
 from repro.pam.acl import InMemoryExemptionACL
 from repro.pam.framework import PAMStack
@@ -31,6 +41,7 @@ from repro.radius.server import RADIUSServer
 from repro.radius.transport import UDPFabric
 from repro.ssh.authlog import AuthLog
 from repro.ssh.daemon import SSHDaemon
+from repro.telemetry import resolve_registry
 
 DEFAULT_RADIUS_SECRET = b"center-radius-secret"
 
@@ -42,18 +53,19 @@ class UsernameResolvingBackend:
     tokens under the unique user id "common to both databases" (Section
     3.1).  This adapter performs the LDAP-side join before validation —
     an unknown username validates to "no token" rather than erroring.
+
+    Implements the :class:`repro.otpserver.TokenBackend` protocol, like the
+    :class:`OTPServer` it wraps, so RADIUS servers accept either directly.
     """
 
     def __init__(self, identity: IdentityBackend, otp: OTPServer) -> None:
         self._identity = identity
         self._otp = otp
 
-    def validate(self, username: str, code: Optional[str]):
+    def validate(self, username: str, code: Optional[str]) -> ValidateResult:
         try:
             uid = self._identity.get(username).uid
         except NotFoundError:
-            from repro.otpserver.server import ValidateResult, ValidateStatus
-
             return ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
         return self._otp.validate(uid, code)
 
@@ -116,6 +128,7 @@ class HPCSystem:
                 authlog=self.authlog,
                 clock=center.clock,
                 banner=f"*** {name}: multi-factor authentication in effect ***",
+                telemetry=center.telemetry,
             )
             self.daemons.append(daemon)
 
@@ -188,23 +201,32 @@ class MFACenter:
         otp_config: Optional[OTPServerConfig] = None,
         fabric_loss_rate: float = 0.0,
         pam_dir: Optional[str] = None,
+        telemetry=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
+        # One registry for the whole deployment: every layer reports into
+        # it, which is what stitches a login's spans into a single trace.
+        # Default is the free no-op registry; pass telemetry=True (or a
+        # Registry) to turn measurement on.
+        self.telemetry = resolve_registry(telemetry, clock=self.clock)
         # Optional pam.d root: systems then read their stacks from real
         # per-service config files with hot reload.
         self.pam_dir = pam_dir
         self.identity = IdentityBackend()
-        self.sms_gateway = SMSGateway(self.clock, rng=self.rng)
+        self.sms_gateway = SMSGateway(self.clock, rng=self.rng, telemetry=self.telemetry)
         self.otp = OTPServer(
             clock=self.clock,
             config=otp_config,
             sms_gateway=self.sms_gateway,
             rng=self.rng,
+            telemetry=self.telemetry,
         )
         self.fabric = UDPFabric(loss_rate=fabric_loss_rate, rng=self.rng)
         self.radius_secret = radius_secret
-        self.radius_backend = UsernameResolvingBackend(self.identity, self.otp)
+        self.radius_backend: TokenBackend = UsernameResolvingBackend(
+            self.identity, self.otp
+        )
         self.radius_servers: List[RADIUSServer] = []
         for i in range(num_radius_servers):
             server = RADIUSServer(
@@ -212,6 +234,7 @@ class MFACenter:
                 self.fabric,
                 self.radius_backend,
                 name=f"radius{i + 1}",
+                telemetry=self.telemetry,
             )
             # Firewall posture: only internal login-node subnets may speak
             # to the RADIUS farm (and only RADIUS speaks to the OTP server).
@@ -230,6 +253,7 @@ class MFACenter:
             self.radius_secret,
             source=source_ip,
             rng=self.rng,
+            telemetry=self.telemetry,
         )
 
     def add_system(

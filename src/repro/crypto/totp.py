@@ -30,6 +30,12 @@ DEFAULT_STEP = 30
 #: The deployment's drift tolerance in seconds (paper Section 3.3).
 DEFAULT_DRIFT = 300
 
+#: Canonical rejection reasons, shared with callers that label outcomes
+#: (the OTP server counts replay-floor hits by matching REASON_REPLAY).
+REASON_MALFORMED = "malformed code"
+REASON_REPLAY = "code already used"
+REASON_NO_MATCH = "no matching step in drift window"
+
 
 def time_step(timestamp: float, step: int = DEFAULT_STEP, t0: int = 0) -> int:
     """Map a POSIX timestamp to its TOTP step counter (RFC 6238 ``T``)."""
@@ -86,11 +92,21 @@ class ValidationOutcome:
     ``offset`` is the signed number of steps between the server's current
     step and the step that matched, useful for drift monitoring and for the
     resynchronization workflow admins run from the LinOTP UI.
+
+    Shares the ``.ok``/``.reason`` accessor pair with
+    :class:`repro.otpserver.server.ValidateResult` so telemetry can label
+    validation outcomes uniformly across layers; ``.message`` is kept as a
+    deprecated alias mirroring that class's historical field name.
     """
 
     ok: bool
     offset: Optional[int] = None
     reason: str = ""
+
+    @property
+    def message(self) -> str:
+        """Deprecated alias for :attr:`reason`."""
+        return self.reason
 
 
 class TOTPValidator:
@@ -131,7 +147,7 @@ class TOTPValidator:
         the "token code is nullified" behaviour from Section 3.2.
         """
         if len(code) != self.digits or not code.isdigit():
-            return ValidationOutcome(False, reason="malformed code")
+            return ValidationOutcome(False, reason=REASON_MALFORMED)
         center = time_step(self.clock.now(), self.step) + self._offsets.get(key_id, 0)
         floor = self._last_accepted.get(key_id, -1)
         # Search outward from the center so the common no-drift case matches
@@ -154,8 +170,8 @@ class TOTPValidator:
                 for s in range(max(0, center - self.window), floor + 1)
             )
             if expected_consumed:
-                return ValidationOutcome(False, reason="code already used")
-        return ValidationOutcome(False, reason="no matching step in drift window")
+                return ValidationOutcome(False, reason=REASON_REPLAY)
+        return ValidationOutcome(False, reason=REASON_NO_MATCH)
 
     def resync(
         self, key_id: str, secret: bytes, code1: str, code2: str, search: int = 1000

@@ -18,7 +18,13 @@ Subsystems:
 """
 
 from repro.otpserver.database import Database, Table
-from repro.otpserver.server import OTPServer, OTPServerConfig, ValidateResult
+from repro.otpserver.server import (
+    OTPServer,
+    OTPServerConfig,
+    TokenBackend,
+    ValidateResult,
+    ValidateStatus,
+)
 from repro.otpserver.sms_gateway import SMSGateway, SMSPricing
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
 
@@ -27,7 +33,9 @@ __all__ = [
     "Table",
     "OTPServer",
     "OTPServerConfig",
+    "TokenBackend",
     "ValidateResult",
+    "ValidateStatus",
     "SMSGateway",
     "SMSPricing",
     "TokenRecord",

@@ -40,6 +40,11 @@ class AuditLog:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def latest(self) -> Optional[AuditEntry]:
+        """The newest record, or None on an empty log (telemetry reads
+        this to measure audit lag without copying the whole trail)."""
+        return self._entries[-1] if self._entries else None
+
     def record(
         self,
         action: str,

@@ -23,18 +23,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.ids import IdAllocator
 from repro.crypto.hotp import verify_hotp
 from repro.crypto.secrets import SecretSealer, generate_secret
-from repro.crypto.totp import TOTPValidator, totp_at
+from repro.crypto.totp import REASON_REPLAY, TOTPValidator, totp_at
 from repro.otpserver.audit import AuditLog
 from repro.otpserver.database import Database
 from repro.otpserver.sms_gateway import SMSGateway
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
+from repro.telemetry import NOOP_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -71,13 +72,41 @@ class ValidateStatus(str, Enum):
 
 @dataclass
 class ValidateResult:
+    """Outcome of one ``/validate/check`` call.
+
+    The canonical accessors shared with
+    :class:`~repro.crypto.totp.ValidationOutcome` are ``.ok`` and
+    ``.reason`` — telemetry labels every layer's validation outcome through
+    that pair without isinstance checks.  ``.message`` is the historical
+    name for ``.reason`` and is kept as a deprecated read-only alias.
+    """
+
     status: ValidateStatus
-    message: str = ""
+    reason: str = ""
     serial: str = ""
 
     @property
     def ok(self) -> bool:
         return self.status is ValidateStatus.OK
+
+    @property
+    def message(self) -> str:
+        """Deprecated alias for :attr:`reason` (the pre-protocol field name)."""
+        return self.reason
+
+
+@runtime_checkable
+class TokenBackend(Protocol):
+    """The validation surface RADIUS servers (and anything else that checks
+    a second factor) call — LinOTP's ``/validate/check`` as a typed seam.
+
+    Implementations: :class:`OTPServer` itself, and
+    :class:`repro.core.infrastructure.UsernameResolvingBackend`, which joins
+    the RADIUS User-Name to the OTP key space through LDAP first.  ``code``
+    is ``None`` (or empty) for the SMS "null request".
+    """
+
+    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult: ...
 
 
 _TOKEN_COLUMNS = (
@@ -106,11 +135,36 @@ class OTPServer:
         sms_gateway: Optional[SMSGateway] = None,
         master_key: bytes = b"linotp-master-key-0123456789abcdef",
         rng: Optional[random.Random] = None,
+        telemetry=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.config = config or OTPServerConfig()
         self._rng = rng or random.Random()
-        self.sms = sms_gateway or SMSGateway(self.clock, rng=self._rng)
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._tracer = self.telemetry.tracer()
+        self._m_validate = self.telemetry.counter(
+            "otp_validate_total", "OTP validate calls by status"
+        )
+        self._m_lockouts = self.telemetry.counter(
+            "otp_lockouts_total", "tokens deactivated by the 20-strike rule"
+        )
+        self._m_replay = self.telemetry.counter(
+            "otp_replay_floor_hits_total",
+            "correct-but-consumed codes rejected by the replay floor",
+        )
+        self._m_sms_challenges = self.telemetry.counter(
+            "otp_sms_challenges_total", "SMS challenge starts by result"
+        )
+        self._m_audit_lag = self.telemetry.histogram(
+            "otp_audit_lag_seconds",
+            "age of the newest audit record when a validate call lands",
+        )
+        self._g_audit_size = self.telemetry.gauge(
+            "otp_audit_log_size", "audit records retained"
+        )
+        self.sms = sms_gateway or SMSGateway(
+            self.clock, rng=self._rng, telemetry=self.telemetry
+        )
         self._sealer = SecretSealer(master_key, rng=self._rng)
         self.db = Database("linotp")
         self.db.create_table(
@@ -298,6 +352,19 @@ class OTPServer:
         ``code=None`` (the "null request") triggers the SMS challenge for
         SMS-paired users; any other value is checked as a token code.
         """
+        with self._tracer.span("otp.validate", user=user_id) as span:
+            latest = self.audit.latest()
+            if latest is not None:
+                self._m_audit_lag.observe(self.clock.now() - latest.timestamp)
+            result = self._validate(user_id, code)
+            span.annotate("status", result.status.value)
+            if result.reason:
+                span.annotate("reason", result.reason)
+            self._m_validate.inc(status=result.status.value)
+            self._g_audit_size.set(len(self.audit))
+            return result
+
+    def _validate(self, user_id: str, code: Optional[str]) -> ValidateResult:
         self.validate_requests += 1
         rows = self._user_tokens(user_id)
         if not rows:
@@ -352,6 +419,8 @@ class OTPServer:
         else:  # soft and hard tokens share the TOTP path
             secret = self._sealer.unseal(row["sealed_secret"])
             outcome = self._validator.validate(row["serial"], secret, code)
+            if outcome.reason == REASON_REPLAY:
+                self._m_replay.inc(serial=row["serial"])
             result = ValidateResult(
                 ValidateStatus.OK if outcome.ok else ValidateStatus.REJECT,
                 outcome.reason,
@@ -371,10 +440,11 @@ class OTPServer:
         failcount = row["failcount"] + 1
         changes: Dict[str, object] = {"failcount": failcount}
         self.audit.record(
-            "validate", user_id, row["serial"], success=False, detail=result.message
+            "validate", user_id, row["serial"], success=False, detail=result.reason
         )
         if failcount >= self.config.lockout_threshold:
             changes["active"] = False
+            self._m_lockouts.inc()
             self.audit.record(
                 "lockout",
                 user_id,
@@ -394,6 +464,7 @@ class OTPServer:
             if outstanding["expires_at"] > now:
                 # "LinOTP will not forward to Twilio and instead ... a
                 # response message ... that the SMS has already been sent."
+                self._m_sms_challenges.inc(result="pending")
                 return ValidateResult(
                     ValidateStatus.CHALLENGE_PENDING,
                     "an SMS token code has already been sent",
@@ -415,6 +486,7 @@ class OTPServer:
             }
         )
         self.audit.record("sms_challenge", user_id, row["serial"])
+        self._m_sms_challenges.inc(result="sent")
         return ValidateResult(
             ValidateStatus.CHALLENGE_SENT, "SMS token code sent", serial=row["serial"]
         )

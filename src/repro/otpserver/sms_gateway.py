@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.common.clock import Clock
 from repro.common.errors import ValidationError
+from repro.telemetry import NOOP_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -78,11 +79,28 @@ class SMSGateway:
         pricing: Optional[SMSPricing] = None,
         carrier: Optional[CarrierProfile] = None,
         rng: Optional[random.Random] = None,
+        telemetry=None,
     ) -> None:
         self._clock = clock
         self.pricing = pricing or SMSPricing()
         self.carrier = carrier or CarrierProfile()
         self._rng = rng or random.Random()
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._tracer = self.telemetry.tracer()
+        self._m_messages = self.telemetry.counter(
+            "sms_messages_total", "messages handed to the carrier, by destination"
+        )
+        self._m_cost = self.telemetry.counter(
+            "sms_cost_dollars_total", "accumulated per-message charges"
+        )
+        self._m_stalls = self.telemetry.counter(
+            "sms_carrier_stalls_total", "messages the carrier sat on before retry"
+        )
+        self._m_delay = self.telemetry.histogram(
+            "sms_delivery_delay_seconds",
+            "carrier delivery latency (send to scheduled delivery)",
+            buckets=(1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, 600.0, 1200.0),
+        )
         self._in_flight: Dict[str, List[SMSMessage]] = {}
         self._inboxes: Dict[str, List[SMSMessage]] = {}
         self.messages_sent = 0
@@ -101,30 +119,39 @@ class SMSGateway:
         """Queue a message for delivery; returns the in-flight record."""
         if not to_number:
             raise ValidationError("destination number is required")
-        now = self._clock.now()
-        if self._rng.random() < self.carrier.stall_probability:
-            delay = self.carrier.stall_delay + self._rng.random() * self.carrier.stall_delay
-            attempts = 2  # the carrier retried before it finally landed
-        else:
-            delay = self.carrier.base_delay + self._rng.random() * self.carrier.delay_jitter
-            attempts = 1
-        cost = (
-            self.pricing.per_message_us
-            if is_us_number(to_number)
-            else self.pricing.per_message_intl
-        )
-        message = SMSMessage(
-            to_number=to_number,
-            body=body,
-            sent_at=now,
-            deliver_at=now + delay,
-            cost=cost,
-            attempts=attempts,
-        )
-        self._in_flight.setdefault(to_number, []).append(message)
-        self.messages_sent += 1
-        self.message_charges += cost
-        return message
+        with self._tracer.span("sms.send") as span:
+            now = self._clock.now()
+            if self._rng.random() < self.carrier.stall_probability:
+                delay = self.carrier.stall_delay + self._rng.random() * self.carrier.stall_delay
+                attempts = 2  # the carrier retried before it finally landed
+                self._m_stalls.inc()
+            else:
+                delay = self.carrier.base_delay + self._rng.random() * self.carrier.delay_jitter
+                attempts = 1
+            us_destination = is_us_number(to_number)
+            cost = (
+                self.pricing.per_message_us
+                if us_destination
+                else self.pricing.per_message_intl
+            )
+            message = SMSMessage(
+                to_number=to_number,
+                body=body,
+                sent_at=now,
+                deliver_at=now + delay,
+                cost=cost,
+                attempts=attempts,
+            )
+            self._in_flight.setdefault(to_number, []).append(message)
+            self.messages_sent += 1
+            self.message_charges += cost
+            destination = "us" if us_destination else "intl"
+            self._m_messages.inc(destination=destination)
+            self._m_cost.inc(cost, destination=destination)
+            self._m_delay.observe(delay)
+            span.annotate("destination", destination)
+            span.annotate("delay", round(delay, 3))
+            return message
 
     def _deliver_due(self, number: str) -> None:
         now = self._clock.now()

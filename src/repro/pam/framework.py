@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import ConfigurationError
 from repro.pam.conversation import Conversation, ConversationError
+from repro.telemetry import NOOP_REGISTRY
 
 
 class PAMResult(Enum):
@@ -52,6 +53,10 @@ class PAMSession:
     clock: Clock = field(default_factory=SystemClock)
     items: Dict[str, Any] = field(default_factory=dict)
     log: List[str] = field(default_factory=list)
+    # The deployment's telemetry registry; the SSH daemon stamps its own in
+    # so the stack and its modules report into the same span tree.  Defaults
+    # to the free no-op registry for bare PAMSession construction.
+    telemetry: Any = NOOP_REGISTRY
 
     def record(self, message: str) -> None:
         """Append to the session's debug trail (visible in test failures)."""
@@ -121,8 +126,21 @@ class PAMStack:
 
     def authenticate(self, session: PAMSession) -> PAMResult:
         """Run the stack to a final verdict."""
+        tracer = session.telemetry.tracer()
+        with tracer.span("pam.stack", service=self.service) as span:
+            verdict = self._run(session, tracer)
+            span.annotate("result", verdict.value)
+            session.telemetry.counter(
+                "pam_stack_results_total", "PAM stack verdicts by service"
+            ).inc(service=self.service, result=verdict.value)
+            return verdict
+
+    def _run(self, session: PAMSession, tracer) -> PAMResult:
         if not self.entries:
             raise ConfigurationError(f"service {self.service!r} has an empty stack")
+        module_counter = session.telemetry.counter(
+            "pam_module_results_total", "per-module return codes"
+        )
         recorded_failure: Optional[PAMResult] = None
         recorded_success = False
         skip = 0
@@ -130,10 +148,13 @@ class PAMStack:
             if skip > 0:
                 skip -= 1
                 continue
-            try:
-                code = entry.module.authenticate(session)
-            except ConversationError:
-                code = PAMResult.ABORT
+            with tracer.span("pam." + entry.module.name) as module_span:
+                try:
+                    code = entry.module.authenticate(session)
+                except ConversationError:
+                    code = PAMResult.ABORT
+                module_span.annotate("result", code.value)
+            module_counter.inc(module=entry.module.name, result=code.value)
             session.record(f"{entry.module.name}: {code.value}")
             action = entry.actions.get(code.value, entry.actions["default"])
             if action.isdigit():

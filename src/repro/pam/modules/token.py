@@ -117,6 +117,10 @@ class MFATokenModule:
 
         pairing = self._pairing_type(session.username)
         session.items["mfa_pairing"] = pairing
+        session.telemetry.counter(
+            "pam_token_enforcement_total",
+            "token-module decisions by effective mode and pairing type",
+        ).inc(mode=mode.value, pairing=pairing or "unpaired")
 
         if mode is EnforcementMode.PAIRED:
             if pairing is None:

@@ -25,6 +25,7 @@ from repro.radius.packet import (
     verify_response,
 )
 from repro.radius.transport import UDPFabric
+from repro.telemetry import NOOP_REGISTRY
 
 
 class AuthStatus(str, Enum):
@@ -60,6 +61,7 @@ class RADIUSClient:
         nas_identifier: str = "login-node",
         retries: int = 2,
         rng: Optional[random.Random] = None,
+        telemetry=None,
     ) -> None:
         if not servers:
             raise ConfigurationError("RADIUS client requires at least one server")
@@ -75,6 +77,23 @@ class RADIUSClient:
         self._next_start = 0
         self._identifier = self._rng.randrange(256)
         self.per_server_attempts = {s: 0 for s in servers}
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._tracer = self.telemetry.tracer()
+        self._m_requests = self.telemetry.counter(
+            "radius_client_requests_total",
+            "datagrams sent, by target server (round-robin balance)",
+        )
+        self._m_retransmits = self.telemetry.counter(
+            "radius_client_retransmits_total",
+            "same-server retransmissions after a timeout",
+        )
+        self._m_failovers = self.telemetry.counter(
+            "radius_client_failovers_total",
+            "server switches after a server exhausted its retries",
+        )
+        self._m_responses = self.telemetry.counter(
+            "radius_client_responses_total", "authenticate() outcomes by status"
+        )
 
     def _next_identifier(self) -> int:
         self._identifier = (self._identifier + 1) % 256
@@ -92,41 +111,54 @@ class RADIUSClient:
         ``password`` is the token code ("" sends the SMS null request);
         ``state`` echoes an Access-Challenge's State attribute back.
         """
-        authenticator = new_request_authenticator(self._rng)
-        request = RADIUSPacket(
-            PacketCode.ACCESS_REQUEST, self._next_identifier(), authenticator
-        )
-        request.add(Attr.USER_NAME, username)
-        request.add(Attr.USER_PASSWORD, hide_password(password, self._secret, authenticator))
-        request.add(Attr.NAS_IDENTIFIER, self._nas_identifier)
-        if state is not None:
-            request.add(Attr.STATE, state)
-        wire = encode_packet(request, self._secret)
+        with self._tracer.span("radius.client.authenticate", user=username) as span:
+            authenticator = new_request_authenticator(self._rng)
+            request = RADIUSPacket(
+                PacketCode.ACCESS_REQUEST, self._next_identifier(), authenticator
+            )
+            request.add(Attr.USER_NAME, username)
+            request.add(Attr.USER_PASSWORD, hide_password(password, self._secret, authenticator))
+            request.add(Attr.NAS_IDENTIFIER, self._nas_identifier)
+            if state is not None:
+                request.add(Attr.STATE, state)
+            wire = encode_packet(request, self._secret)
 
-        start = self._next_start
-        self._next_start = (self._next_start + 1) % len(self._servers)
-        source = source_override or self._source
-        # Retransmit to the same server before failing over: the server's
-        # duplicate-detection cache (RFC 5080) can then replay a response
-        # whose first copy was lost, instead of re-consuming the one-time
-        # code on a different server.
-        for offset in range(len(self._servers)):
-            server = self._servers[(start + offset) % len(self._servers)]
-            for _ in range(self._retries):
-                self.per_server_attempts[server] += 1
-                response_bytes = self._fabric.send_request(server, wire, source)
-                if response_bytes is None:
-                    continue  # timeout: retransmit
-                try:
-                    response = verify_response(
-                        response_bytes, authenticator, self._secret
-                    )
-                except ProtocolError:
-                    continue  # forged/corrupt response is treated as a timeout
-                if response.identifier != request.identifier:
-                    continue
-                return self._to_auth_response(response, server)
-        return AuthResponse(AuthStatus.TIMEOUT, "no RADIUS server responded")
+            start = self._next_start
+            self._next_start = (self._next_start + 1) % len(self._servers)
+            source = source_override or self._source
+            # Retransmit to the same server before failing over: the server's
+            # duplicate-detection cache (RFC 5080) can then replay a response
+            # whose first copy was lost, instead of re-consuming the one-time
+            # code on a different server.
+            for offset in range(len(self._servers)):
+                server = self._servers[(start + offset) % len(self._servers)]
+                if offset:
+                    self._m_failovers.inc(to_server=server)
+                for attempt in range(self._retries):
+                    self.per_server_attempts[server] += 1
+                    self._m_requests.inc(server=server)
+                    if attempt:
+                        self._m_retransmits.inc(server=server)
+                    response_bytes = self._fabric.send_request(server, wire, source)
+                    if response_bytes is None:
+                        continue  # timeout: retransmit
+                    try:
+                        response = verify_response(
+                            response_bytes, authenticator, self._secret
+                        )
+                    except ProtocolError:
+                        continue  # forged/corrupt response is treated as a timeout
+                    if response.identifier != request.identifier:
+                        continue
+                    auth_response = self._to_auth_response(response, server)
+                    span.annotate("server", server)
+                    span.annotate("status", auth_response.status.value)
+                    self._m_responses.inc(status=auth_response.status.value)
+                    return auth_response
+            span.annotate("status", AuthStatus.TIMEOUT.value)
+            span.set_status("error")
+            self._m_responses.inc(status=AuthStatus.TIMEOUT.value)
+            return AuthResponse(AuthStatus.TIMEOUT, "no RADIUS server responded")
 
     @staticmethod
     def _to_auth_response(packet: RADIUSPacket, server: str) -> AuthResponse:

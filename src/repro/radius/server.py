@@ -11,10 +11,10 @@ describes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Protocol
+from typing import Dict, Optional
 
 from repro.common.errors import ProtocolError
-from repro.otpserver.server import ValidateResult, ValidateStatus
+from repro.otpserver import TokenBackend, ValidateStatus
 from repro.radius.dictionary import Attr, PacketCode
 from repro.radius.packet import (
     RADIUSPacket,
@@ -23,12 +23,11 @@ from repro.radius.packet import (
     recover_password,
 )
 from repro.radius.transport import UDPFabric
+from repro.telemetry import NOOP_REGISTRY
 
-
-class ValidationBackend(Protocol):
-    """What the RADIUS server needs from the OTP back end."""
-
-    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult: ...
+#: Deprecated alias: the back-end seam is the shared
+#: :class:`repro.otpserver.TokenBackend` protocol now.
+ValidationBackend = TokenBackend
 
 
 #: ValidateStatus -> (packet code, reply message)
@@ -58,8 +57,9 @@ class RADIUSServer:
         self,
         address: str,
         fabric: UDPFabric,
-        backend: ValidationBackend,
+        backend: TokenBackend,
         name: str = "",
+        telemetry=None,
     ) -> None:
         self.address = address
         self.name = name or address
@@ -68,6 +68,19 @@ class RADIUSServer:
         self.handled = 0
         self.rejected_clients = 0
         self.duplicates_replayed = 0
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._tracer = self.telemetry.tracer()
+        self._m_requests = self.telemetry.counter(
+            "radius_server_requests_total", "Access-Requests validated, by server"
+        )
+        self._m_duplicates = self.telemetry.counter(
+            "radius_server_duplicates_total",
+            "retransmissions answered from the RFC 5080 dup cache",
+        )
+        self._m_unknown = self.telemetry.counter(
+            "radius_server_unknown_clients_total",
+            "datagrams silently dropped from unauthorized sources",
+        )
         # RFC 5080 duplicate detection: retransmissions of a request we
         # already answered get the cached response replayed instead of
         # being re-validated (which would burn the one-time code when the
@@ -93,28 +106,36 @@ class RADIUSServer:
         """The UDP receive path.  Unknown clients and undecodable packets
         are silently discarded, per RFC 2865 (never answer an unauthenticated
         speaker — answering would leak the secret check)."""
-        secret = self._secret_for(source)
-        if secret is None:
-            self.rejected_clients += 1
-            return None
-        try:
-            request = decode_packet(datagram)
-        except ProtocolError:
-            return None
-        if request.code != PacketCode.ACCESS_REQUEST:
-            return None
-        cache_key = (source, request.identifier, request.authenticator)
-        cached = self._response_cache.get(cache_key)
-        if cached is not None:
-            self.duplicates_replayed += 1
-            return cached
-        self.handled += 1
-        response = self._respond(request, secret)
-        if response is not None:
-            self._response_cache[cache_key] = response
-            while len(self._response_cache) > self._response_cache_size:
-                self._response_cache.popitem(last=False)
-        return response
+        with self._tracer.span("radius.server.handle", server=self.name) as span:
+            secret = self._secret_for(source)
+            if secret is None:
+                self.rejected_clients += 1
+                self._m_unknown.inc(server=self.name)
+                span.annotate("drop", "unknown_client")
+                return None
+            try:
+                request = decode_packet(datagram)
+            except ProtocolError:
+                span.annotate("drop", "undecodable")
+                return None
+            if request.code != PacketCode.ACCESS_REQUEST:
+                span.annotate("drop", "not_access_request")
+                return None
+            cache_key = (source, request.identifier, request.authenticator)
+            cached = self._response_cache.get(cache_key)
+            if cached is not None:
+                self.duplicates_replayed += 1
+                self._m_duplicates.inc(server=self.name)
+                span.annotate("duplicate", True)
+                return cached
+            self.handled += 1
+            self._m_requests.inc(server=self.name)
+            response = self._respond(request, secret)
+            if response is not None:
+                self._response_cache[cache_key] = response
+                while len(self._response_cache) > self._response_cache_size:
+                    self._response_cache.popitem(last=False)
+            return response
 
     def _respond(self, request: RADIUSPacket, secret: bytes) -> Optional[bytes]:
         username = request.get_str(Attr.USER_NAME)

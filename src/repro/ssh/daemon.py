@@ -31,6 +31,7 @@ from repro.pam.conversation import Conversation, ConversationError
 from repro.pam.framework import PAMResult, PAMSession, PAMStack
 from repro.ssh.authlog import AuthLog
 from repro.ssh.keys import KeyPair
+from repro.telemetry import NOOP_REGISTRY
 
 
 @dataclass
@@ -72,6 +73,7 @@ class SSHDaemon:
         max_auth_attempts: int = 3,
         rng: Optional[random.Random] = None,
         accounting=None,
+        telemetry=None,
     ) -> None:
         if pam_stack is None and stack_provider is None:
             raise ValueError("daemon needs a pam_stack or a stack_provider")
@@ -98,6 +100,19 @@ class SSHDaemon:
         # session start on entry, stop on disconnect.
         self._accounting = accounting
         self._session_starts: Dict[str, float] = {}
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._tracer = self.telemetry.tracer()
+        self._m_logins = self.telemetry.counter(
+            "ssh_logins_total", "connection attempts by host and result"
+        )
+        self._m_channels = self.telemetry.counter(
+            "ssh_multiplexed_channels_total", "channels attached without re-auth"
+        )
+        self._m_attempts = self.telemetry.histogram(
+            "ssh_password_attempts",
+            "PAM stack runs consumed per connection",
+            buckets=(1.0, 2.0, 3.0),
+        )
 
     # -- key management ---------------------------------------------------------
 
@@ -132,6 +147,26 @@ class SSHDaemon:
         tty: bool = True,
     ) -> SSHResult:
         """One full SSH authentication: optional public key, then PAM."""
+        with self._tracer.span(
+            "ssh.connect", host=self.hostname, user=username, source=source_ip
+        ) as span:
+            result = self._connect(username, source_ip, conversation, key, tty)
+            outcome = "accepted" if result.success else "rejected"
+            span.annotate("result", outcome)
+            if result.detail:
+                span.annotate("detail", result.detail)
+            self._m_logins.inc(host=self.hostname, result=outcome)
+            self._m_attempts.observe(result.password_attempts)
+            return result
+
+    def _connect(
+        self,
+        username: str,
+        source_ip: str,
+        conversation: Conversation,
+        key: Optional[KeyPair],
+        tty: bool,
+    ) -> SSHResult:
         if self.banner:
             conversation.info(self.banner)
 
@@ -156,6 +191,7 @@ class SSHDaemon:
                 service=stack.service,
                 conversation=conversation,
                 clock=self.clock,
+                telemetry=self.telemetry,
             )
             try:
                 result = stack.authenticate(session)
@@ -215,6 +251,7 @@ class SSHDaemon:
         if master is None:
             return False
         master.channels += 1
+        self._m_channels.inc(host=self.hostname)
         self.authlog.append(
             "multiplexed_channel",
             master.username,

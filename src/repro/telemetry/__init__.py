@@ -1,0 +1,75 @@
+"""End-to-end auth-path telemetry: metrics, traces, registry, exporters.
+
+The paper evaluates its rollout by *watching it live* — per-layer auth
+logs, LinOTP audit records, failure and lockout counts, SSH traffic graphs
+(Figures 3-6).  This package is that measurement substrate for the live
+login path:
+
+* :mod:`repro.telemetry.metrics` — ``Counter``/``Gauge``/``Histogram``
+  with labeled series and bounded cardinality;
+* :mod:`repro.telemetry.trace` — ``Span``/``Tracer`` building one span
+  tree per login attempt across every layer (sshd, each PAM module, the
+  RADIUS client's retries/failovers, the RADIUS server's dup-cache, OTP
+  validation, the SMS gateway);
+* :mod:`repro.telemetry.registry` — the process-wide ``Registry`` with
+  snapshot/reset, and the allocation-free ``NOOP_REGISTRY`` every
+  component defaults to when telemetry is off;
+* :mod:`repro.telemetry.export` — Prometheus-style text and JSON
+  renderings of a snapshot.
+
+Enable it for a deployment with ``MFACenter(telemetry=True)`` and read
+``center.telemetry`` — or ``python -m repro telemetry`` for a one-shot
+instrumented login and snapshot dump.
+"""
+
+from repro.telemetry.export import (
+    render_json,
+    render_text,
+    render_trace_text,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_MAX_SERIES,
+    Counter,
+    Gauge,
+    Histogram,
+    OVERFLOW_KEY,
+    label_key,
+)
+from repro.telemetry.registry import (
+    NOOP_REGISTRY,
+    NoopRegistry,
+    Registry,
+    resolve_registry,
+)
+from repro.telemetry.trace import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopSpan,
+    NoopTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SERIES",
+    "OVERFLOW_KEY",
+    "label_key",
+    "Registry",
+    "NoopRegistry",
+    "NOOP_REGISTRY",
+    "resolve_registry",
+    "Span",
+    "Tracer",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "render_text",
+    "render_json",
+    "render_trace_text",
+]

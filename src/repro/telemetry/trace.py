@@ -1,0 +1,230 @@
+"""Per-login-attempt tracing: one span per layer of the auth path.
+
+A full SSH login crosses six layers (sshd → PAM modules → RADIUS client →
+RADIUS server → OTP validate → SMS gateway), all in-process and synchronous.
+The tracer exploits that: it keeps a stack of open spans, so a span opened
+while another is active becomes its child with no explicit context passing
+— the RADIUS server's span nests under the client's because the fabric
+delivers the datagram within the same call chain.
+
+When the outermost span closes, the finished trace (its root span) lands in
+a bounded ring buffer that tests and operators query:
+
+    with tracer.span("ssh.connect", user="alice"):
+        ...
+    trace = tracer.last_trace()
+    trace.find("otp.validate").attributes["status"]
+
+Timestamps come from the injected :class:`~repro.common.clock.Clock`, never
+``time.time()``, so simulated rollouts produce meaningful span durations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.common.clock import Clock, SystemClock
+
+#: How many finished traces a tracer retains by default.
+DEFAULT_MAX_TRACES = 256
+
+
+class Span:
+    """One timed layer of a trace, with attributes and child spans."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children", "status")
+
+    def __init__(self, name: str, start: float, attributes: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, object] = attributes or {}
+        self.children: List["Span"] = []
+        self.status = "ok"
+
+    def annotate(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and every descendant."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span (depth-first, self included) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable tree, one line per span."""
+        attrs = " ".join(f"{k}={v}" for k, v in self.attributes.items())
+        line = f"{'  ' * indent}{self.name} [{self.duration:.6f}s]"
+        if self.status != "ok":
+            line += f" status={self.status}"
+        if attrs:
+            line += f" {attrs}"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, children={len(self.children)}, status={self.status!r})"
+
+
+class _SpanContext:
+    """The ``with tracer.span(...)`` handle; closes the span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self._span, exc)
+        return False
+
+
+class Tracer:
+    """Builds span trees from the synchronous call stack."""
+
+    def __init__(self, clock: Optional[Clock] = None, max_traces: int = DEFAULT_MAX_TRACES) -> None:
+        self._clock = clock or SystemClock()
+        self._stack: List[Span] = []
+        self.traces: Deque[Span] = deque(maxlen=max_traces)
+        self.spans_started = 0
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a span; it becomes a child of the currently open span."""
+        span = Span(name, self._clock.now(), attributes or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        self.spans_started += 1
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span, exc: Optional[BaseException]) -> None:
+        span.end = self._clock.now()
+        if exc is not None:
+            span.status = "error"
+            span.attributes.setdefault("error", repr(exc))
+        # Pop down to (and including) the span: robust against a child the
+        # caller leaked open — it is force-closed with its parent.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+                top.status = "error"
+        if not self._stack:
+            self.traces.append(span)
+
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def last_trace(self) -> Optional[Span]:
+        return self.traces[-1] if self.traces else None
+
+    def take_traces(self) -> List[Span]:
+        """Drain and return every retained finished trace, oldest first."""
+        out = list(self.traces)
+        self.traces.clear()
+        return out
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.traces.clear()
+        self.spans_started = 0
+
+
+class NoopSpan:
+    """Absorbs annotations; shared singleton, allocates nothing."""
+
+    __slots__ = ()
+    name = ""
+    status = "ok"
+    children: tuple = ()
+    attributes: dict = {}
+    duration = 0.0
+
+    def annotate(self, key: str, value: object) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class _NoopSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN_CONTEXT = _NoopSpanContext()
+
+
+class NoopTracer:
+    """Same surface as :class:`Tracer`; every operation is free."""
+
+    __slots__ = ()
+    traces: tuple = ()
+    spans_started = 0
+
+    def span(self, name: str, **attributes: object) -> _NoopSpanContext:
+        return _NOOP_SPAN_CONTEXT
+
+    def current_span(self) -> None:
+        return None
+
+    def last_trace(self) -> None:
+        return None
+
+    def take_traces(self) -> list:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+NOOP_TRACER = NoopTracer()

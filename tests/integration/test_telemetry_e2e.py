@@ -1,0 +1,168 @@
+"""End-to-end telemetry: one real SSH login, one queryable span tree.
+
+The acceptance scenario for the observability layer — a full SSHClient
+login through an instrumented MFACenter must leave behind (a) a single
+trace whose spans cover every layer of the auth path and (b) counters for
+the PAM module results, RADIUS retries/failovers and OTP validate
+statuses.  Also covers the CLI dump path and the no-op default.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import MFACenter
+from repro.crypto.totp import TOTPGenerator
+from repro.ssh import SSHClient
+from repro.telemetry import NOOP_REGISTRY, render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Every auth-path layer that must appear as a span in a soft-token login.
+EXPECTED_LAYERS = [
+    "ssh.connect",
+    "pam.stack",
+    "pam.pam_mfa_token",
+    "radius.client.authenticate",
+    "radius.server.handle",
+    "otp.validate",
+]
+
+
+@pytest.fixture
+def tcenter(clock, rng):
+    """An instrumented deployment (the conftest `center` stays no-op)."""
+    center = MFACenter(clock=clock, rng=rng, telemetry=True)
+    center.add_system("stampede", mode="full")
+    return center
+
+
+@pytest.fixture
+def paired(tcenter, clock):
+    tcenter.create_user("alice", password="pw")
+    _, secret = tcenter.pair_soft("alice")
+    return TOTPGenerator(secret=secret, clock=clock)
+
+
+def login(center, device, token=None, user="alice", password="pw"):
+    system = center.systems["stampede"]
+    client = SSHClient(source_ip="198.51.100.7")
+    code = device.current_code if token is None else token
+    result, _ = client.connect(
+        system.login_node(), user, password=password, token=code
+    )
+    return result
+
+
+class TestSpanTree:
+    def test_successful_login_trace_covers_every_layer(self, tcenter, paired):
+        assert login(tcenter, paired).success
+        trace = tcenter.telemetry.tracer().last_trace()
+        assert trace is not None and trace.name == "ssh.connect"
+        for layer in EXPECTED_LAYERS:
+            assert trace.find(layer) is not None, f"missing span: {layer}"
+        assert trace.span_count() >= 5
+
+    def test_spans_nest_along_the_call_chain(self, tcenter, paired):
+        login(tcenter, paired)
+        trace = tcenter.telemetry.tracer().last_trace()
+        # Each layer's span must contain the next layer's as a descendant.
+        chain = ["pam.stack", "pam.pam_mfa_token", "radius.client.authenticate",
+                 "radius.server.handle", "otp.validate"]
+        node = trace
+        for name in chain:
+            node = node.find(name)
+            assert node is not None, f"chain broken at {name}"
+
+    def test_span_attributes(self, tcenter, paired):
+        login(tcenter, paired)
+        trace = tcenter.telemetry.tracer().last_trace()
+        assert trace.attributes["user"] == "alice"
+        assert trace.attributes["result"] == "accepted"
+        assert trace.find("otp.validate").attributes["status"] == "ok"
+        assert trace.find("radius.client.authenticate").attributes["status"] == "accept"
+
+    def test_failed_login_trace(self, tcenter, paired):
+        assert not login(tcenter, paired, token="000000").success
+        trace = tcenter.telemetry.tracer().last_trace()
+        assert trace.attributes["result"] == "rejected"
+        statuses = {s.attributes.get("status") for s in trace.find_all("otp.validate")}
+        assert "ok" not in statuses
+
+
+class TestCounters:
+    def test_pam_module_results(self, tcenter, paired):
+        login(tcenter, paired)
+        modules = tcenter.telemetry.counter("pam_module_results_total")
+        assert modules.value(module="pam_unix", result="success") == 1
+        assert modules.value(module="pam_mfa_token", result="success") == 1
+        stack = tcenter.telemetry.counter("pam_stack_results_total")
+        assert stack.value(service="sshd", result="success") == 1
+
+    def test_otp_validate_statuses(self, tcenter, paired, clock):
+        login(tcenter, paired)
+        clock.advance(31)
+        login(tcenter, paired, token="999999")
+        validates = tcenter.telemetry.counter("otp_validate_total")
+        assert validates.value(status="ok") == 1
+        assert validates.value(status="reject") >= 1
+
+    def test_ssh_login_counters(self, tcenter, paired, clock):
+        login(tcenter, paired)
+        clock.advance(31)
+        login(tcenter, paired, password="wrong")
+        logins = tcenter.telemetry.counter("ssh_logins_total")
+        assert logins.value(host="login1.stampede", result="accepted") == 1
+        assert logins.value(host="login1.stampede", result="rejected") == 1
+
+    def test_radius_retries_and_failover(self, tcenter, paired):
+        # The fresh client round-robins from index 0: downing the first
+        # server forces retransmits there, then a failover to the second.
+        down = tcenter.radius_servers[0]
+        tcenter.fabric.set_down(down.address)
+        assert login(tcenter, paired).success
+        retransmits = tcenter.telemetry.counter("radius_client_retransmits_total")
+        failovers = tcenter.telemetry.counter("radius_client_failovers_total")
+        assert retransmits.value(server=down.address) >= 1
+        assert failovers.value(to_server=tcenter.radius_servers[1].address) == 1
+        responses = tcenter.telemetry.counter("radius_client_responses_total")
+        assert responses.value(status="accept") == 1
+
+    def test_snapshot_renders_the_login(self, tcenter, paired):
+        login(tcenter, paired)
+        text = render_text(tcenter.telemetry.snapshot())
+        assert 'otp_validate_total{status="ok"} 1' in text
+        assert 'ssh_logins_total{host="login1.stampede",result="accepted"} 1' in text
+
+
+class TestNoopDefault:
+    def test_center_defaults_to_noop(self, center):
+        assert center.telemetry is NOOP_REGISTRY
+        assert center.telemetry.enabled is False
+
+    def test_noop_login_leaves_no_residue(self, center, clock):
+        center.create_user("bob", password="pw")
+        _, secret = center.pair_soft("bob")
+        device = TOTPGenerator(secret=secret, clock=clock)
+        result = login(center, device, user="bob")
+        assert result.success
+        assert center.telemetry.tracer().last_trace() is None
+        assert center.telemetry.snapshot()["counters"] == []
+
+
+class TestCLISmoke:
+    def test_demo_telemetry_dump(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "demo", "--telemetry-dump"],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "demo login: GRANTED" in proc.stdout
+        assert "ssh_logins_total" in proc.stdout
+        assert "ssh.connect" in proc.stdout  # the rendered span tree
