@@ -61,7 +61,7 @@ def main() -> None:
     uid = center.uid_of("texter")
     center.otp.validate(uid, None)  # first null request: sends
     second = center.otp.validate(uid, None)  # second: guarded
-    print("\nsecond request while a code is active ->", second.message)
+    print("\nsecond request while a code is active ->", second.reason)
 
     # --- billing -------------------------------------------------------------
     gateway = center.sms_gateway
@@ -89,7 +89,7 @@ def main() -> None:
           f"{late.deliver_at - late.sent_at:.0f}s "
           f"(retries: {late.attempts})")
     result = otp.validate("unlucky", late.body.split()[-1])
-    print(f"entering the late code -> {result.message!r}")
+    print(f"entering the late code -> {result.reason!r}")
     retry = otp.validate("unlucky", None)
     print(f"user requests a fresh code -> {retry.status.value}")
 

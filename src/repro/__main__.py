@@ -4,11 +4,13 @@ Commands:
 
 * ``report [population] [seed]`` — run the rollout simulation and print
   the paper-vs-measured evaluation report (default 1500 accounts).
-* ``demo [--telemetry-dump]`` — the quickstart walkthrough (pair a token,
-  log in); with ``--telemetry-dump``, print the telemetry snapshot of the
-  login afterwards.
-* ``telemetry [--json]`` — run one instrumented login and dump the
-  resulting metrics snapshot and span tree (text by default).
+* ``demo [--telemetry-dump] [--shards N] [--cache N]`` — the quickstart
+  walkthrough (pair a token, log in); ``--shards``/``--cache`` run the OTP
+  back end on a sharded and/or LRU-cached storage stack; with
+  ``--telemetry-dump``, print the telemetry snapshot of the login.
+* ``telemetry [--json] [--shards N] [--cache N]`` — run one instrumented
+  login and dump the resulting metrics snapshot and span tree (text by
+  default), including the storage-engine op series.
 * ``qr <text>`` — render any text as a terminal QR code (the portal's
   pairing renderer, exposed because it is genuinely handy).
 """
@@ -27,7 +29,16 @@ def _cmd_report(args: list) -> int:
     return 0
 
 
-def _demo_login(telemetry=None):
+def _flag_value(args: list, flag: str, default: int) -> int:
+    if flag in args:
+        index = args.index(flag)
+        if index + 1 >= len(args):
+            raise SystemExit(f"{flag} requires a value")
+        return int(args[index + 1])
+    return default
+
+
+def _demo_login(telemetry=None, shards: int = 1, cache: int = 64):
     """The shared quickstart scenario: pair a soft token, log in once."""
     import random
 
@@ -35,9 +46,15 @@ def _demo_login(telemetry=None):
     from repro.core import MFACenter
     from repro.crypto.totp import TOTPGenerator
     from repro.ssh import SSHClient
+    from repro.storage import StorageConfig
 
     clock = SimulatedClock.at("2016-10-05T09:00:00")
-    center = MFACenter(clock=clock, rng=random.Random(42), telemetry=telemetry)
+    center = MFACenter(
+        clock=clock,
+        rng=random.Random(42),
+        telemetry=telemetry,
+        storage=StorageConfig(shards=shards, cache_capacity=cache),
+    )
     system = center.add_system("stampede", mode="full")
     center.create_user("demo", password="demo-password")
     _, secret = center.pair_soft("demo")
@@ -52,7 +69,11 @@ def _demo_login(telemetry=None):
 
 def _cmd_demo(args: list) -> int:
     dump = "--telemetry-dump" in args
-    center, result = _demo_login(telemetry=True if dump else None)
+    center, result = _demo_login(
+        telemetry=True if dump else None,
+        shards=_flag_value(args, "--shards", 1),
+        cache=_flag_value(args, "--cache", 64),
+    )
     print("demo login:", "GRANTED" if result.success else "DENIED")
     print("session items:", result.session_items)
     if dump:
@@ -68,7 +89,11 @@ def _cmd_demo(args: list) -> int:
 def _cmd_telemetry(args: list) -> int:
     from repro.telemetry import render_json, render_text, render_trace_text
 
-    center, result = _demo_login(telemetry=True)
+    center, result = _demo_login(
+        telemetry=True,
+        shards=_flag_value(args, "--shards", 1),
+        cache=_flag_value(args, "--cache", 64),
+    )
     snapshot = center.telemetry.snapshot()
     if "--json" in args:
         print(render_json(snapshot))

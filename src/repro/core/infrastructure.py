@@ -202,6 +202,7 @@ class MFACenter:
         fabric_loss_rate: float = 0.0,
         pam_dir: Optional[str] = None,
         telemetry=None,
+        storage=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
@@ -215,12 +216,16 @@ class MFACenter:
         self.pam_dir = pam_dir
         self.identity = IdentityBackend()
         self.sms_gateway = SMSGateway(self.clock, rng=self.rng, telemetry=self.telemetry)
+        # ``storage`` is forwarded verbatim: None for the default in-memory
+        # engine, a repro.storage.StorageConfig for a sharded/cached stack
+        # (built against this deployment's registry), or a ready engine.
         self.otp = OTPServer(
             clock=self.clock,
             config=otp_config,
             sms_gateway=self.sms_gateway,
             rng=self.rng,
             telemetry=self.telemetry,
+            storage=storage,
         )
         self.fabric = UDPFabric(loss_rate=fabric_loss_rate, rng=self.rng)
         self.radius_secret = radius_secret

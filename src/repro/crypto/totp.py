@@ -19,6 +19,7 @@ refusing codes at or below it.
 from __future__ import annotations
 
 import hmac
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -106,6 +107,11 @@ class ValidationOutcome:
     @property
     def message(self) -> str:
         """Deprecated alias for :attr:`reason`."""
+        warnings.warn(
+            "ValidationOutcome.message is deprecated; use ValidationOutcome.reason",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.reason
 
 

@@ -2,9 +2,10 @@
 
 Subsystems:
 
-* :mod:`repro.otpserver.database` — the relational store standing in for
-  the encrypted MariaDB repository: tables, unique constraints, indices and
-  snapshot transactions.
+* :mod:`repro.otpserver.database` — the relational façade standing in for
+  the encrypted MariaDB repository: tables, unique constraints and indices
+  over a pluggable :mod:`repro.storage` engine (in-memory undo-log
+  transactions by default; sharded/cached via ``StorageConfig``).
 * :mod:`repro.otpserver.tokens` — token records and the four device types
   (soft, SMS, hard, static/training), plus Feitian-style pre-programmed
   hard-token batch manufacturing.

@@ -51,6 +51,7 @@ class AdminAPI:
             ("POST", "/admin/resync"): self._handle_resync,
             ("POST", "/admin/reset"): self._handle_reset,
             ("GET", "/admin/show"): self._handle_show,
+            ("GET", "/admin/storage"): self._handle_storage,
             ("POST", "/validate/check"): self._handle_validate,
         }
         self.request_count = 0
@@ -132,11 +133,15 @@ class AdminAPI:
         ]
         return {"tokens": tokens}
 
+    def _handle_storage(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Operational view of the storage tier (shards, caches, row counts)."""
+        return self.server.storage_stats()
+
     def _handle_validate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         result = self.server.validate(
             _require(params, "user"), params.get("pass")
         )
-        return {"status": result.status.value, "message": result.message}
+        return {"status": result.status.value, "message": result.reason}
 
 
 def _require(params: Dict[str, Any], key: str) -> Any:

@@ -1,4 +1,4 @@
-"""An in-memory relational store standing in for MariaDB.
+"""The relational façade standing in for MariaDB.
 
 The paper keeps user/token state in "an encrypted MariaDB relational
 database" (Section 3.1).  We reproduce the properties the workflows rely
@@ -6,130 +6,59 @@ on — named tables with column schemas, primary keys, unique constraints,
 secondary indices, and all-or-nothing transactions — without an external
 server.  Secrets never enter rows in the clear; the OTP server seals them
 first (see :mod:`repro.crypto.secrets`).
+
+Since the storage-engine extraction this module is a thin view layer: the
+actual row storage lives behind a pluggable
+:class:`~repro.storage.engine.StorageEngine` (in-memory with undo-log
+transactions by default; sharded and/or cached via
+:func:`repro.storage.build_engine`).  :class:`Table` is a bound,
+table-qualified view over one engine table, so existing callers keep the
+``db.table("tokens").select(...)`` surface they always had.
 """
 
 from __future__ import annotations
 
-import copy
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.common.errors import NotFoundError, ValidationError
+from repro.common.errors import NotFoundError
+from repro.storage import InMemoryEngine, StorageEngine, TableSchema
 
-
-@dataclass
-class TableSchema:
-    """Column names, primary key and unique constraints for a table."""
-
-    columns: Sequence[str]
-    primary_key: str
-    unique: Sequence[str] = field(default_factory=tuple)
-    indexed: Sequence[str] = field(default_factory=tuple)
-
-    def __post_init__(self) -> None:
-        if self.primary_key not in self.columns:
-            raise ValueError(f"primary key {self.primary_key!r} not a column")
-        for col in list(self.unique) + list(self.indexed):
-            if col not in self.columns:
-                raise ValueError(f"constraint column {col!r} not a column")
+__all__ = ["Database", "Table", "TableSchema"]
 
 
 class Table:
-    """One table: rows keyed by primary key, with unique/secondary indices."""
+    """One table of a storage engine, bound to its name."""
 
-    def __init__(self, name: str, schema: TableSchema) -> None:
+    def __init__(self, engine: StorageEngine, name: str) -> None:
+        self._engine = engine
         self.name = name
-        self.schema = schema
-        self._rows: Dict[Any, Dict[str, Any]] = {}
-        self._unique: Dict[str, Dict[Any, Any]] = {c: {} for c in schema.unique}
-        self._indices: Dict[str, Dict[Any, set]] = {c: {} for c in schema.indexed}
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._engine.schema(self.name)
 
     def __len__(self) -> int:
-        return len(self._rows)
-
-    def _check_columns(self, row: Dict[str, Any]) -> None:
-        unknown = set(row) - set(self.schema.columns)
-        if unknown:
-            raise ValidationError(f"{self.name}: unknown columns {sorted(unknown)}")
+        return self._engine.count(self.name)
 
     def insert(self, row: Dict[str, Any]) -> Dict[str, Any]:
         """Insert a row; enforces primary-key and unique constraints."""
-        self._check_columns(row)
-        pk = row.get(self.schema.primary_key)
-        if pk is None:
-            raise ValidationError(f"{self.name}: missing primary key")
-        if pk in self._rows:
-            raise ValidationError(f"{self.name}: duplicate primary key {pk!r}")
-        for col, index in self._unique.items():
-            value = row.get(col)
-            if value is not None and value in index:
-                raise ValidationError(
-                    f"{self.name}: unique constraint violated on {col}={value!r}"
-                )
-        stored = {c: row.get(c) for c in self.schema.columns}
-        self._rows[pk] = stored
-        for col, index in self._unique.items():
-            if stored.get(col) is not None:
-                index[stored[col]] = pk
-        for col, index in self._indices.items():
-            index.setdefault(stored.get(col), set()).add(pk)
-        return dict(stored)
+        return self._engine.insert(self.name, row)
 
     def get(self, pk: Any) -> Dict[str, Any]:
-        row = self._rows.get(pk)
-        if row is None:
-            raise NotFoundError(f"{self.name}: no row with key {pk!r}")
-        return dict(row)
+        return self._engine.get(self.name, pk)
 
     def exists(self, pk: Any) -> bool:
-        return pk in self._rows
+        return self._engine.exists(self.name, pk)
 
     def get_by_unique(self, column: str, value: Any) -> Dict[str, Any]:
-        if column not in self._unique:
-            raise ValidationError(f"{self.name}: {column} has no unique index")
-        pk = self._unique[column].get(value)
-        if pk is None:
-            raise NotFoundError(f"{self.name}: no row with {column}={value!r}")
-        return dict(self._rows[pk])
+        return self._engine.get_by_unique(self.name, column, value)
 
     def update(self, pk: Any, changes: Dict[str, Any]) -> Dict[str, Any]:
         """Update columns of an existing row, maintaining all indices."""
-        self._check_columns(changes)
-        if self.schema.primary_key in changes:
-            raise ValidationError(f"{self.name}: cannot change the primary key")
-        row = self._rows.get(pk)
-        if row is None:
-            raise NotFoundError(f"{self.name}: no row with key {pk!r}")
-        for col, new in changes.items():
-            if col in self._unique:
-                existing = self._unique[col].get(new)
-                if new is not None and existing is not None and existing != pk:
-                    raise ValidationError(
-                        f"{self.name}: unique constraint violated on {col}={new!r}"
-                    )
-        for col, new in changes.items():
-            old = row.get(col)
-            if col in self._unique:
-                if old is not None:
-                    self._unique[col].pop(old, None)
-                if new is not None:
-                    self._unique[col][new] = pk
-            if col in self._indices:
-                self._indices[col].get(old, set()).discard(pk)
-                self._indices[col].setdefault(new, set()).add(pk)
-            row[col] = new
-        return dict(row)
+        return self._engine.update(self.name, pk, changes)
 
-    def delete(self, pk: Any) -> None:
-        row = self._rows.pop(pk, None)
-        if row is None:
-            raise NotFoundError(f"{self.name}: no row with key {pk!r}")
-        for col, index in self._unique.items():
-            if row.get(col) is not None:
-                index.pop(row[col], None)
-        for col, index in self._indices.items():
-            index.get(row.get(col), set()).discard(pk)
+    def delete(self, pk: Any) -> Dict[str, Any]:
+        return self._engine.delete(self.name, pk)
 
     def select(
         self,
@@ -137,51 +66,19 @@ class Table:
         predicate: Optional[Callable[[Dict[str, Any]], bool]] = None,
     ) -> List[Dict[str, Any]]:
         """Return matching rows; equality ``where`` uses indices when it can."""
-        candidates: Optional[Iterator[Any]] = None
-        if where:
-            for col, value in where.items():
-                if col in self._indices:
-                    candidates = iter(self._indices[col].get(value, set()))
-                    break
-                if col in self._unique:
-                    pk = self._unique[col].get(value)
-                    candidates = iter([pk] if pk is not None else [])
-                    break
-        keys = list(candidates) if candidates is not None else list(self._rows)
-        results = []
-        for pk in keys:
-            row = self._rows.get(pk)
-            if row is None:
-                continue
-            if where and any(row.get(c) != v for c, v in where.items()):
-                continue
-            if predicate and not predicate(row):
-                continue
-            results.append(dict(row))
-        return results
+        return self._engine.select(self.name, where=where, predicate=predicate)
 
     def count(self, where: Optional[Dict[str, Any]] = None) -> int:
-        if where is None:
-            return len(self._rows)
-        return len(self.select(where))
-
-    def snapshot(self) -> Tuple[dict, dict, dict]:
-        return (
-            copy.deepcopy(self._rows),
-            copy.deepcopy(self._unique),
-            copy.deepcopy(self._indices),
-        )
-
-    def restore(self, state: Tuple[dict, dict, dict]) -> None:
-        self._rows, self._unique, self._indices = state
+        return self._engine.count(self.name, where=where)
 
 
 class Database:
-    """A named collection of tables with snapshot transactions."""
+    """A named collection of tables over one storage engine."""
 
-    def __init__(self, name: str = "linotp") -> None:
+    def __init__(self, name: str = "linotp", engine: Optional[StorageEngine] = None) -> None:
         self.name = name
-        self._tables: Dict[str, Table] = {}
+        self.engine: StorageEngine = engine if engine is not None else InMemoryEngine()
+        self._views: Dict[str, Table] = {}
 
     def create_table(
         self,
@@ -191,33 +88,28 @@ class Database:
         unique: Sequence[str] = (),
         indexed: Sequence[str] = (),
     ) -> Table:
-        if name in self._tables:
-            raise ValidationError(f"table {name!r} already exists")
-        table = Table(name, TableSchema(columns, primary_key, unique, indexed))
-        self._tables[name] = table
-        return table
+        self.engine.create_table(name, TableSchema(columns, primary_key, unique, indexed))
+        view = self._views[name] = Table(self.engine, name)
+        return view
 
     def table(self, name: str) -> Table:
-        table = self._tables.get(name)
-        if table is None:
-            raise NotFoundError(f"no such table: {name}")
-        return table
+        view = self._views.get(name)
+        if view is None:
+            if not self.engine.has_table(name):
+                raise NotFoundError(f"no such table: {name}")
+            view = self._views[name] = Table(self.engine, name)
+        return view
 
     def tables(self) -> List[str]:
-        return list(self._tables)
+        return list(self.engine.tables())
 
-    @contextmanager
     def transaction(self):
         """All-or-nothing update block: any exception rolls every table back.
 
         Pairing workflows touch the token table, the audit table and the
         challenge table together; the paper's portal hardening against
         mid-flow refreshes depends on partial writes never being visible.
+        Under the default engine this is an undo-log savepoint (O(ops
+        touched)); under the sharded engine it spans every shard.
         """
-        snapshots = {name: t.snapshot() for name, t in self._tables.items()}
-        try:
-            yield self
-        except BaseException:
-            for name, state in snapshots.items():
-                self._tables[name].restore(state)
-            raise
+        return self.engine.transaction()

@@ -21,6 +21,7 @@ Responsibilities reproduced from the paper:
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
@@ -35,6 +36,7 @@ from repro.otpserver.audit import AuditLog
 from repro.otpserver.database import Database
 from repro.otpserver.sms_gateway import SMSGateway
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
+from repro.storage import StorageConfig, StorageEngine, build_engine
 from repro.telemetry import NOOP_REGISTRY
 
 
@@ -92,6 +94,11 @@ class ValidateResult:
     @property
     def message(self) -> str:
         """Deprecated alias for :attr:`reason` (the pre-protocol field name)."""
+        warnings.warn(
+            "ValidateResult.message is deprecated; use ValidateResult.reason",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.reason
 
 
@@ -136,6 +143,7 @@ class OTPServer:
         master_key: bytes = b"linotp-master-key-0123456789abcdef",
         rng: Optional[random.Random] = None,
         telemetry=None,
+        storage: Optional[object] = None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.config = config or OTPServerConfig()
@@ -166,9 +174,19 @@ class OTPServer:
             self.clock, rng=self._rng, telemetry=self.telemetry
         )
         self._sealer = SecretSealer(master_key, rng=self._rng)
-        self.db = Database("linotp")
+        # ``storage`` is either a ready StorageEngine (used as-is) or a
+        # StorageConfig/None describing the stack to build against this
+        # server's telemetry registry (so op metrics land in the shared one).
+        if storage is None or isinstance(storage, StorageConfig):
+            storage = build_engine(storage, telemetry=self.telemetry)
+        self.db = Database("linotp", engine=storage)
+        # token_type is indexed so the Table-1 style per-type breakdown is
+        # an index length lookup, not a full-table scan.
         self.db.create_table(
-            "tokens", _TOKEN_COLUMNS, primary_key="serial", indexed=("user_id",)
+            "tokens",
+            _TOKEN_COLUMNS,
+            primary_key="serial",
+            indexed=("user_id", "token_type"),
         )
         self.db.create_table("challenges", _CHALLENGE_COLUMNS, primary_key="user_id")
         self.audit = AuditLog(self.clock)
@@ -290,9 +308,6 @@ class OTPServer:
         """Assign a training account its static six-digit code."""
         if len(code) != self.config.digits or not code.isdigit():
             raise ValidationError(f"static code must be {self.config.digits} digits")
-        existing = self._user_tokens(user_id)
-        for row in existing:  # regenerating replaces the previous session code
-            self.db.table("tokens").delete(row["serial"])
         serial = self._ids.next("LSST")
         record = TokenRecord(
             serial=serial,
@@ -300,7 +315,13 @@ class OTPServer:
             token_type=TokenType.STATIC,
             sealed_secret=self._sealer.seal(b"\x00" * 20),
         )
-        self._insert_token(record, code)
+        # Replacing the previous session code and inserting the new one is
+        # one atomic step: a failure mid-way must not leave the trainee
+        # codeless.
+        with self.db.transaction():
+            for row in self._user_tokens(user_id):
+                self.db.table("tokens").delete(row["serial"])
+            self._insert_token(record, code)
         self.audit.record("enroll", user_id, serial, detail="static")
         return serial
 
@@ -552,18 +573,42 @@ class OTPServer:
     def unpair(self, user_id: str) -> int:
         """Remove the user's pairing (portal unpair or staff ticket)."""
         removed = 0
-        for row in self._user_tokens(user_id):
-            self.db.table("tokens").delete(row["serial"])
-            self._validator.forget(row["serial"])
-            removed += 1
-        if self.db.table("challenges").exists(user_id):
-            self.db.table("challenges").delete(user_id)
+        # Tokens and any outstanding SMS challenge disappear together: the
+        # undo log guarantees no half-unpaired state is ever visible.
+        with self.db.transaction():
+            for row in self._user_tokens(user_id):
+                self.db.table("tokens").delete(row["serial"])
+                self._validator.forget(row["serial"])
+                removed += 1
+            if self.db.table("challenges").exists(user_id):
+                self.db.table("challenges").delete(user_id)
         self.audit.record("unpair", user_id, detail=f"{removed} token(s)")
         return removed
 
     def token_count_by_type(self) -> Dict[str, int]:
-        """The Table-1 style breakdown of current pairings."""
+        """The Table-1 style breakdown of current pairings.
+
+        Served from the ``token_type`` secondary index — one O(1) count per
+        device type instead of a scan over every enrolled token.
+        """
+        tokens = self.db.table("tokens")
         counts: Dict[str, int] = {}
-        for row in self.db.table("tokens").select():
-            counts[row["token_type"]] = counts.get(row["token_type"], 0) + 1
+        for token_type in TokenType:
+            n = tokens.count(where={"token_type": token_type.value})
+            if n:
+                counts[token_type.value] = n
         return counts
+
+    def storage_stats(self) -> Dict[str, object]:
+        """Shape and size of the storage tier (the admin API exposes this)."""
+        engine = self.db.engine
+        stats: Dict[str, object] = {
+            "tables": {name: self.db.table(name).count() for name in self.db.tables()},
+        }
+        shard_sizes = getattr(engine, "shard_sizes", None)
+        if callable(shard_sizes):
+            stats["shards"] = shard_sizes()
+        cache_info = getattr(engine, "cache_info", None)
+        if callable(cache_info):
+            stats["cache"] = cache_info()
+        return stats

@@ -67,6 +67,10 @@ class RolloutConfig:
     #: New accounts per day per 1000 existing (pairing at signup from late
     #: August; doubled for three weeks at the spring semester).
     new_accounts_per_1k: float = 0.35
+    #: Storage tier for the OTP back end: None for the default in-memory
+    #: engine, or a :class:`repro.storage.StorageConfig` to run the rollout
+    #: against a sharded/cached stack (scaling studies sweep this).
+    storage: Optional[object] = None
 
     @property
     def days(self) -> int:
@@ -98,7 +102,9 @@ class RolloutSimulation:
         cfg = self.config
         self.rng = random.Random(cfg.seed)
         self.clock = SimulatedClock.at(f"{cfg.start.isoformat()}T00:00:00")
-        self.center = MFACenter(clock=self.clock, rng=random.Random(cfg.seed + 1))
+        self.center = MFACenter(
+            clock=self.clock, rng=random.Random(cfg.seed + 1), storage=cfg.storage
+        )
         self.system = self.center.add_system("stampede", login_nodes=2, mode="paired")
         self.population = Population(cfg.population_size, seed=cfg.seed + 2)
         self.metrics = DailyMetrics(cfg.start, cfg.days)

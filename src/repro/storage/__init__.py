@@ -1,0 +1,82 @@
+"""Pluggable storage engines for the OTP path (the MariaDB stand-in tier).
+
+The package extracts the relational store behind
+:class:`repro.otpserver.database.Database` into a composable engine stack:
+
+* :class:`InMemoryEngine` — dict-backed tables with **undo-log
+  transactions** (abort cost is O(ops touched), not O(database size));
+* :class:`ShardedEngine` — consistent-hash placement across N engines with
+  per-shard lock striping and routed secondary lookups;
+* :class:`CachingEngine` — read-through LRU over point lookups with
+  write-invalidation;
+* :class:`InstrumentedEngine` — op latency/count series in the telemetry
+  registry.
+
+:func:`build_engine` assembles the stack from a :class:`StorageConfig`;
+``OTPServer``/``MFACenter`` accept either a config or a ready engine via
+their ``storage`` argument, and the CLI exposes ``demo --shards N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.cache import DEFAULT_CAPACITY, CachingEngine
+from repro.storage.engine import Row, StorageEngine
+from repro.storage.instrument import InstrumentedEngine
+from repro.storage.memory import InMemoryEngine
+from repro.storage.schema import TableSchema
+from repro.storage.sharding import DEFAULT_VIRTUAL_NODES, HashRing, ShardedEngine
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """How to assemble the engine stack for one deployment.
+
+    ``latency`` simulates the backing store's per-operation round trip
+    (seconds); it exists for capacity planning and the concurrency
+    benchmarks, and defaults to free.
+    """
+
+    shards: int = 1
+    cache_capacity: int = 0  # 0 disables the read-through cache
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("need at least one shard")
+        if self.cache_capacity < 0 or self.latency < 0 or self.virtual_nodes < 1:
+            raise ValueError("invalid storage configuration")
+
+
+def build_engine(config: StorageConfig = None, telemetry=None) -> StorageEngine:
+    """Assemble cache → shards → memory per ``config``, instrumented."""
+    config = config or StorageConfig()
+    if config.shards == 1:
+        engine: StorageEngine = InMemoryEngine(latency=config.latency)
+    else:
+        engine = ShardedEngine(
+            [InMemoryEngine(latency=config.latency) for _ in range(config.shards)],
+            virtual_nodes=config.virtual_nodes,
+            telemetry=telemetry,
+        )
+    if config.cache_capacity:
+        engine = CachingEngine(engine, config.cache_capacity, telemetry=telemetry)
+    return InstrumentedEngine(engine, telemetry=telemetry)
+
+
+__all__ = [
+    "CachingEngine",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_VIRTUAL_NODES",
+    "HashRing",
+    "InMemoryEngine",
+    "InstrumentedEngine",
+    "Row",
+    "ShardedEngine",
+    "StorageConfig",
+    "StorageEngine",
+    "TableSchema",
+    "build_engine",
+]

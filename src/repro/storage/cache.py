@@ -1,0 +1,189 @@
+"""A read-through LRU cache in front of any storage engine.
+
+Hot token/user lookups on the validate path are point reads (``get`` by
+serial, ``get_by_unique`` by user id); the cache keeps the most recent
+``capacity`` of them and invalidates on write, so a login storm against
+the same accounts stops paying the backing engine's round trip.
+
+Invalidation rules:
+
+* ``update``/``delete`` drop the row's primary-key entry plus every cached
+  unique-lookup entry for that table (the write may have been *to* the row
+  a unique entry points at, and the mapping from unique value to row is
+  not recoverable from the key alone).
+* ``insert`` invalidates nothing — misses are never cached, so there is no
+  stale negative entry to correct.
+* an aborted transaction clears the whole cache: reads inside the block
+  may have cached uncommitted state that the rollback then reverted.
+
+``select``/``count`` pass straight through (range scans would thrash a
+point cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.storage.engine import Predicate, Row, StorageEngine
+from repro.storage.schema import TableSchema
+
+DEFAULT_CAPACITY = 1024
+
+
+class CachingEngine:
+    """LRU read-through wrapper with write invalidation."""
+
+    def __init__(
+        self,
+        inner: StorageEngine,
+        capacity: int = DEFAULT_CAPACITY,
+        telemetry=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.inner = inner
+        self.capacity = capacity
+        self._lru: "OrderedDict[tuple, Row]" = OrderedDict()
+        #: Cached unique-lookup keys per table, for O(per-table) invalidation.
+        self._unique_keys: Dict[str, Set[tuple]] = {}
+        self._lock = threading.Lock()
+        if telemetry is None:
+            from repro.telemetry import NOOP_REGISTRY
+
+            telemetry = NOOP_REGISTRY
+        self._hits = telemetry.counter(
+            "storage_cache_hits_total", "point reads served from the LRU cache"
+        )
+        self._misses = telemetry.counter(
+            "storage_cache_misses_total", "point reads that fell through to the engine"
+        )
+        self._g_entries = telemetry.gauge(
+            "storage_cache_entries", "rows currently held in the LRU cache"
+        )
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _lookup(self, key: tuple, table: str) -> Optional[Row]:
+        with self._lock:
+            row = self._lru.get(key)
+            if row is not None:
+                self._lru.move_to_end(key)
+        if row is None:
+            self._misses.inc(table=table)
+            return None
+        self._hits.inc(table=table)
+        return dict(row)
+
+    def _store(self, key: tuple, table: str, row: Row) -> None:
+        with self._lock:
+            self._lru[key] = dict(row)
+            self._lru.move_to_end(key)
+            if key[1] == "unique":
+                self._unique_keys.setdefault(table, set()).add(key)
+            while len(self._lru) > self.capacity:
+                evicted, _ = self._lru.popitem(last=False)
+                if evicted[1] == "unique":
+                    self._unique_keys.get(evicted[0], set()).discard(evicted)
+            self._g_entries.set(len(self._lru))
+
+    def _invalidate_row(self, table: str, pk: Any) -> None:
+        with self._lock:
+            self._lru.pop((table, "pk", pk), None)
+            for key in self._unique_keys.pop(table, ()):
+                self._lru.pop(key, None)
+            self._g_entries.set(len(self._lru))
+
+    def _clear(self) -> None:
+        with self._lock:
+            self._lru.clear()
+            self._unique_keys.clear()
+            self._g_entries.set(0)
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._lru), "capacity": self.capacity}
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, table: str, pk: Any) -> Row:
+        key = (table, "pk", pk)
+        row = self._lookup(key, table)
+        if row is not None:
+            return row
+        row = self.inner.get(table, pk)
+        self._store(key, table, row)
+        return row
+
+    def exists(self, table: str, pk: Any) -> bool:
+        with self._lock:
+            if (table, "pk", pk) in self._lru:
+                return True
+        return self.inner.exists(table, pk)
+
+    def get_by_unique(self, table: str, column: str, value: Any) -> Row:
+        key = (table, "unique", column, value)
+        row = self._lookup(key, table)
+        if row is not None:
+            return row
+        row = self.inner.get_by_unique(table, column, value)
+        self._store(key, table, row)
+        return row
+
+    def select(
+        self,
+        table: str,
+        where: Optional[Row] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> List[Row]:
+        return self.inner.select(table, where, predicate)
+
+    def count(self, table: str, where: Optional[Row] = None) -> int:
+        return self.inner.count(table, where)
+
+    # -- writes -------------------------------------------------------------
+
+    def insert(self, table: str, row: Row) -> Row:
+        return self.inner.insert(table, row)
+
+    def update(self, table: str, pk: Any, changes: Row) -> Row:
+        row = self.inner.update(table, pk, changes)
+        self._invalidate_row(table, pk)
+        return row
+
+    def delete(self, table: str, pk: Any) -> Row:
+        row = self.inner.delete(table, pk)
+        self._invalidate_row(table, pk)
+        return row
+
+    # -- schema / misc -------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema) -> None:
+        self.inner.create_table(name, schema)
+
+    def has_table(self, name: str) -> bool:
+        return self.inner.has_table(name)
+
+    def tables(self) -> List[str]:
+        return self.inner.tables()
+
+    def schema(self, table: str) -> TableSchema:
+        return self.inner.schema(table)
+
+    def row_count(self, table: Optional[str] = None) -> int:
+        return self.inner.row_count(table)
+
+    @contextmanager
+    def transaction(self):
+        try:
+            with self.inner.transaction():
+                yield self
+        except BaseException:
+            self._clear()
+            raise
+
+    def __getattr__(self, name: str):
+        # Surface engine-specific extras (shard_sizes, ...) transparently.
+        return getattr(self.inner, name)

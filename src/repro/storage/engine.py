@@ -1,0 +1,74 @@
+"""The storage-engine seam the OTP path runs on.
+
+The paper's LinOTP keeps its state in "an encrypted MariaDB relational
+database"; the reproduction originally hard-wired one in-memory store into
+the OTP server.  :class:`StorageEngine` extracts the operations every
+consumer actually needs — table-qualified CRUD, indexed selection and
+all-or-nothing transactions — so the backing tier can be swapped (sharded,
+cached, instrumented, or a composition of all three) without the server,
+admin API, portal or simulator noticing.
+
+Engines return *copies* of rows: mutating a returned dict never mutates
+stored state.  All engines raise the shared error vocabulary
+(:class:`~repro.common.errors.ValidationError` for constraint violations,
+:class:`~repro.common.errors.NotFoundError` for missing rows/tables).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+from repro.storage.schema import TableSchema
+
+Row = Dict[str, Any]
+Predicate = Callable[[Row], bool]
+
+
+@runtime_checkable
+class StorageEngine(Protocol):
+    """What the relational façade (and anything else) may ask of storage."""
+
+    # -- schema ------------------------------------------------------------
+    def create_table(self, name: str, schema: TableSchema) -> None: ...
+
+    def has_table(self, name: str) -> bool: ...
+
+    def tables(self) -> List[str]: ...
+
+    def schema(self, table: str) -> TableSchema: ...
+
+    # -- row operations ----------------------------------------------------
+    def insert(self, table: str, row: Row) -> Row: ...
+
+    def get(self, table: str, pk: Any) -> Row: ...
+
+    def exists(self, table: str, pk: Any) -> bool: ...
+
+    def get_by_unique(self, table: str, column: str, value: Any) -> Row: ...
+
+    def update(self, table: str, pk: Any, changes: Row) -> Row: ...
+
+    def delete(self, table: str, pk: Any) -> Row: ...
+
+    def select(
+        self,
+        table: str,
+        where: Optional[Row] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> List[Row]: ...
+
+    def count(self, table: str, where: Optional[Row] = None) -> int: ...
+
+    def row_count(self, table: Optional[str] = None) -> int: ...
+
+    # -- transactions ------------------------------------------------------
+    def transaction(self) -> ContextManager[Any]: ...

@@ -1,0 +1,327 @@
+"""The in-memory engine: dict-backed tables with undo-log transactions.
+
+The seed implementation snapshotted every table with ``copy.deepcopy`` at
+the top of each transaction — O(entire database) per write block, which is
+what capped the store at toy populations.  This engine instead keeps an
+**undo log**: every mutating operation inside a transaction appends its
+inverse (insert → delete, update → restore old columns, delete →
+re-insert), and an abort replays the log backwards from the savepoint.
+Commit and abort therefore cost O(operations touched), independent of how
+many rows the database holds; ``benchmarks/test_perf_storage.py`` asserts
+exactly that.
+
+A single re-entrant lock makes the engine safe for threaded callers; the
+sharded engine stripes that lock by wrapping one instance per shard.  The
+optional ``latency`` parameter sleeps once per operation *while holding the
+lock*, standing in for the MariaDB network/disk round trip so concurrency
+benchmarks exercise realistic contention instead of pure-Python overhead.
+
+Nested ``transaction()`` blocks behave like savepoints: an inner abort
+rolls back only the inner block's operations; an outer abort rolls back
+everything, including committed inner blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.storage.engine import Predicate, Row
+from repro.storage.schema import TableSchema
+
+
+class _MemoryTable:
+    """Rows keyed by primary key, with unique and secondary indices."""
+
+    def __init__(self, name: str, schema: TableSchema) -> None:
+        self.name = name
+        self.schema = schema
+        self.rows: Dict[Any, Row] = {}
+        self.unique: Dict[str, Dict[Any, Any]] = {c: {} for c in schema.unique}
+        self.indices: Dict[str, Dict[Any, set]] = {c: {} for c in schema.indexed}
+
+    def _check_columns(self, row: Row) -> None:
+        unknown = set(row) - set(self.schema.columns)
+        if unknown:
+            raise ValidationError(f"{self.name}: unknown columns {sorted(unknown)}")
+
+    # -- constrained operations (raise on violation) ------------------------
+
+    def insert(self, row: Row) -> Row:
+        self._check_columns(row)
+        pk = row.get(self.schema.primary_key)
+        if pk is None:
+            raise ValidationError(f"{self.name}: missing primary key")
+        if pk in self.rows:
+            raise ValidationError(f"{self.name}: duplicate primary key {pk!r}")
+        for col, index in self.unique.items():
+            value = row.get(col)
+            if value is not None and value in index:
+                raise ValidationError(
+                    f"{self.name}: unique constraint violated on {col}={value!r}"
+                )
+        stored = {c: row.get(c) for c in self.schema.columns}
+        self.rows[pk] = stored
+        self._link(pk, stored)
+        return stored
+
+    def update(self, pk: Any, changes: Row) -> Tuple[Row, Row]:
+        """Apply ``changes``; returns ``(old_values, new_row)``."""
+        self._check_columns(changes)
+        if self.schema.primary_key in changes:
+            raise ValidationError(f"{self.name}: cannot change the primary key")
+        row = self.rows.get(pk)
+        if row is None:
+            raise NotFoundError(f"{self.name}: no row with key {pk!r}")
+        for col, new in changes.items():
+            if col in self.unique:
+                existing = self.unique[col].get(new)
+                if new is not None and existing is not None and existing != pk:
+                    raise ValidationError(
+                        f"{self.name}: unique constraint violated on {col}={new!r}"
+                    )
+        old = self.apply(pk, changes)
+        return old, row
+
+    def delete(self, pk: Any) -> Row:
+        row = self.rows.pop(pk, None)
+        if row is None:
+            raise NotFoundError(f"{self.name}: no row with key {pk!r}")
+        self._unlink(pk, row)
+        return row
+
+    # -- unchecked primitives (index-maintaining; shared with undo) ---------
+
+    def apply(self, pk: Any, changes: Row) -> Row:
+        """Set columns without constraint checks; returns the old values.
+
+        ``apply(pk, apply(pk, changes))`` is the identity, which is what
+        makes an update's undo entry just its old-values dict.
+        """
+        row = self.rows[pk]
+        old: Row = {}
+        for col, new in changes.items():
+            previous = row.get(col)
+            old[col] = previous
+            if col in self.unique:
+                if previous is not None:
+                    self.unique[col].pop(previous, None)
+                if new is not None:
+                    self.unique[col][new] = pk
+            if col in self.indices:
+                self.indices[col].get(previous, set()).discard(pk)
+                self.indices[col].setdefault(new, set()).add(pk)
+            row[col] = new
+        return old
+
+    def _link(self, pk: Any, stored: Row) -> None:
+        for col, index in self.unique.items():
+            if stored.get(col) is not None:
+                index[stored[col]] = pk
+        for col, index in self.indices.items():
+            index.setdefault(stored.get(col), set()).add(pk)
+
+    def _unlink(self, pk: Any, row: Row) -> None:
+        for col, index in self.unique.items():
+            if row.get(col) is not None:
+                index.pop(row[col], None)
+        for col, index in self.indices.items():
+            index.get(row.get(col), set()).discard(pk)
+
+    def undo_insert(self, pk: Any) -> None:
+        row = self.rows.pop(pk)
+        self._unlink(pk, row)
+
+    def undo_delete(self, row: Row) -> None:
+        pk = row[self.schema.primary_key]
+        self.rows[pk] = row
+        self._link(pk, row)
+
+
+class InMemoryEngine:
+    """Thread-safe dict-backed engine with undo-log transactions."""
+
+    def __init__(self, latency: float = 0.0) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self._tables: Dict[str, _MemoryTable] = {}
+        self._lock = threading.RLock()
+        self._latency = latency
+        #: LIFO of inverse operations recorded while a transaction is open.
+        self._log: List[tuple] = []
+        self._txn_depth = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _pause(self) -> None:
+        # The simulated backing-store round trip (held under the lock, like
+        # a connection checked out of a pool for the duration of the query).
+        if self._latency:
+            time.sleep(self._latency)
+
+    def _table(self, name: str) -> _MemoryTable:
+        table = self._tables.get(name)
+        if table is None:
+            raise NotFoundError(f"no such table: {name}")
+        return table
+
+    # -- schema -------------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema) -> None:
+        with self._lock:
+            if name in self._tables:
+                raise ValidationError(f"table {name!r} already exists")
+            self._tables[name] = _MemoryTable(name, schema)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> List[str]:
+        return list(self._tables)
+
+    def schema(self, table: str) -> TableSchema:
+        return self._table(table).schema
+
+    # -- row operations -------------------------------------------------------
+
+    def insert(self, table: str, row: Row) -> Row:
+        with self._lock:
+            self._pause()
+            t = self._table(table)
+            stored = t.insert(row)
+            if self._txn_depth:
+                self._log.append(("insert", table, stored[t.schema.primary_key]))
+            return dict(stored)
+
+    def get(self, table: str, pk: Any) -> Row:
+        with self._lock:
+            self._pause()
+            row = self._table(table).rows.get(pk)
+            if row is None:
+                raise NotFoundError(f"{table}: no row with key {pk!r}")
+            return dict(row)
+
+    def exists(self, table: str, pk: Any) -> bool:
+        with self._lock:
+            self._pause()
+            return pk in self._table(table).rows
+
+    def get_by_unique(self, table: str, column: str, value: Any) -> Row:
+        with self._lock:
+            self._pause()
+            t = self._table(table)
+            if column not in t.unique:
+                raise ValidationError(f"{table}: {column} has no unique index")
+            pk = t.unique[column].get(value)
+            if pk is None:
+                raise NotFoundError(f"{table}: no row with {column}={value!r}")
+            return dict(t.rows[pk])
+
+    def update(self, table: str, pk: Any, changes: Row) -> Row:
+        with self._lock:
+            self._pause()
+            t = self._table(table)
+            old, row = t.update(pk, changes)
+            if self._txn_depth:
+                self._log.append(("update", table, pk, old))
+            return dict(row)
+
+    def delete(self, table: str, pk: Any) -> Row:
+        with self._lock:
+            self._pause()
+            row = self._table(table).delete(pk)
+            if self._txn_depth:
+                self._log.append(("delete", table, row))
+            return dict(row)
+
+    def select(
+        self,
+        table: str,
+        where: Optional[Row] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> List[Row]:
+        """Return matching rows; equality ``where`` uses indices when it can."""
+        with self._lock:
+            self._pause()
+            t = self._table(table)
+            candidates = None
+            if where:
+                for col, value in where.items():
+                    if col == t.schema.primary_key:
+                        candidates = [value] if value in t.rows else []
+                        break
+                    if col in t.indices:
+                        candidates = list(t.indices[col].get(value, ()))
+                        break
+                    if col in t.unique:
+                        pk = t.unique[col].get(value)
+                        candidates = [pk] if pk is not None else []
+                        break
+            keys = candidates if candidates is not None else list(t.rows)
+            results = []
+            for pk in keys:
+                row = t.rows.get(pk)
+                if row is None:
+                    continue
+                if where and any(row.get(c) != v for c, v in where.items()):
+                    continue
+                if predicate and not predicate(row):
+                    continue
+                results.append(dict(row))
+            return results
+
+    def count(self, table: str, where: Optional[Row] = None) -> int:
+        with self._lock:
+            self._pause()
+            t = self._table(table)
+            if not where:
+                return len(t.rows)
+            if len(where) == 1:
+                # Single-column equality over an index is O(1): index sets
+                # are maintained exactly, so no row check is needed.
+                ((col, value),) = where.items()
+                if col in t.indices:
+                    return len(t.indices[col].get(value, ()))
+                if col in t.unique:
+                    return 1 if t.unique[col].get(value) is not None else 0
+                if col == t.schema.primary_key:
+                    return 1 if value in t.rows else 0
+            return len(self.select(table, where=where))
+
+    def row_count(self, table: Optional[str] = None) -> int:
+        with self._lock:
+            if table is not None:
+                return len(self._table(table).rows)
+            return sum(len(t.rows) for t in self._tables.values())
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """All-or-nothing block; nested blocks behave like savepoints."""
+        with self._lock:
+            mark = len(self._log)
+            self._txn_depth += 1
+            try:
+                yield self
+            except BaseException:
+                self._rollback_to(mark)
+                raise
+            finally:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._log.clear()
+
+    def _rollback_to(self, mark: int) -> None:
+        while len(self._log) > mark:
+            entry = self._log.pop()
+            table = self._tables[entry[1]]
+            if entry[0] == "insert":
+                table.undo_insert(entry[2])
+            elif entry[0] == "update":
+                table.apply(entry[2], entry[3])
+            else:  # delete
+                table.undo_delete(entry[2])

@@ -1,0 +1,29 @@
+"""Table schemas shared by every storage engine.
+
+A schema is engine-independent: the in-memory engine, the sharded engine
+and the caching wrapper all enforce the same column set, primary key,
+unique constraints and secondary indices, so a `Database` façade can be
+re-pointed at a different engine without touching its consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class TableSchema:
+    """Column names, primary key and unique constraints for a table."""
+
+    columns: Sequence[str]
+    primary_key: str
+    unique: Sequence[str] = field(default_factory=tuple)
+    indexed: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.primary_key not in self.columns:
+            raise ValueError(f"primary key {self.primary_key!r} not a column")
+        for col in list(self.unique) + list(self.indexed):
+            if col not in self.columns:
+                raise ValueError(f"constraint column {col!r} not a column")

@@ -1,0 +1,313 @@
+"""Consistent-hash sharding with routed secondary lookups.
+
+Rows are placed on a shard by hashing their primary key onto a ring of
+virtual nodes (so adding a shard would move only ~1/N of the keys, the
+property federated deployments rely on when they grow the storage tier).
+Each shard is its own engine with its own lock, which is the lock
+striping: two threads validating different users touch different shards
+and never contend.
+
+A naive sharded ``select(where={"user_id": ...})`` would have to ask every
+shard.  The engine instead maintains a **routing index** — for each
+indexed/unique column, a refcounted map of value → shards holding matching
+rows — so single-value equality queries go to exactly the shards that can
+answer them (usually one).  Unique constraints are enforced globally
+through the same structure: an insert *claims* its unique values under the
+routing lock before touching the shard, so two threads racing to insert
+the same value on different shards cannot both win.
+
+Transactions span every shard: all shard locks are taken in a fixed order
+(no deadlocks), each shard opens its own undo-log transaction, and an
+abort rolls all of them back, after which the routing index is rebuilt
+from the surviving rows.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.storage.engine import Predicate, Row, StorageEngine
+from repro.storage.memory import InMemoryEngine
+from repro.storage.schema import TableSchema
+
+DEFAULT_VIRTUAL_NODES = 64
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash (``hash()`` is salted per run)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over ``n_shards`` with virtual nodes."""
+
+    def __init__(self, n_shards: int, virtual_nodes: int = DEFAULT_VIRTUAL_NODES) -> None:
+        if n_shards < 1 or virtual_nodes < 1:
+            raise ValueError("need at least one shard and one virtual node")
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for vnode in range(virtual_nodes):
+                points.append((stable_hash(f"shard{shard}:vnode{vnode}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, key: str) -> int:
+        index = bisect.bisect_right(self._hashes, stable_hash(key))
+        return self._shards[index % len(self._shards)]
+
+
+class ShardedEngine:
+    """N engines behind one :class:`StorageEngine` surface."""
+
+    def __init__(
+        self,
+        shards: Union[int, Sequence[StorageEngine]],
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        telemetry=None,
+    ) -> None:
+        if isinstance(shards, int):
+            shards = [InMemoryEngine() for _ in range(shards)]
+        self.shards: List[StorageEngine] = list(shards)
+        if not self.shards:
+            raise ValueError("sharded engine needs at least one shard")
+        self._ring = HashRing(len(self.shards), virtual_nodes)
+        self._schemas: Dict[str, TableSchema] = {}
+        # (table, column) -> value -> {shard index: row refcount}
+        self._routes: Dict[Tuple[str, str], Dict[Any, Dict[int, int]]] = {}
+        self._route_lock = threading.Lock()
+        if telemetry is None:
+            from repro.telemetry import NOOP_REGISTRY
+
+            telemetry = NOOP_REGISTRY
+        self._g_rows = telemetry.gauge(
+            "storage_shard_rows", "rows held per shard, by table"
+        )
+
+    # -- schema -------------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema) -> None:
+        if name in self._schemas:
+            raise ValidationError(f"table {name!r} already exists")
+        for shard in self.shards:
+            shard.create_table(name, schema)
+        self._schemas[name] = schema
+        with self._route_lock:
+            for col in self._routed_columns(schema):
+                self._routes[(name, col)] = {}
+
+    def has_table(self, name: str) -> bool:
+        return name in self._schemas
+
+    def tables(self) -> List[str]:
+        return list(self._schemas)
+
+    def schema(self, table: str) -> TableSchema:
+        schema = self._schemas.get(table)
+        if schema is None:
+            raise NotFoundError(f"no such table: {table}")
+        return schema
+
+    @staticmethod
+    def _routed_columns(schema: TableSchema) -> List[str]:
+        return list(dict.fromkeys(list(schema.indexed) + list(schema.unique)))
+
+    # -- placement ----------------------------------------------------------
+
+    def _shard_of(self, table: str, pk: Any) -> int:
+        return self._ring.shard_for(f"{table}/{pk!r}")
+
+    def shard_sizes(self, table: Optional[str] = None) -> List[int]:
+        return [shard.row_count(table) for shard in self.shards]
+
+    def row_count(self, table: Optional[str] = None) -> int:
+        return sum(self.shard_sizes(table))
+
+    # -- routing index ------------------------------------------------------
+
+    def _route_shards(self, table: str, column: str, value: Any) -> List[int]:
+        with self._route_lock:
+            owners = self._routes.get((table, column), {}).get(value)
+            return sorted(owners) if owners else []
+
+    def _route_adjust(self, table: str, row: Row, index: int, delta: int) -> None:
+        schema = self._schemas[table]
+        with self._route_lock:
+            for col in self._routed_columns(schema):
+                value = row.get(col)
+                if col in schema.unique and col not in schema.indexed and value is None:
+                    continue  # NULLs never participate in unique constraints
+                self._route_bump(table, col, value, index, delta)
+
+    def _route_bump(
+        self, table: str, column: str, value: Any, index: int, delta: int
+    ) -> None:
+        owners = self._routes[(table, column)].setdefault(value, {})
+        count = owners.get(index, 0) + delta
+        if count > 0:
+            owners[index] = count
+        else:
+            owners.pop(index, None)
+            if not owners:
+                self._routes[(table, column)].pop(value, None)
+
+    def _rebuild_routes(self) -> None:
+        with self._route_lock:
+            for key in self._routes:
+                self._routes[key] = {}
+        for table, schema in self._schemas.items():
+            for index, shard in enumerate(self.shards):
+                for row in shard.select(table):
+                    self._route_adjust(table, row, index, +1)
+
+    def _refresh_gauges(self) -> None:
+        for table in self._schemas:
+            for index, size in enumerate(self.shard_sizes(table)):
+                self._g_rows.set(size, shard=str(index), table=table)
+
+    # -- row operations -----------------------------------------------------
+
+    def insert(self, table: str, row: Row) -> Row:
+        schema = self.schema(table)
+        pk = row.get(schema.primary_key)
+        if pk is None:
+            raise ValidationError(f"{table}: missing primary key")
+        claimed: List[Tuple[str, Any]] = []
+        index = self._shard_of(table, pk)
+        # Claim unique values globally before the shard write: a concurrent
+        # insert of the same value on another shard sees the claim and fails.
+        with self._route_lock:
+            for col in schema.unique:
+                value = row.get(col)
+                if value is None:
+                    continue
+                if self._routes[(table, col)].get(value):
+                    for undo_col, undo_value in claimed:
+                        self._route_bump(table, undo_col, undo_value, index, -1)
+                    raise ValidationError(
+                        f"{table}: unique constraint violated on {col}={value!r}"
+                    )
+                self._route_bump(table, col, value, index, +1)
+                claimed.append((col, value))
+        try:
+            stored = self.shards[index].insert(table, row)
+        except BaseException:
+            with self._route_lock:
+                for col, value in claimed:
+                    self._route_bump(table, col, value, index, -1)
+            raise
+        # Claimed unique columns are already routed; add the rest.
+        with self._route_lock:
+            for col in self._routed_columns(schema):
+                if (col, stored.get(col)) in claimed:
+                    continue
+                if col in schema.unique and col not in schema.indexed:
+                    continue  # unclaimed unique column means its value is None
+                self._route_bump(table, col, stored.get(col), index, +1)
+        self._g_rows.set(
+            self.shards[index].row_count(table), shard=str(index), table=table
+        )
+        return stored
+
+    def get(self, table: str, pk: Any) -> Row:
+        self.schema(table)
+        return self.shards[self._shard_of(table, pk)].get(table, pk)
+
+    def exists(self, table: str, pk: Any) -> bool:
+        self.schema(table)
+        return self.shards[self._shard_of(table, pk)].exists(table, pk)
+
+    def get_by_unique(self, table: str, column: str, value: Any) -> Row:
+        schema = self.schema(table)
+        if column not in schema.unique:
+            raise ValidationError(f"{table}: {column} has no unique index")
+        for index in self._route_shards(table, column, value):
+            try:
+                return self.shards[index].get_by_unique(table, column, value)
+            except NotFoundError:
+                continue
+        raise NotFoundError(f"{table}: no row with {column}={value!r}")
+
+    def update(self, table: str, pk: Any, changes: Row) -> Row:
+        schema = self.schema(table)
+        index = self._shard_of(table, pk)
+        for col in schema.unique:
+            if col in changes and changes[col] is not None:
+                owners = self._route_shards(table, col, changes[col])
+                if any(owner != index for owner in owners):
+                    raise ValidationError(
+                        f"{table}: unique constraint violated on "
+                        f"{col}={changes[col]!r}"
+                    )
+        tracked = [c for c in self._routed_columns(schema) if c in changes]
+        old = self.shards[index].get(table, pk) if tracked else None
+        row = self.shards[index].update(table, pk, changes)
+        if tracked:
+            self._route_adjust(table, old, index, -1)
+            self._route_adjust(table, row, index, +1)
+        return row
+
+    def delete(self, table: str, pk: Any) -> Row:
+        self.schema(table)
+        index = self._shard_of(table, pk)
+        row = self.shards[index].delete(table, pk)
+        self._route_adjust(table, row, index, -1)
+        self._g_rows.set(
+            self.shards[index].row_count(table), shard=str(index), table=table
+        )
+        return row
+
+    # -- queries ------------------------------------------------------------
+
+    def _shards_for_query(self, table: str, where: Optional[Row]) -> Iterable[int]:
+        schema = self.schema(table)
+        if where:
+            if schema.primary_key in where:
+                return [self._shard_of(table, where[schema.primary_key])]
+            for col in self._routed_columns(schema):
+                if col in where:
+                    return self._route_shards(table, col, where[col])
+        return range(len(self.shards))
+
+    def select(
+        self,
+        table: str,
+        where: Optional[Row] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> List[Row]:
+        results: List[Row] = []
+        for index in self._shards_for_query(table, where):
+            results.extend(self.shards[index].select(table, where, predicate))
+        return results
+
+    def count(self, table: str, where: Optional[Row] = None) -> int:
+        return sum(
+            self.shards[index].count(table, where)
+            for index in self._shards_for_query(table, where)
+        )
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """One atomic block across every shard.
+
+        Shard locks are acquired in shard order for the whole block, so a
+        cross-shard write set commits or aborts as a unit; on abort the
+        routing index is rebuilt from the rolled-back shards.
+        """
+        try:
+            with ExitStack() as stack:
+                for shard in self.shards:
+                    stack.enter_context(shard.transaction())
+                yield self
+        except BaseException:
+            self._rebuild_routes()
+            self._refresh_gauges()
+            raise

@@ -11,10 +11,23 @@ import json
 from typing import Dict
 
 
+def _escape_label_value(value: str) -> str:
+    # Exposition format: label values escape backslash, double-quote and
+    # line feed (in that order — escaping the escape character first).
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 

@@ -1,0 +1,39 @@
+"""The deprecated ``.message`` aliases: still functional, now warned."""
+
+import warnings
+
+import pytest
+
+from repro.crypto.totp import ValidationOutcome
+from repro.otpserver import ValidateResult, ValidateStatus
+
+
+class TestValidateResultMessage:
+    def test_alias_returns_reason(self):
+        result = ValidateResult(ValidateStatus.REJECT, reason="invalid token code")
+        with pytest.warns(DeprecationWarning, match="ValidateResult.message"):
+            assert result.message == "invalid token code"
+        assert result.reason == "invalid token code"
+
+    def test_empty_reason_round_trips(self):
+        result = ValidateResult(ValidateStatus.OK)
+        with pytest.warns(DeprecationWarning):
+            assert result.message == ""
+
+
+class TestValidationOutcomeMessage:
+    def test_alias_returns_reason(self):
+        outcome = ValidationOutcome(ok=False, reason="code replayed")
+        with pytest.warns(DeprecationWarning, match="ValidationOutcome.message"):
+            assert outcome.message == "code replayed"
+        assert outcome.reason == "code replayed"
+
+
+class TestCanonicalAccessorsStayQuiet:
+    def test_reason_and_ok_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = ValidateResult(ValidateStatus.OK, reason="")
+            assert result.ok and result.reason == ""
+            outcome = ValidationOutcome(ok=True, offset=0)
+            assert outcome.ok and outcome.reason == ""

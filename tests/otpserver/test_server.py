@@ -230,7 +230,7 @@ class TestSMSLifecycle:
         code = sms_server.sms.latest("5125551234").body.split()[-1]
         clock.advance(400)  # past the 300 s validity
         result = sms_server.validate("carol", code)
-        assert not result.ok and "expired" in result.message
+        assert not result.ok and "expired" in result.reason
 
     def test_new_challenge_after_expiry(self, sms_server, clock):
         sms_server.validate("carol", None)

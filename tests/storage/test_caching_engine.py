@@ -1,0 +1,169 @@
+"""Read-through LRU cache and the instrumentation wrapper."""
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.storage import (
+    CachingEngine,
+    InMemoryEngine,
+    InstrumentedEngine,
+    StorageConfig,
+    TableSchema,
+    build_engine,
+)
+from repro.telemetry import Registry
+
+
+class CountingEngine(InMemoryEngine):
+    """Counts reads that actually reach the backing engine."""
+
+    def __init__(self):
+        super().__init__()
+        self.backend_reads = 0
+
+    def get(self, table, pk):
+        self.backend_reads += 1
+        return super().get(table, pk)
+
+    def get_by_unique(self, table, column, value):
+        self.backend_reads += 1
+        return super().get_by_unique(table, column, value)
+
+
+def _rig(capacity=8, telemetry=None):
+    inner = CountingEngine()
+    cached = CachingEngine(inner, capacity=capacity, telemetry=telemetry)
+    cached.create_table(
+        "tokens",
+        TableSchema(("serial", "user_id", "n"), "serial", unique=("user_id",)),
+    )
+    for i in range(4):
+        cached.insert("tokens", {"serial": f"S{i}", "user_id": f"u{i}", "n": i})
+    return inner, cached
+
+
+class TestReadThrough:
+    def test_second_get_is_a_hit(self):
+        inner, cached = _rig()
+        assert cached.get("tokens", "S1") == cached.get("tokens", "S1")
+        assert inner.backend_reads == 1
+
+    def test_unique_lookup_cached(self):
+        inner, cached = _rig()
+        cached.get_by_unique("tokens", "user_id", "u2")
+        cached.get_by_unique("tokens", "user_id", "u2")
+        assert inner.backend_reads == 1
+
+    def test_cached_rows_are_copies(self):
+        _, cached = _rig()
+        row = cached.get("tokens", "S1")
+        row["n"] = 999
+        assert cached.get("tokens", "S1")["n"] == 1
+
+    def test_misses_are_not_cached(self):
+        inner, cached = _rig()
+        for _ in range(2):
+            with pytest.raises(NotFoundError):
+                cached.get("tokens", "S99")
+        assert inner.backend_reads == 2
+
+    def test_lru_eviction(self):
+        inner, cached = _rig(capacity=2)
+        cached.get("tokens", "S0")
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S2")  # evicts S0
+        cached.get("tokens", "S0")
+        assert inner.backend_reads == 4
+        assert cached.cache_info() == {"entries": 2, "capacity": 2}
+
+    def test_hit_miss_counters(self):
+        registry = Registry()
+        _, cached = _rig(telemetry=registry)
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S1")
+        assert registry.counter("storage_cache_misses_total").value(table="tokens") == 1
+        assert registry.counter("storage_cache_hits_total").value(table="tokens") == 2
+
+
+class TestWriteInvalidation:
+    def test_update_invalidates_pk_entry(self):
+        inner, cached = _rig()
+        cached.get("tokens", "S1")
+        cached.update("tokens", "S1", {"n": 100})
+        assert cached.get("tokens", "S1")["n"] == 100
+
+    def test_update_invalidates_unique_entries(self):
+        inner, cached = _rig()
+        cached.get_by_unique("tokens", "user_id", "u1")
+        cached.update("tokens", "S1", {"n": 100})
+        assert cached.get_by_unique("tokens", "user_id", "u1")["n"] == 100
+
+    def test_delete_invalidates(self):
+        _, cached = _rig()
+        cached.get("tokens", "S1")
+        cached.delete("tokens", "S1")
+        with pytest.raises(NotFoundError):
+            cached.get("tokens", "S1")
+
+    def test_aborted_transaction_clears_cache(self):
+        _, cached = _rig()
+        with pytest.raises(RuntimeError):
+            with cached.transaction():
+                cached.update("tokens", "S1", {"n": 100})
+                cached.get("tokens", "S1")  # caches the uncommitted value
+                raise RuntimeError("boom")
+        assert cached.get("tokens", "S1")["n"] == 1  # rolled-back truth
+
+
+class TestInstrumentedEngine:
+    def test_op_series_recorded(self):
+        registry = Registry()
+        engine = InstrumentedEngine(InMemoryEngine(), telemetry=registry)
+        engine.create_table("t", TableSchema(("k",), "k"))
+        engine.insert("t", {"k": 1})
+        engine.get("t", 1)
+        engine.select("t")
+        ops = registry.counter("storage_ops_total")
+        assert ops.value(op="insert", table="t") == 1
+        assert ops.value(op="get", table="t") == 1
+        assert ops.value(op="select", table="t") == 1
+        latency = registry.histogram("storage_op_seconds")
+        assert latency.count(op="insert", table="t") == 1
+
+    def test_transaction_outcomes_counted(self):
+        registry = Registry()
+        engine = InstrumentedEngine(InMemoryEngine(), telemetry=registry)
+        engine.create_table("t", TableSchema(("k",), "k"))
+        with engine.transaction():
+            engine.insert("t", {"k": 1})
+        with pytest.raises(RuntimeError):
+            with engine.transaction():
+                engine.insert("t", {"k": 2})
+                raise RuntimeError("boom")
+        txn = registry.counter("storage_transactions_total")
+        assert txn.value(outcome="commit") == 1
+        assert txn.value(outcome="abort") == 1
+        assert not engine.exists("t", 2)
+
+
+class TestBuildEngine:
+    def test_default_is_instrumented_memory(self):
+        engine = build_engine()
+        assert isinstance(engine, InstrumentedEngine)
+        assert isinstance(engine.inner, InMemoryEngine)
+
+    def test_full_stack_composes(self):
+        engine = build_engine(StorageConfig(shards=3, cache_capacity=16))
+        engine.create_table("t", TableSchema(("k",), "k"))
+        for i in range(9):
+            engine.insert("t", {"k": i})
+        # Engine-specific extras surface through both wrappers.
+        assert sum(engine.shard_sizes("t")) == 9
+        assert engine.cache_info()["capacity"] == 16
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            StorageConfig(shards=0)
+        with pytest.raises(ValueError):
+            StorageConfig(latency=-0.1)

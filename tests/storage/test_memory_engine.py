@@ -1,0 +1,165 @@
+"""In-memory engine: CRUD, indices, and undo-log transaction semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.storage import InMemoryEngine, TableSchema
+
+
+@pytest.fixture
+def engine():
+    e = InMemoryEngine()
+    e.create_table(
+        "tokens",
+        TableSchema(
+            columns=("serial", "user_id", "type", "active"),
+            primary_key="serial",
+            unique=("user_id",),
+            indexed=("type",),
+        ),
+    )
+    return e
+
+
+class TestCRUD:
+    def test_insert_get_roundtrip(self, engine):
+        engine.insert("tokens", {"serial": "S1", "user_id": "u1", "type": "soft"})
+        assert engine.get("tokens", "S1")["user_id"] == "u1"
+        assert engine.exists("tokens", "S1")
+        assert engine.row_count("tokens") == 1
+
+    def test_rows_are_copies(self, engine):
+        engine.insert("tokens", {"serial": "S1", "active": True})
+        row = engine.get("tokens", "S1")
+        row["active"] = False
+        assert engine.get("tokens", "S1")["active"] is True
+
+    def test_missing_table(self, engine):
+        with pytest.raises(NotFoundError):
+            engine.get("nope", "S1")
+
+    def test_duplicate_table(self, engine):
+        with pytest.raises(ValidationError):
+            engine.create_table("tokens", TableSchema(("x",), "x"))
+
+    def test_delete_returns_row(self, engine):
+        engine.insert("tokens", {"serial": "S1", "user_id": "u1"})
+        assert engine.delete("tokens", "S1")["user_id"] == "u1"
+        assert not engine.exists("tokens", "S1")
+
+    def test_unique_lookup_and_violation(self, engine):
+        engine.insert("tokens", {"serial": "S1", "user_id": "u1"})
+        assert engine.get_by_unique("tokens", "user_id", "u1")["serial"] == "S1"
+        with pytest.raises(ValidationError, match="unique"):
+            engine.insert("tokens", {"serial": "S2", "user_id": "u1"})
+
+    def test_indexed_count_is_exact(self, engine):
+        for i, kind in enumerate(["soft", "soft", "sms"]):
+            engine.insert("tokens", {"serial": f"S{i}", "user_id": f"u{i}", "type": kind})
+        assert engine.count("tokens", where={"type": "soft"}) == 2
+        assert engine.count("tokens", where={"type": "sms"}) == 1
+        assert engine.count("tokens", where={"type": "hard"}) == 0
+        assert engine.count("tokens", where={"serial": "S0"}) == 1
+        assert engine.count("tokens", where={"user_id": "u1"}) == 1
+
+    def test_select_by_primary_key_where(self, engine):
+        engine.insert("tokens", {"serial": "S1", "type": "soft"})
+        engine.insert("tokens", {"serial": "S2", "type": "soft"})
+        assert len(engine.select("tokens", where={"serial": "S1"})) == 1
+
+
+class TestUndoLogTransactions:
+    def test_commit_keeps_writes(self, engine):
+        with engine.transaction():
+            engine.insert("tokens", {"serial": "S1"})
+        assert engine.exists("tokens", "S1")
+
+    def test_abort_undoes_insert_update_delete(self, engine):
+        engine.insert("tokens", {"serial": "S0", "user_id": "u0", "type": "soft"})
+        with pytest.raises(RuntimeError):
+            with engine.transaction():
+                engine.insert("tokens", {"serial": "S1", "user_id": "u1"})
+                engine.update("tokens", "S0", {"type": "sms", "user_id": "u9"})
+                engine.delete("tokens", "S0")
+                raise RuntimeError("boom")
+        assert not engine.exists("tokens", "S1")
+        row = engine.get("tokens", "S0")
+        assert row["type"] == "soft" and row["user_id"] == "u0"
+
+    def test_abort_restores_unique_and_secondary_indices(self, engine):
+        engine.insert("tokens", {"serial": "S0", "user_id": "u0", "type": "soft"})
+        with pytest.raises(RuntimeError):
+            with engine.transaction():
+                engine.delete("tokens", "S0")
+                engine.insert("tokens", {"serial": "S1", "user_id": "u0", "type": "sms"})
+                raise RuntimeError("boom")
+        # u0 must map back to S0, and the type index must be consistent.
+        assert engine.get_by_unique("tokens", "user_id", "u0")["serial"] == "S0"
+        assert engine.count("tokens", where={"type": "soft"}) == 1
+        assert engine.count("tokens", where={"type": "sms"}) == 0
+        with pytest.raises(ValidationError, match="unique"):
+            engine.insert("tokens", {"serial": "S2", "user_id": "u0"})
+
+    def test_nested_transactions_are_savepoints(self, engine):
+        with engine.transaction():
+            engine.insert("tokens", {"serial": "OUTER"})
+            with pytest.raises(RuntimeError):
+                with engine.transaction():
+                    engine.insert("tokens", {"serial": "INNER"})
+                    raise RuntimeError("inner boom")
+            assert not engine.exists("tokens", "INNER")
+            assert engine.exists("tokens", "OUTER")
+        assert engine.exists("tokens", "OUTER")
+
+    def test_outer_abort_rolls_back_committed_inner(self, engine):
+        with pytest.raises(RuntimeError):
+            with engine.transaction():
+                with engine.transaction():
+                    engine.insert("tokens", {"serial": "INNER"})
+                raise RuntimeError("outer boom")
+        assert not engine.exists("tokens", "INNER")
+
+    def test_log_cleared_after_commit(self, engine):
+        with engine.transaction():
+            engine.insert("tokens", {"serial": "S1"})
+        assert engine._log == []
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=25, unique=True))
+    def test_abort_is_exact_inverse(self, keys):
+        engine = InMemoryEngine()
+        engine.create_table("t", TableSchema(("k", "v"), "k", indexed=("v",)))
+        for k in keys[: len(keys) // 2 + 1]:
+            engine.insert("t", {"k": k, "v": k % 3})
+        before = sorted((r["k"], r["v"]) for r in engine.select("t"))
+        with pytest.raises(RuntimeError):
+            with engine.transaction():
+                for k in keys:
+                    if engine.exists("t", k):
+                        engine.update("t", k, {"v": 99})
+                        engine.delete("t", k)
+                    else:
+                        engine.insert("t", {"k": k, "v": k % 3})
+                raise RuntimeError("boom")
+        after = sorted((r["k"], r["v"]) for r in engine.select("t"))
+        assert after == before
+        # Secondary index agrees with a full scan for every bucket.
+        for bucket in (0, 1, 2, 99):
+            scan = [r for r in engine.select("t") if r["v"] == bucket]
+            assert engine.count("t", where={"v": bucket}) == len(scan)
+
+
+class TestLatency:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            InMemoryEngine(latency=-1.0)
+
+    def test_latency_is_paid_per_op(self):
+        engine = InMemoryEngine(latency=0.002)
+        engine.create_table("t", TableSchema(("k",), "k"))
+        import time
+
+        start = time.perf_counter()
+        for i in range(5):
+            engine.insert("t", {"k": i})
+        assert time.perf_counter() - start >= 0.01

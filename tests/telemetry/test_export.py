@@ -1,0 +1,37 @@
+"""Exporters: exposition-format escaping and snapshot rendering."""
+
+from repro.telemetry import Registry, render_text
+from repro.telemetry.export import _escape_label_value
+
+
+class TestLabelValueEscaping:
+    def test_escape_rules(self):
+        assert _escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert _escape_label_value("a\\b") == "a\\\\b"
+        assert _escape_label_value("line1\nline2") == "line1\\nline2"
+        # Backslash escapes first, so an embedded \n sequence survives as-is.
+        assert _escape_label_value("\\n") == "\\\\n"
+
+    def test_rendered_counter_labels_are_escaped(self):
+        registry = Registry()
+        counter = registry.counter("evil_total", "labels from user input")
+        counter.inc(reason='user "alice"\nsaid\\no')
+        text = render_text(registry.snapshot(include_traces=False))
+        line = next(l for l in text.splitlines() if l.startswith("evil_total{"))
+        assert line == 'evil_total{reason="user \\"alice\\"\\nsaid\\\\no"} 1'
+        # The rendered output must stay one-line-per-sample.
+        assert "\nsaid" not in text
+
+    def test_histogram_labels_are_escaped(self):
+        registry = Registry()
+        histogram = registry.histogram("h_seconds", buckets=(1.0,))
+        histogram.observe(0.5, path='a"b')
+        text = render_text(registry.snapshot(include_traces=False))
+        assert 'h_seconds_bucket{le="1.0",path="a\\"b"}' in text
+        assert 'h_seconds_count{path="a\\"b"} 1' in text
+
+    def test_clean_labels_unchanged(self):
+        registry = Registry()
+        registry.counter("ok_total").inc(status="ok")
+        text = render_text(registry.snapshot(include_traces=False))
+        assert 'ok_total{status="ok"} 1' in text
