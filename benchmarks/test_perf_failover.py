@@ -1,0 +1,89 @@
+"""Failover latency: what one dead RADIUS server costs a login.
+
+Measured in *simulated* seconds (``FailoverPolicy.simulate_waits``): every
+unanswered attempt charges its timeout and backoff wait to the deployment
+clock, and a chaos latency fault gives the healthy path a realistic
+non-zero round trip.  The acceptance bar: with one of three servers down,
+the health-aware client's median login latency stays within 2x the
+all-healthy median — the circuit breaker ejects the dead server after the
+first login pays the discovery cost, so the median never sees it again.
+
+The blind round-robin comparison prints alongside: it re-pays the full
+timeout ladder every time the rotation starts at the dead server.
+"""
+
+from __future__ import annotations
+
+import random
+from statistics import median
+
+from repro.chaos import ChaosEngine, FaultPlan, LatencyFault
+from repro.common.clock import SimulatedClock
+from repro.core import MFACenter
+from repro.crypto.totp import TOTPGenerator
+from repro.radius.health import FailoverPolicy
+from repro.ssh import SSHClient
+
+LOGINS = 12
+#: Nominal per-datagram RADIUS round trip, charged by a latency fault.
+NOMINAL_RTT = 0.05
+
+
+def login_latencies(down_servers: int = 0, health_aware: bool = True):
+    """Per-login simulated seconds for a fresh deployment."""
+    clock = SimulatedClock.at("2016-10-05T09:00:00")
+    center = MFACenter(
+        clock=clock,
+        rng=random.Random(3),
+        radius_policy=FailoverPolicy(simulate_waits=True),
+    )
+    system = center.add_system("bench", login_nodes=1)
+    node = system.login_node()
+    center.create_user("ivan", password="pw")
+    _, secret = center.pair_soft("ivan")
+    device = TOTPGenerator(secret=secret, clock=clock)
+    plan = FaultPlan(
+        "nominal-rtt",
+        "constant RADIUS round trip so the healthy median is non-zero",
+        (LatencyFault(start=0, duration=10 ** 6, delay=NOMINAL_RTT, target="10.0.0."),),
+    )
+    ChaosEngine(plan, clock, seed=3, fabric=center.fabric)
+    if not health_aware:
+        for daemon in system.daemons:
+            for entry in daemon.pam_stack.entries:
+                radius = getattr(entry.module, "_radius", None)
+                if radius is not None:
+                    radius.health_aware = False
+    for i in range(down_servers):
+        center.fabric.set_down(center.radius_servers[i].address)
+    client = SSHClient(source_ip="198.51.100.3")
+    latencies = []
+    for _ in range(LOGINS):
+        begin = clock.now()
+        result, _ = client.connect(node, "ivan", password="pw", token=device.current_code)
+        assert result.success
+        latencies.append(clock.now() - begin)
+        clock.advance(31)  # fresh TOTP step per login
+    return latencies
+
+
+def test_one_down_median_within_2x_all_healthy():
+    healthy = login_latencies(down_servers=0)
+    degraded = login_latencies(down_servers=1)
+    blind = login_latencies(down_servers=1, health_aware=False)
+    print("\n=== failover login latency (simulated seconds) ===")
+    print(f"    all healthy      median={median(healthy):.3f} worst={max(healthy):.3f}")
+    print(f"    1/3 down (aware) median={median(degraded):.3f} worst={max(degraded):.3f}")
+    print(f"    1/3 down (blind) median={median(blind):.3f} worst={max(blind):.3f}")
+    assert median(healthy) > 0, "latency fault failed to charge the clock"
+    assert median(degraded) <= 2 * median(healthy)
+
+
+def test_discovery_cost_paid_once():
+    # Only the first login eats the dead server's timeout ladder; once the
+    # circuit opens, later logins match the healthy profile.
+    degraded = login_latencies(down_servers=1)
+    healthy = login_latencies(down_servers=0)
+    assert max(degraded[0], degraded[1]) > 2 * median(healthy)  # discovery
+    tail = degraded[2:]
+    assert median(tail) <= 2 * median(healthy)

@@ -13,6 +13,9 @@ Commands:
   default), including the storage-engine op series.
 * ``qr <text>`` — render any text as a terminal QR code (the portal's
   pairing renderer, exposed because it is genuinely handy).
+* ``chaos [--plan NAME] [--seed N] [--logins M] [--json] [--list]`` — run
+  a login workload under a seeded fault plan and report the invariant
+  verdicts; exits non-zero if any invariant was violated.
 """
 
 from __future__ import annotations
@@ -114,12 +117,57 @@ def _cmd_qr(args: list) -> int:
     return 0
 
 
+def _cmd_chaos(args: list) -> int:
+    import json
+
+    from repro.chaos import WorkloadConfig, run_chaos, shipped_plans
+
+    plans = shipped_plans()
+    if "--list" in args:
+        for plan in plans.values():
+            print(f"{plan.name:14s} floor={plan.availability_floor:.2f}  "
+                  f"{plan.description}")
+        return 0
+    name = "kitchen-sink"
+    if "--plan" in args:
+        index = args.index("--plan")
+        if index + 1 >= len(args):
+            raise SystemExit("--plan requires a value")
+        name = args[index + 1]
+    plan = plans.get(name)
+    if plan is None:
+        print(f"unknown plan {name!r}; try --list", file=sys.stderr)
+        return 2
+    config = WorkloadConfig(
+        seed=_flag_value(args, "--seed", 101),
+        logins=_flag_value(args, "--logins", 120),
+    )
+    report = run_chaos(plan, config)
+    summary = report.summary()
+    if "--json" in args:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"plan: {summary['plan']} (seed {summary['seed']})")
+        print(f"logins: {summary['successes']}/{summary['attempts']} succeeded")
+        print(
+            f"availability: {summary['availability']:.4f} "
+            f"(floor {summary['availability_floor']:.2f})"
+        )
+        print(f"false accepts: {summary['false_accepts']}")
+        print(f"reasonless denials: {summary['reasonless_denials']}")
+        print(f"chaos events: {summary['events']}  digest: {summary['digest'][:16]}")
+        for violation in summary["violations"]:
+            print(f"INVARIANT VIOLATED: {violation}")
+    return 1 if summary["violations"] else 0
+
+
 def main(argv: list) -> int:
     commands = {
         "report": _cmd_report,
         "demo": _cmd_demo,
         "telemetry": _cmd_telemetry,
         "qr": _cmd_qr,
+        "chaos": _cmd_chaos,
     }
     if not argv or argv[0] not in commands:
         print(__doc__, file=sys.stderr)

@@ -1,0 +1,57 @@
+"""Deterministic, seeded fault injection for the MFA deployment.
+
+The paper's infrastructure earns its keep precisely when things go wrong —
+lossy networks, rebooting RADIUS servers, stalled SMS carriers, drifted
+device clocks.  This package makes "things going wrong" a reproducible
+input: a :class:`FaultPlan` schedules faults on a simulated timeline, a
+:class:`ChaosEngine` applies them to a live deployment through narrow
+hooks, and :func:`run_chaos` drives a full login workload under the plan,
+reporting whether the security and availability invariants held.
+
+Everything derives from one seed, so a failing run replays exactly:
+
+    from repro.chaos import run_chaos, shipped_plans, WorkloadConfig
+    report = run_chaos(shipped_plans()["partition"], WorkloadConfig(seed=101))
+    assert not report.invariant_violations()
+"""
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.faults import (
+    ClockSkew,
+    Fault,
+    LatencyFault,
+    LossBurst,
+    Partition,
+    ServerFlap,
+    SlowShard,
+    SMSBrownout,
+)
+from repro.chaos.plan import FaultPlan, shipped_plans
+from repro.chaos.runner import (
+    AttemptRecord,
+    ChaosReport,
+    EPOCH,
+    WorkloadConfig,
+    run_chaos,
+    wrong_code,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "ChaosEngine",
+    "ChaosReport",
+    "ClockSkew",
+    "EPOCH",
+    "Fault",
+    "FaultPlan",
+    "LatencyFault",
+    "LossBurst",
+    "Partition",
+    "ServerFlap",
+    "SlowShard",
+    "SMSBrownout",
+    "WorkloadConfig",
+    "run_chaos",
+    "shipped_plans",
+    "wrong_code",
+]

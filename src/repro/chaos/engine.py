@@ -1,0 +1,242 @@
+"""The seeded fault-injection engine.
+
+``ChaosEngine`` binds a :class:`~repro.chaos.plan.FaultPlan` to a live
+deployment through three hooks, none of which require the target to know
+anything about fault plans:
+
+* ``UDPFabric.chaos`` — consulted once per datagram; the engine may veto
+  delivery (partition, flap, loss burst) or charge latency to the
+  simulated clock;
+* ``SMSGateway.carrier_override`` — swaps in a brownout carrier profile
+  while an :class:`~repro.chaos.faults.SMSBrownout` window is open;
+* explicit state application on :meth:`tick` — slow storage shards (the
+  engines' simulated-latency knob) and device clock skew.
+
+Determinism is the contract: all probabilistic faults draw from per-fault
+``random.Random`` instances seeded from ``(run seed, plan name, fault
+index, kind)`` via :func:`repro.radius.backoff.stable_seed`, time is the
+deployment's :class:`~repro.common.clock.SimulatedClock`, and every
+injection is appended to an event log whose canonical JSON rendering is
+byte-identical across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, List, Optional
+
+from repro.chaos.faults import (
+    ClockSkew,
+    LatencyFault,
+    LossBurst,
+    Partition,
+    ServerFlap,
+    SlowShard,
+    SMSBrownout,
+    matches,
+)
+from repro.chaos.plan import FaultPlan
+from repro.common.clock import Clock
+from repro.otpserver.sms_gateway import CarrierProfile
+from repro.radius.backoff import stable_seed
+from repro.telemetry import NOOP_REGISTRY
+
+
+class ChaosEngine:
+    """Applies one plan to one deployment, recording every injection."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        clock: Clock,
+        seed: int,
+        fabric=None,
+        sms_gateway=None,
+        storage=None,
+        devices: Optional[Dict[str, object]] = None,
+        telemetry=None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self._clock = clock
+        self.epoch = clock.now()  # plan-relative t=0
+        self.events: List[dict] = []
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._m_injected = self.telemetry.counter(
+            "chaos_faults_injected_total", "fault injections by kind"
+        )
+        # One RNG per fault, seeded independently of the deployment RNG:
+        # adding or removing a fault never shifts another fault's draws,
+        # and the deployment's own seeded behaviour is untouched.
+        self._rngs = {
+            index: random.Random(stable_seed(seed, plan.name, index, fault.kind))
+            for index, fault in enumerate(plan.faults)
+        }
+        self._fabric = fabric
+        if fabric is not None:
+            fabric.chaos = self
+        self._sms = sms_gateway
+        if sms_gateway is not None:
+            sms_gateway.carrier_override = self._carrier_now
+        self._storage = storage
+        self._devices = devices or {}
+        self._open: set = set()  # indices of currently-active fault windows
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def t(self) -> float:
+        """Plan-relative simulated time."""
+        return self._clock.now() - self.epoch
+
+    # -- event log ----------------------------------------------------------
+
+    def record(self, kind: str, **fields) -> None:
+        event = {"t": round(self.t, 3), "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+        self._m_injected.inc(kind=kind)
+
+    def event_log_lines(self) -> List[str]:
+        """Canonical JSON, one event per line — byte-stable across reruns."""
+        return [
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            for event in self.events
+        ]
+
+    # -- the fabric hook ----------------------------------------------------
+
+    def on_datagram(self, address: str, source: str = "") -> Optional[str]:
+        """Veto or impair one datagram; returns a drop reason or None."""
+        t = self.t
+        for index, fault in enumerate(self.plan.faults):
+            if not fault.active_at(t):
+                continue
+            if isinstance(fault, Partition):
+                if fault.blocks(address, source):
+                    self.record("partition_drop", target=address)
+                    return "partition"
+            elif isinstance(fault, ServerFlap):
+                if matches(fault.target, address) and fault.down_at(t):
+                    self.record("flap_drop", target=address)
+                    return "flap"
+            elif isinstance(fault, LossBurst):
+                if (
+                    matches(fault.target, address)
+                    and self._rngs[index].random() < fault.loss_rate
+                ):
+                    self.record("loss_burst_drop", target=address)
+                    return "loss_burst"
+            elif isinstance(fault, LatencyFault):
+                if matches(fault.target, address):
+                    advance = getattr(self._clock, "advance", None)
+                    if advance is not None:
+                        advance(fault.delay)
+                    self.record("latency", target=address, delay=fault.delay)
+        return None
+
+    def impaired(self, address: str) -> bool:
+        """Is ``address`` deterministically unreachable right now?
+
+        True only for blocking faults (partition, flap downtime) —
+        probabilistic loss and latency leave a server "healthy" for the
+        availability invariant.
+        """
+        t = self.t
+        for fault in self.plan.faults:
+            if not fault.active_at(t):
+                continue
+            if isinstance(fault, Partition) and fault.blocks(address):
+                return True
+            if isinstance(fault, ServerFlap):
+                if matches(fault.target, address) and fault.down_at(t):
+                    return True
+        return False
+
+    # -- the SMS hook -------------------------------------------------------
+
+    def _carrier_now(self) -> Optional[CarrierProfile]:
+        t = self.t
+        for fault in self.plan.faults:
+            if isinstance(fault, SMSBrownout) and fault.active_at(t):
+                self.record("sms_brownout")
+                return CarrierProfile(
+                    base_delay=fault.base_delay,
+                    delay_jitter=0.0,
+                    stall_probability=fault.stall_probability,
+                    stall_delay=fault.stall_delay,
+                )
+        return None
+
+    # -- stateful faults ----------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance the engine to the clock's current instant.
+
+        Call between workload steps: logs window transitions and applies /
+        reverts the stateful faults (slow shards, clock skew).  The
+        datagram and SMS hooks consult time themselves, so a missed tick
+        only delays state application, never correctness of drops.
+        """
+        t = self.t
+        active = {
+            index
+            for index, fault in enumerate(self.plan.faults)
+            if fault.active_at(t)
+        }
+        for index in sorted(active - self._open):
+            fault = self.plan.faults[index]
+            self.record("window_open", fault=fault.kind, index=index)
+            self._apply(fault, entering=True)
+        for index in sorted(self._open - active):
+            fault = self.plan.faults[index]
+            self.record("window_close", fault=fault.kind, index=index)
+            self._apply(fault, entering=False)
+        self._open = active
+
+    def _apply(self, fault, entering: bool) -> None:
+        if isinstance(fault, SlowShard):
+            self._set_shard_latency(fault.shard, fault.latency if entering else 0.0)
+        elif isinstance(fault, ClockSkew):
+            for username, device in self._devices.items():
+                if fault.user and username != fault.user:
+                    continue
+                device.skew = fault.skew if entering else 0.0
+
+    def _set_shard_latency(self, shard: int, latency: float) -> None:
+        if self._storage is None:
+            raise TypeError("plan has a slow-shard fault but no storage target")
+        # Walk instrumentation/cache wrappers down to the sharded (or
+        # plain in-memory) engine that owns the latency knob.
+        engine = self._storage
+        while True:
+            if hasattr(engine, "set_shard_latency"):
+                engine.set_shard_latency(shard, latency)
+                return
+            inner = getattr(engine, "inner", None)
+            if inner is None:
+                break
+            engine = inner
+        if hasattr(engine, "set_latency"):
+            if shard != 0:
+                raise TypeError(
+                    f"storage stack is unsharded; shard {shard} does not exist"
+                )
+            engine.set_latency(latency)
+            return
+        raise TypeError(
+            f"storage stack ({type(engine).__name__}) has no latency knob"
+        )
+
+    # -- teardown -----------------------------------------------------------
+
+    def detach(self) -> None:
+        """Uninstall every hook and revert any stateful faults."""
+        for index in sorted(self._open):
+            self._apply(self.plan.faults[index], entering=False)
+        self._open = set()
+        if self._fabric is not None and self._fabric.chaos is self:
+            self._fabric.chaos = None
+        if self._sms is not None and self._sms.carrier_override == self._carrier_now:
+            self._sms.carrier_override = None

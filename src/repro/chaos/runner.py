@@ -1,0 +1,249 @@
+"""Run a whole login workload under a fault plan and judge the invariants.
+
+This is the harness behind ``tests/chaos`` and ``python -m repro chaos``:
+build a fresh deployment at a fixed simulated instant, enroll a small
+population of soft-token users, attach a :class:`ChaosEngine`, and drive
+interactive SSH logins through the full stack (sshd → PAM → RADIUS →
+LinOTP → storage) while the plan's faults fire.  Everything — the
+deployment RNG, the fault RNGs, the clock — derives from one seed, so a
+run is a pure function of ``(plan, config)`` and the report's event-log
+digest is byte-identical across reruns.
+
+The four invariants every plan must satisfy (the headline deliverable):
+
+a. **No false accepts** — a login with a wrong token code never succeeds,
+   no matter what the network does.
+b. **Availability floor** — while at least one RADIUS server is free of
+   deterministic blocking, correct-code logins succeed at or above the
+   plan's ``availability_floor``.
+c. **No silent denials** — every denied login showed the user at least
+   one message beyond the login banner.
+d. **Determinism** — identical seeds yield identical event logs (checked
+   by comparing :meth:`ChaosReport.digest` across runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import FaultPlan
+from repro.common.clock import SimulatedClock
+from repro.core import MFACenter
+from repro.crypto.totp import TOTPGenerator
+from repro.radius.health import FailoverPolicy
+from repro.ssh import SSHClient
+from repro.storage import StorageConfig
+
+#: Every chaos run starts at the same instant as the repo's other
+#: deterministic scenarios (the week of the paper's production rollout).
+EPOCH = "2016-10-05T09:00:00"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the login workload driven under the fault plan."""
+
+    seed: int = 101
+    logins: int = 120
+    users: int = 4
+    #: Seconds between logins.  With 4 users round-robin this spaces one
+    #: user's logins 68 s apart — always a fresh TOTP step, so replay
+    #: protection never rejects an honest login.
+    step_seconds: float = 17.0
+    #: Every Nth login deliberately presents a wrong code (the false-accept
+    #: probe); 0 disables.
+    wrong_every: int = 9
+    #: Per-authenticate simulated-time budget for the RADIUS client.
+    deadline_budget: float = 8.0
+    shards: int = 2
+
+    def __post_init__(self) -> None:
+        if self.logins < 1 or self.users < 1:
+            raise ValueError("need at least one login and one user")
+        if self.step_seconds <= 0:
+            raise ValueError("step must be positive")
+        if self.wrong_every < 0:
+            raise ValueError("wrong_every must be >= 0")
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One login attempt's outcome."""
+
+    index: int
+    username: str
+    expect_success: bool  # False for the deliberate wrong-code probes
+    healthy: bool  # >= 1 RADIUS server free of deterministic blocking
+    success: bool
+    reasons: Tuple[str, ...]  # user-visible messages beyond the banner
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, plus the invariant verdicts."""
+
+    plan: FaultPlan
+    config: WorkloadConfig
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    event_lines: List[str] = field(default_factory=list)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for a in self.attempts if a.success)
+
+    @property
+    def failures(self) -> int:
+        return len(self.attempts) - self.successes
+
+    def false_accepts(self) -> List[AttemptRecord]:
+        return [a for a in self.attempts if a.success and not a.expect_success]
+
+    def reasonless_denials(self) -> List[AttemptRecord]:
+        return [a for a in self.attempts if not a.success and not a.reasons]
+
+    def availability(self) -> float:
+        """Success rate over honest logins attempted while >= 1 server
+        was free of deterministic blocking."""
+        eligible = [a for a in self.attempts if a.expect_success and a.healthy]
+        if not eligible:
+            return 1.0
+        return sum(1 for a in eligible if a.success) / len(eligible)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical event log — the determinism witness."""
+        joined = "\n".join(self.event_lines).encode("utf-8")
+        return hashlib.sha256(joined).hexdigest()
+
+    # -- the invariants -----------------------------------------------------
+
+    def invariant_violations(self) -> List[str]:
+        violations = []
+        accepted = self.false_accepts()
+        if accepted:
+            violations.append(
+                f"{len(accepted)} wrong-code login(s) were accepted: "
+                f"{[a.index for a in accepted]}"
+            )
+        floor = self.plan.availability_floor
+        availability = self.availability()
+        if availability < floor:
+            violations.append(
+                f"availability {availability:.4f} below floor {floor:.4f}"
+            )
+        silent = self.reasonless_denials()
+        if silent:
+            violations.append(
+                f"{len(silent)} denial(s) showed the user no reason: "
+                f"{[a.index for a in silent]}"
+            )
+        return violations
+
+    def summary(self) -> dict:
+        return {
+            "plan": self.plan.name,
+            "seed": self.config.seed,
+            "attempts": len(self.attempts),
+            "successes": self.successes,
+            "failures": self.failures,
+            "availability": round(self.availability(), 4),
+            "availability_floor": self.plan.availability_floor,
+            "false_accepts": len(self.false_accepts()),
+            "reasonless_denials": len(self.reasonless_denials()),
+            "events": len(self.event_lines),
+            "digest": self.digest(),
+            "violations": self.invariant_violations(),
+        }
+
+
+def wrong_code(code: str) -> str:
+    """A six-digit code guaranteed different from ``code``."""
+    return f"{(int(code) + 1) % 1000000:06d}"
+
+
+def run_chaos(
+    plan: FaultPlan, config: Optional[WorkloadConfig] = None
+) -> ChaosReport:
+    """Execute one seeded chaos run and return its report."""
+    config = config or WorkloadConfig()
+    clock = SimulatedClock.at(EPOCH)
+    center = MFACenter(
+        clock=clock,
+        rng=random.Random(config.seed),
+        telemetry=True,
+        storage=StorageConfig(shards=config.shards),
+        radius_policy=FailoverPolicy(
+            deadline_budget=config.deadline_budget, simulate_waits=True
+        ),
+    )
+    system = center.add_system("chaos-rig", login_nodes=1)
+    node = system.login_node()
+    users: List[str] = []
+    devices: Dict[str, TOTPGenerator] = {}
+    for i in range(config.users):
+        username = f"chaos{i + 1}"
+        center.create_user(username, password=f"pw-{username}")
+        _, secret = center.pair_soft(username)
+        users.append(username)
+        devices[username] = TOTPGenerator(secret=secret, clock=clock)
+    engine = ChaosEngine(
+        plan,
+        clock,
+        config.seed,
+        fabric=center.fabric,
+        sms_gateway=center.sms_gateway,
+        storage=center.otp.db.engine,
+        devices=devices,
+        telemetry=center.telemetry,
+    )
+    client = SSHClient(source_ip="198.51.100.9")
+    farm = [server.address for server in center.radius_servers]
+    report = ChaosReport(plan=plan, config=config)
+    try:
+        for index in range(config.logins):
+            engine.tick()
+            username = users[index % len(users)]
+            device = devices[username]
+            expect_success = not (
+                config.wrong_every
+                and index % config.wrong_every == config.wrong_every - 1
+            )
+            token = (
+                device.current_code
+                if expect_success
+                else (lambda d=device: wrong_code(d.current_code()))
+            )
+            healthy = any(
+                not center.fabric.is_down(a) and not engine.impaired(a)
+                for a in farm
+            )
+            result, conversation = client.connect(
+                node, username, password=f"pw-{username}", token=token
+            )
+            reasons = tuple(
+                line for line in conversation.displayed if line != node.banner
+            )
+            engine.record(
+                "attempt",
+                index=index,
+                user=username,
+                expect=expect_success,
+                healthy=healthy,
+                ok=result.success,
+            )
+            report.attempts.append(
+                AttemptRecord(
+                    index, username, expect_success, healthy, result.success, reasons
+                )
+            )
+            clock.advance(config.step_seconds)
+        engine.tick()  # close any windows that ended inside the run
+    finally:
+        engine.detach()
+    report.event_lines = engine.event_log_lines()
+    return report

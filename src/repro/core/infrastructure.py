@@ -203,6 +203,7 @@ class MFACenter:
         pam_dir: Optional[str] = None,
         telemetry=None,
         storage=None,
+        radius_policy=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
@@ -227,8 +228,14 @@ class MFACenter:
             telemetry=self.telemetry,
             storage=storage,
         )
-        self.fabric = UDPFabric(loss_rate=fabric_loss_rate, rng=self.rng)
+        self.fabric = UDPFabric(
+            loss_rate=fabric_loss_rate, rng=self.rng, telemetry=self.telemetry
+        )
         self.radius_secret = radius_secret
+        # Failover tuning for every login node's RADIUS client (circuit
+        # breaker thresholds, backoff curve, deadline budget); None means
+        # the FailoverPolicy defaults.
+        self.radius_policy = radius_policy
         self.radius_backend: TokenBackend = UsernameResolvingBackend(
             self.identity, self.otp
         )
@@ -259,6 +266,8 @@ class MFACenter:
             source=source_ip,
             rng=self.rng,
             telemetry=self.telemetry,
+            clock=self.clock,
+            policy=self.radius_policy,
         )
 
     def add_system(

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.clock import Clock
 from repro.common.errors import ValidationError
@@ -106,6 +106,10 @@ class SMSGateway:
         self.messages_sent = 0
         self.message_charges = 0.0
         self.months_billed = 0
+        #: Chaos hook: a zero-argument callable returning a CarrierProfile
+        #: to use *right now* (or None for the configured one).  The chaos
+        #: engine installs one to simulate carrier brownouts on a schedule.
+        self.carrier_override: Optional[Callable[[], Optional[CarrierProfile]]] = None
 
     def bill_month(self) -> float:
         """Accrue one month of the flat service fee."""
@@ -121,12 +125,15 @@ class SMSGateway:
             raise ValidationError("destination number is required")
         with self._tracer.span("sms.send") as span:
             now = self._clock.now()
-            if self._rng.random() < self.carrier.stall_probability:
-                delay = self.carrier.stall_delay + self._rng.random() * self.carrier.stall_delay
+            carrier = self.carrier
+            if self.carrier_override is not None:
+                carrier = self.carrier_override() or carrier
+            if self._rng.random() < carrier.stall_probability:
+                delay = carrier.stall_delay + self._rng.random() * carrier.stall_delay
                 attempts = 2  # the carrier retried before it finally landed
                 self._m_stalls.inc()
             else:
-                delay = self.carrier.base_delay + self._rng.random() * self.carrier.delay_jitter
+                delay = carrier.base_delay + self._rng.random() * carrier.delay_jitter
                 attempts = 1
             us_destination = is_us_number(to_number)
             cost = (

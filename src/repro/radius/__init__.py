@@ -17,8 +17,10 @@ calling "in a round-robin fashion to provide load balancing and resiliency".
 * :mod:`repro.radius.proxy` — proxy chaining between RADIUS realms.
 """
 
+from repro.radius.backoff import BackoffPolicy, BackoffSchedule, stable_seed
 from repro.radius.client import RADIUSClient
 from repro.radius.dictionary import Attr, PacketCode
+from repro.radius.health import CircuitState, FailoverPolicy, HealthTracker, ServerHealth
 from repro.radius.packet import RADIUSPacket, decode_packet, encode_packet
 from repro.radius.server import RADIUSServer
 from repro.radius.transport import UDPFabric
@@ -32,4 +34,11 @@ __all__ = [
     "UDPFabric",
     "RADIUSServer",
     "RADIUSClient",
+    "BackoffPolicy",
+    "BackoffSchedule",
+    "stable_seed",
+    "CircuitState",
+    "FailoverPolicy",
+    "HealthTracker",
+    "ServerHealth",
 ]

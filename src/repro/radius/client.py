@@ -6,6 +6,14 @@ unavailable" (Section 3.4).  The client rotates a starting index across
 calls (load balancing) and walks the server list with retransmits on
 timeout (resiliency); response authenticators are verified so a spoofed
 server cannot mint an Access-Accept.
+
+On top of the paper's blind round-robin the client is *health-aware*: a
+per-server EWMA score and circuit breaker (:mod:`repro.radius.health`)
+eject servers that keep timing out, retransmits wait out a deterministic
+jittered backoff schedule (:mod:`repro.radius.backoff`), and an optional
+deadline budget bounds how much simulated time one authenticate() may
+burn before giving up.  Pass ``health_aware=False`` for the paper's
+original behaviour (the failover benchmark compares the two).
 """
 
 from __future__ import annotations
@@ -13,10 +21,13 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.common.clock import Clock
 from repro.common.errors import ConfigurationError, ProtocolError
+from repro.radius.backoff import BackoffSchedule, stable_seed
 from repro.radius.dictionary import Attr, PacketCode
+from repro.radius.health import CircuitState, FailoverPolicy, HealthTracker
 from repro.radius.packet import (
     RADIUSPacket,
     encode_packet,
@@ -50,8 +61,14 @@ class AuthResponse:
 
 
 class RADIUSClient:
-    """Round-robin, failover RADIUS client."""
+    """Health-aware round-robin RADIUS client with circuit breaking."""
 
+    # Same-server retransmits matter beyond raw loss recovery: when an
+    # Access-Accept is lost on the response leg the server has already
+    # consumed the one-time code, and only a retransmit of the *same*
+    # packet to the *same* server can be rescued by its RFC 5080
+    # duplicate-detection cache — a different server replay-rejects.
+    # Three attempts per server is the classic RADIUS retransmit count.
     def __init__(
         self,
         fabric: UDPFabric,
@@ -59,9 +76,12 @@ class RADIUSClient:
         secret: bytes,
         source: str,
         nas_identifier: str = "login-node",
-        retries: int = 2,
+        retries: int = 3,
         rng: Optional[random.Random] = None,
         telemetry=None,
+        clock: Optional[Clock] = None,
+        policy: Optional[FailoverPolicy] = None,
+        health_aware: bool = True,
     ) -> None:
         if not servers:
             raise ConfigurationError("RADIUS client requires at least one server")
@@ -79,6 +99,23 @@ class RADIUSClient:
         self.per_server_attempts = {s: 0 for s in servers}
         self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
         self._tracer = self.telemetry.tracer()
+        # Waiting (timeouts, backoff) advances the deployment clock when it
+        # is simulated; without one the client keeps private virtual time so
+        # probe intervals still mean something.  A SystemClock cannot be
+        # advanced, so waits under it are free (the in-process fabric
+        # answers instantly anyway).
+        self._clock = clock
+        self._virtual_now = 0.0
+        self.policy = policy or FailoverPolicy()
+        self.health_aware = health_aware
+        self.health = HealthTracker(self._servers, self.policy, self.telemetry)
+        # Backoff schedules are keyed per (source, server): deterministic
+        # across runs (CRC-based seed, no shared-RNG draws) yet distinct
+        # across the fleet so retries never synchronize.
+        self._backoff: Dict[str, BackoffSchedule] = {
+            s: BackoffSchedule(self.policy.backoff, stable_seed(source, s))
+            for s in self._servers
+        }
         self._m_requests = self.telemetry.counter(
             "radius_client_requests_total",
             "datagrams sent, by target server (round-robin balance)",
@@ -94,10 +131,67 @@ class RADIUSClient:
         self._m_responses = self.telemetry.counter(
             "radius_client_responses_total", "authenticate() outcomes by status"
         )
+        self._m_skipped = self.telemetry.counter(
+            "radius_client_ejected_skips_total",
+            "sends avoided because the target's circuit was open",
+        )
 
     def _next_identifier(self) -> int:
         self._identifier = (self._identifier + 1) % 256
         return self._identifier
+
+    # -- time ----------------------------------------------------------------
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now()
+        return self._virtual_now
+
+    def _elapse(self, seconds: float) -> None:
+        """Account for waiting: advance simulated time where possible."""
+        if seconds <= 0:
+            return
+        if self._clock is not None:
+            if self.policy.simulate_waits:
+                advance = getattr(self._clock, "advance", None)
+                if advance is not None:
+                    advance(seconds)
+            return
+        self._virtual_now += seconds
+
+    # -- server ordering ------------------------------------------------------
+
+    def _attempt_plan(self, start: int) -> List[Tuple[str, bool]]:
+        """Order of ``(server, is_probe)`` for one call.
+
+        Probe-due ejected servers go first (half-open trials — the only
+        way a recovered server gets re-admitted while its peers are
+        healthy), then healthy servers in rotated round-robin order, then
+        still-cooling ejected servers as last resorts so a total-outage
+        recovery is never invisible.  Every server reached gets the full
+        retransmit budget: a single-shot attempt whose Access-Accept is
+        lost has no dup-cache rescue and poisons the one-time code.
+        """
+        rotated = [
+            self._servers[(start + offset) % len(self._servers)]
+            for offset in range(len(self._servers))
+        ]
+        if not self.health_aware:
+            return [(server, False) for server in rotated]
+        now = self._now()
+        probes = [s for s in rotated if self.health.probe_due(s, now)]
+        closed = [
+            s
+            for s in rotated
+            if self.health.state(s) is CircuitState.CLOSED and s not in probes
+        ]
+        cooling = [s for s in rotated if s not in probes and s not in closed]
+        plan = [(s, True) for s in probes]
+        plan += [(s, False) for s in closed]
+        plan += [(s, False) for s in cooling]
+        return plan
+
+    # -- the call --------------------------------------------------------------
 
     def authenticate(
         self,
@@ -126,39 +220,77 @@ class RADIUSClient:
             start = self._next_start
             self._next_start = (self._next_start + 1) % len(self._servers)
             source = source_override or self._source
+            deadline = (
+                self._now() + self.policy.deadline_budget
+                if self.policy.deadline_budget is not None
+                else None
+            )
             # Retransmit to the same server before failing over: the server's
             # duplicate-detection cache (RFC 5080) can then replay a response
             # whose first copy was lost, instead of re-consuming the one-time
             # code on a different server.
-            for offset in range(len(self._servers)):
-                server = self._servers[(start + offset) % len(self._servers)]
-                if offset:
+            deadline_hit = False
+            for index, (server, is_probe) in enumerate(self._attempt_plan(start)):
+                if deadline is not None and self._now() >= deadline:
+                    deadline_hit = True
+                    break
+                if index and not is_probe:
                     self._m_failovers.inc(to_server=server)
+                if is_probe:
+                    self.health.begin_probe(server, self._now())
                 for attempt in range(self._retries):
-                    self.per_server_attempts[server] += 1
-                    self._m_requests.inc(server=server)
+                    if deadline is not None and self._now() >= deadline:
+                        deadline_hit = True
+                        break
                     if attempt:
                         self._m_retransmits.inc(server=server)
+                        self._elapse(self._backoff[server].delay(attempt))
+                    self.per_server_attempts[server] += 1
+                    self._m_requests.inc(server=server)
                     response_bytes = self._fabric.send_request(server, wire, source)
                     if response_bytes is None:
+                        self._elapse(self.policy.timeout)
+                        self.health.on_failure(server, self._now())
                         continue  # timeout: retransmit
                     try:
                         response = verify_response(
                             response_bytes, authenticator, self._secret
                         )
                     except ProtocolError:
+                        self._elapse(self.policy.timeout)
+                        self.health.on_failure(server, self._now())
                         continue  # forged/corrupt response is treated as a timeout
                     if response.identifier != request.identifier:
+                        self._elapse(self.policy.timeout)
+                        self.health.on_failure(server, self._now())
                         continue
+                    self.health.on_success(server, self._now())
                     auth_response = self._to_auth_response(response, server)
                     span.annotate("server", server)
                     span.annotate("status", auth_response.status.value)
                     self._m_responses.inc(status=auth_response.status.value)
                     return auth_response
+                if deadline_hit:
+                    break
+            if self.health_aware:
+                ejected = sum(
+                    1
+                    for s in self._servers
+                    if self.health.state(s) is not CircuitState.CLOSED
+                )
+                if ejected:
+                    self._m_skipped.inc(ejected)
             span.annotate("status", AuthStatus.TIMEOUT.value)
+            if deadline_hit:
+                span.annotate("deadline_exhausted", True)
             span.set_status("error")
             self._m_responses.inc(status=AuthStatus.TIMEOUT.value)
-            return AuthResponse(AuthStatus.TIMEOUT, "no RADIUS server responded")
+            message = (
+                "RADIUS deadline budget exhausted"
+                if deadline_hit
+                else "no RADIUS server responded"
+            )
+            return AuthResponse(AuthStatus.TIMEOUT, message)
 
     @staticmethod
     def _to_auth_response(packet: RADIUSPacket, server: str) -> AuthResponse:

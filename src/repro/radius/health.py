@@ -1,0 +1,191 @@
+"""Per-server health scoring and circuit breaking for the RADIUS client.
+
+The paper's client "communicate[s] with RADIUS servers in a round-robin
+fashion to provide load balancing and resiliency" — but blind round-robin
+keeps burning timeouts on a server that has been dead for an hour.  This
+module adds the memory: every response or timeout updates an EWMA health
+score and a consecutive-failure counter per server, and a circuit breaker
+ejects servers that keep failing:
+
+* ``CLOSED``    — healthy; the server takes its full share of traffic.
+* ``OPEN``      — ejected after ``failure_threshold`` consecutive
+  timeouts; skipped entirely while the probe timer runs.
+* ``HALF_OPEN`` — the probe state: once ``probe_interval`` seconds have
+  passed, the next authenticate() spends a single attempt on the server;
+  success re-admits it (CLOSED), another timeout re-opens the circuit.
+
+State transitions are exported as ``radius_server_health`` /
+``radius_circuit_state`` gauges and a transitions counter, so a dashboard
+shows exactly which servers the client has given up on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.radius.backoff import BackoffPolicy
+
+
+class CircuitState(str, Enum):
+    CLOSED = "closed"
+    HALF_OPEN = "half_open"
+    OPEN = "open"
+
+
+#: Gauge encoding of circuit state (0 is healthy, higher is worse).
+CIRCUIT_GAUGE_VALUE = {
+    CircuitState.CLOSED: 0,
+    CircuitState.HALF_OPEN: 1,
+    CircuitState.OPEN: 2,
+}
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """Tunables for health-aware failover."""
+
+    failure_threshold: int = 3  # consecutive timeouts before the circuit opens
+    probe_interval: float = 30.0  # seconds an open circuit waits before a probe
+    #: Every failed probe multiplies the next probe wait by this factor (up
+    #: to ``probe_interval_max``), so a server that stays dead costs one
+    #: timeout ladder ever more rarely instead of once per interval.
+    probe_backoff: float = 2.0
+    probe_interval_max: float = 240.0
+    timeout: float = 1.0  # simulated seconds one unanswered attempt costs
+    deadline_budget: Optional[float] = None  # per-call wall budget; None = unbounded
+    health_decay: float = 0.7  # EWMA weight of history vs. the newest outcome
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    #: When True and the deployment clock is simulated, timeouts and backoff
+    #: waits advance it — login latency becomes measurable in simulated
+    #: seconds and deadline budgets bind.  Off by default: moving shared
+    #: time mid-call shifts TOTP steps under the caller's feet, which only
+    #: the chaos/benchmark rigs opt into.
+    simulate_waits: bool = False
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be at least 1")
+        if self.probe_interval < 0 or self.timeout < 0:
+            raise ValueError("probe interval and timeout must be non-negative")
+        if self.probe_backoff < 1.0:
+            raise ValueError("probe backoff must be >= 1")
+        if self.probe_interval_max < self.probe_interval:
+            raise ValueError("probe interval cap below the base interval")
+        if self.deadline_budget is not None and self.deadline_budget <= 0:
+            raise ValueError("deadline budget must be positive when set")
+        if not 0.0 <= self.health_decay < 1.0:
+            raise ValueError("health decay must be in [0, 1)")
+
+
+@dataclass
+class ServerHealth:
+    """Everything the client remembers about one server."""
+
+    address: str
+    score: float = 1.0  # EWMA of outcomes: 1.0 all-good, 0.0 all-dead
+    consecutive_failures: int = 0
+    state: CircuitState = CircuitState.CLOSED
+    opened_at: float = 0.0
+    probe_failures: int = 0  # failed half-open trials since last success
+    successes: int = 0
+    failures: int = 0
+
+
+class HealthTracker:
+    """Health scores and circuit state for one client's server list."""
+
+    def __init__(self, servers: List[str], policy: FailoverPolicy, telemetry=None) -> None:
+        self.policy = policy
+        self._health: Dict[str, ServerHealth] = {
+            s: ServerHealth(address=s) for s in servers
+        }
+        if telemetry is None:
+            from repro.telemetry import NOOP_REGISTRY
+
+            telemetry = NOOP_REGISTRY
+        self._g_health = telemetry.gauge(
+            "radius_server_health", "EWMA health score per RADIUS server (1 = healthy)"
+        )
+        self._g_circuit = telemetry.gauge(
+            "radius_circuit_state",
+            "circuit state per RADIUS server (0 closed, 1 half-open, 2 open)",
+        )
+        self._c_transitions = telemetry.counter(
+            "radius_circuit_transitions_total", "circuit state changes by server"
+        )
+        for health in self._health.values():
+            self._publish(health)
+
+    # -- queries -----------------------------------------------------------
+
+    def health(self, server: str) -> ServerHealth:
+        return self._health[server]
+
+    def state(self, server: str) -> CircuitState:
+        return self._health[server].state
+
+    def probe_due(self, server: str, now: float) -> bool:
+        health = self._health[server]
+        if health.state is CircuitState.CLOSED:
+            return False
+        interval = min(
+            self.policy.probe_interval
+            * (self.policy.probe_backoff ** health.probe_failures),
+            self.policy.probe_interval_max,
+        )
+        return now - health.opened_at >= interval
+
+    def snapshot(self) -> Dict[str, ServerHealth]:
+        return dict(self._health)
+
+    # -- transitions -------------------------------------------------------
+
+    def _publish(self, health: ServerHealth) -> None:
+        self._g_health.set(round(health.score, 6), server=health.address)
+        self._g_circuit.set(CIRCUIT_GAUGE_VALUE[health.state], server=health.address)
+
+    def _transition(self, health: ServerHealth, state: CircuitState, now: float) -> None:
+        if health.state is state:
+            return
+        self._c_transitions.inc(
+            server=health.address, from_state=health.state.value, to_state=state.value
+        )
+        health.state = state
+        if state is not CircuitState.CLOSED:
+            health.opened_at = now
+
+    def begin_probe(self, server: str, now: float) -> None:
+        """An open circuit's probe timer fired: the next attempt is a trial."""
+        self._transition(self._health[server], CircuitState.HALF_OPEN, now)
+        self._publish(self._health[server])
+
+    def on_success(self, server: str, now: float) -> None:
+        health = self._health[server]
+        health.successes += 1
+        health.consecutive_failures = 0
+        health.probe_failures = 0
+        health.score = (
+            self.policy.health_decay * health.score + (1 - self.policy.health_decay)
+        )
+        self._transition(health, CircuitState.CLOSED, now)
+        self._publish(health)
+
+    def on_failure(self, server: str, now: float) -> None:
+        health = self._health[server]
+        health.failures += 1
+        health.consecutive_failures += 1
+        health.score = self.policy.health_decay * health.score
+        if health.state is CircuitState.HALF_OPEN:
+            # The probe itself failed: straight back to OPEN with a fresh
+            # timer, and the next probe waits exponentially longer.
+            health.probe_failures += 1
+            self._transition(health, CircuitState.OPEN, now)
+            health.opened_at = now
+        elif (
+            health.state is CircuitState.CLOSED
+            and health.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._transition(health, CircuitState.OPEN, now)
+        self._publish(health)

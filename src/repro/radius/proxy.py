@@ -49,6 +49,7 @@ class RADIUSProxy:
         self._rng = rng or random.Random()
         self._next = 0
         self.forwarded = 0
+        self.skipped_down = 0
         fabric.register(address, self.handle_datagram)
 
     def handle_datagram(self, datagram: bytes, source: str) -> Optional[bytes]:
@@ -82,11 +83,18 @@ class RADIUSProxy:
         upstream.add(Attr.PROXY_STATE, proxy_state)
         wire = encode_packet(upstream, self._upstream_secret)
 
-        # Round-robin with failover across upstreams.
+        # Round-robin with failover across upstreams.  Upstreams the fabric
+        # currently marks down are skipped outright instead of burning a
+        # full timeout each — unless every upstream is down, in which case
+        # one is tried anyway so the outage still surfaces as a timeout.
         start = self._next
         self._next = (self._next + 1) % len(self._upstreams)
+        all_down = all(self._fabric.is_down(u) for u in self._upstreams)
         for attempt in range(2 * len(self._upstreams)):
             target = self._upstreams[(start + attempt) % len(self._upstreams)]
+            if not all_down and self._fabric.is_down(target):
+                self.skipped_down += 1
+                continue
             response_bytes = self._fabric.send_request(target, wire, self.address)
             if response_bytes is None:
                 continue

@@ -6,6 +6,13 @@ fabric reproduces exactly that contract for in-process endpoints: servers
 register a handler under an address, clients fire a datagram and either get
 a response or ``None`` (timeout), with configurable loss and per-address
 outage injection for resiliency testing.
+
+Beyond the uniform ``loss_rate`` knob, the fabric exposes a ``chaos`` hook:
+a policy object (see :class:`repro.chaos.ChaosEngine`) consulted once per
+datagram that may veto delivery with a reason (partition, flap, loss
+burst) or inject latency as a side effect.  The hook is how the seeded
+fault-injection engine drives scheduled network faults without the fabric
+knowing anything about fault plans.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
+
+from repro.telemetry import NOOP_REGISTRY
 
 Handler = Callable[[bytes, str], Optional[bytes]]
 
@@ -28,7 +37,12 @@ class FabricStats:
 class UDPFabric:
     """Datagram delivery between registered in-process endpoints."""
 
-    def __init__(self, loss_rate: float = 0.0, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        telemetry=None,
+    ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
         self.loss_rate = loss_rate
@@ -36,15 +50,36 @@ class UDPFabric:
         self._listeners: Dict[str, Handler] = {}
         self._down: set = set()
         self.stats = FabricStats()
+        #: Optional chaos policy with ``on_datagram(address, source)`` →
+        #: drop-reason string or None; installed by the chaos engine.
+        self.chaos = None
+        self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
+        self._m_bindings = self.telemetry.counter(
+            "udp_fabric_bindings_total", "endpoint bind/unbind operations by outcome"
+        )
+        self._m_chaos_drops = self.telemetry.counter(
+            "udp_fabric_chaos_drops_total", "datagrams vetoed by the chaos policy"
+        )
 
     def register(self, address: str, handler: Handler) -> None:
         """Bind ``handler`` to ``address`` (e.g. ``"10.0.1.5:1812"``)."""
         if address in self._listeners:
+            self._m_bindings.inc(op="bind", outcome="duplicate")
             raise ValueError(f"address {address} already bound")
         self._listeners[address] = handler
+        self._m_bindings.inc(op="bind", outcome="ok")
 
     def unregister(self, address: str) -> None:
-        self._listeners.pop(address, None)
+        """Release ``address``; raises like :meth:`register` does for the
+        symmetric mistake (unbinding something that was never bound)."""
+        if address not in self._listeners:
+            self._m_bindings.inc(op="unbind", outcome="unknown")
+            raise ValueError(f"address {address} not bound")
+        del self._listeners[address]
+        self._m_bindings.inc(op="unbind", outcome="ok")
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._listeners
 
     def set_down(self, address: str, down: bool = True) -> None:
         """Simulate a server outage: datagrams to a down address vanish."""
@@ -67,6 +102,12 @@ class UDPFabric:
         if address in self._down:
             self.stats.dropped += 1
             return None
+        if self.chaos is not None:
+            reason = self.chaos.on_datagram(address, source)
+            if reason is not None:
+                self.stats.dropped += 1
+                self._m_chaos_drops.inc(reason=reason)
+                return None
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.stats.dropped += 1
             return None

@@ -162,6 +162,17 @@ class InMemoryEngine:
         if self._latency:
             time.sleep(self._latency)
 
+    @property
+    def latency(self) -> float:
+        return self._latency
+
+    def set_latency(self, latency: float) -> None:
+        """Retune the simulated round trip — the chaos engine's slow-shard
+        fault dials this up mid-run and back down when the window closes."""
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self._latency = latency
+
     def _table(self, name: str) -> _MemoryTable:
         table = self._tables.get(name)
         if table is None:

@@ -90,6 +90,19 @@ class ShardedEngine:
             "storage_shard_rows", "rows held per shard, by table"
         )
 
+    def set_shard_latency(self, index: int, latency: float) -> None:
+        """Retune one shard's simulated round trip (chaos slow-shard fault).
+
+        Only meaningful when the shard engine exposes ``set_latency`` (the
+        in-memory engine does); anything else raises so a misconfigured
+        fault plan fails loudly instead of silently injecting nothing.
+        """
+        shard = self.shards[index]
+        set_latency = getattr(shard, "set_latency", None)
+        if set_latency is None:
+            raise TypeError(f"shard {index} ({type(shard).__name__}) has no latency knob")
+        set_latency(latency)
+
     # -- schema -------------------------------------------------------------
 
     def create_table(self, name: str, schema: TableSchema) -> None:

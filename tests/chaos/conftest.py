@@ -1,0 +1,30 @@
+"""Shared fixtures for the chaos invariant suite.
+
+``CHAOS_SEEDS`` (comma-separated integers, default ``101``) selects which
+seeds the whole-workload invariant tests run under; CI's chaos-smoke job
+sets two.  Reports are cached per ``(plan, seed)`` because one run drives
+120 full-stack logins and several tests interrogate the same run.
+"""
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.chaos import WorkloadConfig, run_chaos, shipped_plans
+
+
+def chaos_seeds():
+    raw = os.environ.get("CHAOS_SEEDS", "101")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+@lru_cache(maxsize=None)
+def report_for(plan_name: str, seed: int):
+    plan = shipped_plans()[plan_name]
+    return run_chaos(plan, WorkloadConfig(seed=seed))
+
+
+@pytest.fixture(params=chaos_seeds(), ids=lambda s: f"seed{s}")
+def seed(request):
+    return request.param

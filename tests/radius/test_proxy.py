@@ -82,6 +82,22 @@ class TestForwarding:
         fabric.set_down(homes[0].address)
         assert client.authenticate("dave", device.current_code()).ok
 
+    def test_down_upstream_skipped_without_timeout(self, setup, clock):
+        # The proxy consults the fabric's down-marks instead of burning a
+        # timeout on a dead upstream every time round-robin lands on it.
+        otp, fabric, homes, proxy, client = setup
+        _, secret = otp.enroll_soft("frank")
+        device = TOTPGenerator(secret=secret, clock=clock)
+        fabric.set_down(homes[0].address)
+        dropped_before = fabric.stats.dropped
+        for _ in range(4):
+            clock.advance(31)  # fresh TOTP step each login
+            assert client.authenticate("frank", device.current_code()).ok
+        assert proxy.skipped_down >= 2  # round-robin landed on the dead one
+        # Skipping means no datagram was ever fired at the down upstream
+        # (a send to a down address would count as a fabric drop).
+        assert fabric.stats.dropped == dropped_before
+
     def test_all_upstreams_down(self, setup, clock):
         otp, fabric, homes, _, client = setup
         _, secret = otp.enroll_soft("eve")

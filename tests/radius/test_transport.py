@@ -27,8 +27,38 @@ class TestRegistration:
     def test_unregister(self):
         fabric = UDPFabric()
         fabric.register("a", lambda d, s: d)
+        assert fabric.is_registered("a")
         fabric.unregister("a")
+        assert not fabric.is_registered("a")
         assert fabric.send_request("a", b"x") is None
+
+    def test_unregister_unknown_raises(self):
+        # Symmetric with register's duplicate-bind error: releasing an
+        # address that was never bound is the same class of mistake.
+        fabric = UDPFabric()
+        with pytest.raises(ValueError):
+            fabric.unregister("never-bound")
+        fabric.register("a", lambda d, s: d)
+        fabric.unregister("a")
+        with pytest.raises(ValueError):
+            fabric.unregister("a")  # double release
+
+    def test_binding_telemetry(self):
+        from repro.telemetry import Registry
+
+        telemetry = Registry()
+        fabric = UDPFabric(telemetry=telemetry)
+        fabric.register("a", lambda d, s: d)
+        with pytest.raises(ValueError):
+            fabric.register("a", lambda d, s: d)
+        fabric.unregister("a")
+        with pytest.raises(ValueError):
+            fabric.unregister("a")
+        bindings = telemetry.counter("udp_fabric_bindings_total")
+        assert bindings.value(op="bind", outcome="ok") == 1
+        assert bindings.value(op="bind", outcome="duplicate") == 1
+        assert bindings.value(op="unbind", outcome="ok") == 1
+        assert bindings.value(op="unbind", outcome="unknown") == 1
 
     def test_source_passed_to_handler(self):
         fabric = UDPFabric()
