@@ -7,8 +7,6 @@ stops, and what the honest-user false-positive cost is.
 
 import random
 
-import pytest
-
 from repro.common.clock import SimulatedClock
 from repro.extensions.geolocation import GeoDatabase, GeoVelocityMonitor
 from repro.extensions.risk import (

@@ -87,9 +87,12 @@ class TestFigure1Paths:
         print("\n=== Figure 1: PAM stack decision tree (path -> verdict) ===")
         header = f"{'pubkey':>8} {'password':>9} {'exempt':>7} {'token':>6} {'entry':>7}"
         print("   ", header)
+
+        def fmt(v):
+            return "-" if v is None else ("yes" if v else "no")
+
         for i, (pubkey, pw, exempt, token, expected) in enumerate(CASES):
             got, _ = run_case(world, i)
-            fmt = lambda v: "-" if v is None else ("yes" if v else "no")
             print(
                 f"    {fmt(pubkey is not None):>8} {fmt(pw):>9} "
                 f"{fmt(exempt):>7} {fmt(token):>6} "

@@ -9,8 +9,6 @@ so the per-login budget is visible layer by layer.
 
 import random
 
-import pytest
-
 from repro.crypto.hotp import hotp
 from repro.crypto.totp import TOTPValidator, totp_at
 from repro.qr import encode, decode_matrix, build_otpauth_uri

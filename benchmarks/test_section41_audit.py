@@ -54,7 +54,6 @@ class TestSection41:
         from repro.analysis.loginaudit import LoginAuditor
 
         entries = campaign.authlog.entries()
-        staff = [u for u in ("st_staff",) if False] or []
 
         def analyze():
             auditor = LoginAuditor(entries)

@@ -18,8 +18,8 @@ Quickstart::
     serial, secret = center.pair_soft("alice")
 """
 
-__version__ = "1.0.0"
-
 from repro.core import MFACenter
+
+__version__ = "1.0.0"
 
 __all__ = ["MFACenter", "__version__"]

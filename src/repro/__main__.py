@@ -16,6 +16,9 @@ Commands:
 * ``chaos [--plan NAME] [--seed N] [--logins M] [--json] [--list]`` — run
   a login workload under a seeded fault plan and report the invariant
   verdicts; exits non-zero if any invariant was violated.
+* ``policy [--mode MODE]`` — print the active policy snapshot (enforcement
+  ladder, exemptions, lockout threshold, rate limits, lock striping) of a
+  demo deployment as JSON.
 """
 
 from __future__ import annotations
@@ -161,6 +164,34 @@ def _cmd_chaos(args: list) -> int:
     return 1 if summary["violations"] else 0
 
 
+def _cmd_policy(args: list) -> int:
+    import json
+    import random
+
+    from repro.common.clock import SimulatedClock
+    from repro.core import MFACenter
+
+    def _str_flag(flag: str, default):
+        if flag in args:
+            index = args.index(flag)
+            if index + 1 >= len(args):
+                raise SystemExit(f"{flag} requires a value")
+            return args[index + 1]
+        return default
+
+    mode = _str_flag("--mode", "full")
+    deadline = _str_flag("--deadline", None)
+    clock = SimulatedClock.at("2016-10-05T09:00:00")
+    center = MFACenter(clock=clock, rng=random.Random(42))
+    system = center.add_system("stampede", mode=mode, deadline=deadline)
+    snapshot = {
+        "server": center.otp.policy_snapshot(),
+        "system": {"name": system.name, **system.policy.snapshot()},
+    }
+    print(json.dumps(snapshot, indent=2, default=str))
+    return 0
+
+
 def main(argv: list) -> int:
     commands = {
         "report": _cmd_report,
@@ -168,6 +199,7 @@ def main(argv: list) -> int:
         "telemetry": _cmd_telemetry,
         "qr": _cmd_qr,
         "chaos": _cmd_chaos,
+        "policy": _cmd_policy,
     }
     if not argv or argv[0] not in commands:
         print(__doc__, file=sys.stderr)

@@ -1,0 +1,73 @@
+"""The mutable state one validation attempt carries through the stages.
+
+A :class:`PipelineContext` is created per ``validate()`` call and handed
+to each stage in order.  Stages communicate only through it: earlier
+stages resolve the token rows and policy decision, later stages consume
+them.  Audit records are *buffered* on the context and flushed by the
+final Audit stage, so a validation writes its audit trail in one place,
+in order, after the outcome is settled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.otpserver.results import ValidateResult
+from repro.otpserver.tokens import TokenType
+from repro.policy import Decision
+
+
+@dataclass
+class AuditEvent:
+    """One buffered audit record (the user id is supplied at flush time)."""
+
+    action: str
+    serial: str = ""
+    success: bool = True
+    detail: str = ""
+
+
+@dataclass
+class PipelineContext:
+    """Everything the stages know about one validation attempt."""
+
+    user_id: str
+    code: Optional[str]
+    #: Requesting source address, when the caller knows it (RADIUS batch
+    #: entry points pass it through for admission control); ``None`` means
+    #: admission control is skipped.
+    source: Optional[str] = None
+
+    # -- resolved by the stages ---------------------------------------------
+    rows: List[dict] = field(default_factory=list)  # all token rows
+    row: Optional[dict] = None  # the active row being validated
+    token_type: Optional[TokenType] = None
+    decision: Optional[Decision] = None  # policy engine's answer
+    challenge: Optional[dict] = None  # outstanding SMS challenge row
+    span: object = None  # the enclosing trace span, if any
+
+    # -- outcome -------------------------------------------------------------
+    result: Optional[ValidateResult] = None
+    #: Whether ApplyOutcome may touch failure counters for this result.
+    #: Paths that never reached a token check (no pairing, locked account,
+    #: null request, challenge dispatch, policy bypass) finish with
+    #: ``outcome_applies=False`` — nothing was guessed, so nothing counts.
+    outcome_applies: bool = True
+    audit_events: List[AuditEvent] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        """True once some stage has produced the final result."""
+        return self.result is not None
+
+    def finish(self, result: ValidateResult, outcome_applies: bool = True) -> None:
+        """Settle the outcome; decision stages after this are skipped."""
+        self.result = result
+        self.outcome_applies = outcome_applies
+
+    def audit(
+        self, action: str, serial: str = "", success: bool = True, detail: str = ""
+    ) -> None:
+        """Buffer an audit record for the Audit stage to flush in order."""
+        self.audit_events.append(AuditEvent(action, serial, success, detail))

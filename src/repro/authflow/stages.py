@@ -1,0 +1,379 @@
+"""The composable validation stages.
+
+Each stage is a small object satisfying the :class:`Stage` protocol; the
+:class:`~repro.authflow.pipeline.AuthPipeline` runs them in order against
+one :class:`~repro.authflow.context.PipelineContext`.  The stage split
+mirrors the decision structure of the old ``OTPServer._validate``
+monolith:
+
+* :class:`ResolveIdentity` — load the user's token rows; no pairing
+  finishes early.
+* :class:`EvaluatePolicy` — consult the :class:`~repro.policy.PolicyEngine`
+  (admission control, exemptions, ladder) and apply the lockout state.
+* :class:`ReplayGuard` — route the SMS "null request", enforce the
+  challenge lifecycle's one-time bookkeeping (outstanding/expired), and
+  reject codeless requests against non-SMS tokens.
+* :class:`DispatchByTokenType` — the per-device-type code check
+  (TOTP soft/hard, HOTP, SMS, static).
+* :class:`ApplyOutcome` — failure counters, the lockout rule, success
+  resets, pairing confirmation.
+* :class:`Audit` — flush the buffered audit trail.
+
+The first four are *decision* stages: once some stage finishes the
+context they are skipped.  The last two are *terminal* stages
+(``terminal = True``): they run for every attempt so counters and audit
+records always land.
+
+Stages hold a reference to the owning ``OTPServer`` and use its storage
+tables, sealer, validator, clock, SMS gateway and metrics — they are the
+thin remains of the former private methods, not reimplementations.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.crypto.hotp import verify_hotp
+from repro.crypto.totp import REASON_REPLAY, totp_at
+from repro.authflow.context import PipelineContext
+from repro.otpserver.results import ValidateResult, ValidateStatus
+from repro.otpserver.tokens import TokenType
+from repro.policy import AuthRequest, PolicyAction, PolicyEngine
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of the validate pipeline."""
+
+    #: Label used for per-stage telemetry and progress annotations.
+    name: str
+    #: Terminal stages run even after the context is finished.
+    terminal: bool
+
+    def run(self, ctx: PipelineContext) -> None: ...
+
+
+class ResolveIdentity:
+    """Load the user's token rows; unpaired users finish immediately."""
+
+    name = "resolve_identity"
+    terminal = False
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    def run(self, ctx: PipelineContext) -> None:
+        server = self.server
+        with server._stats_lock:
+            server.validate_requests += 1
+        ctx.rows = server._user_tokens(ctx.user_id)
+        if not ctx.rows:
+            ctx.audit("validate", success=False, detail="no token")
+            ctx.finish(
+                ValidateResult(ValidateStatus.NO_TOKEN, "no device pairing"),
+                outcome_applies=False,
+            )
+
+
+class EvaluatePolicy:
+    """Ask the policy engine, then apply the lockout state.
+
+    The engine's admission control and exemption checks run first — an
+    exempt source passes even a locked account, matching the PAM stack
+    where the sufficient exemption module precedes the token module.
+    The default OTP-server engine (full ladder, no exemptions, no rate
+    limit) always answers CHALLENGE, which reduces this stage to the
+    seed's locked-account check.
+    """
+
+    name = "evaluate_policy"
+    terminal = False
+
+    def __init__(self, server, policy: PolicyEngine) -> None:
+        self.server = server
+        self.policy = policy
+
+    def run(self, ctx: PipelineContext) -> None:
+        # Pairing is already resolved — rows are loaded — so the request
+        # carries it as a literal instead of a lookup.
+        pairing = TokenType(ctx.rows[0]["token_type"]).value if ctx.rows else None
+        decision = self.policy.evaluate(
+            AuthRequest(ctx.user_id, ctx.source or "", pairing=pairing),
+            now=self.server.clock.now(),
+        )
+        ctx.decision = decision
+        if decision.action is PolicyAction.THROTTLE:
+            ctx.audit("validate", success=False, detail="rate limited")
+            ctx.finish(
+                ValidateResult(ValidateStatus.REJECT, decision.reason),
+                outcome_applies=False,
+            )
+            return
+        if decision.action in (PolicyAction.EXEMPT, PolicyAction.ALLOW):
+            # Policy says no token code is required (ACL grant, or the
+            # ladder is off/opt-in): succeed without touching counters.
+            ctx.audit("validate", success=True, detail=decision.reason)
+            ctx.finish(
+                ValidateResult(ValidateStatus.OK, decision.reason),
+                outcome_applies=False,
+            )
+            return
+        if decision.action is PolicyAction.DENY:
+            ctx.audit("validate", success=False, detail=decision.reason)
+            ctx.finish(
+                ValidateResult(ValidateStatus.REJECT, decision.reason),
+                outcome_applies=False,
+            )
+            return
+        active = [r for r in ctx.rows if r["active"]]
+        if not active:
+            ctx.audit("validate", success=False, detail="locked")
+            ctx.finish(
+                ValidateResult(ValidateStatus.LOCKED, "account temporarily deactivated"),
+                outcome_applies=False,
+            )
+            return
+        ctx.row = active[0]
+        ctx.token_type = TokenType(ctx.row["token_type"])
+
+
+class ReplayGuard:
+    """Null-request routing and SMS challenge one-time bookkeeping.
+
+    For SMS tokens this stage owns the challenge *lifecycle* — starting a
+    challenge on the null request, answering "already sent" while one is
+    outstanding, expiring stale codes — while the actual code comparison
+    stays in :class:`DispatchByTokenType`.  A missing or expired
+    challenge is a counted failure (something was guessed against no
+    valid code); the null request itself never touches counters.
+    """
+
+    name = "replay_guard"
+    terminal = False
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    def run(self, ctx: PipelineContext) -> None:
+        if ctx.code is None or ctx.code == "":
+            if ctx.token_type is TokenType.SMS:
+                self._start_sms_challenge(ctx)
+            else:
+                # Null request against a non-SMS token is just a failed
+                # attempt without a counter hit (nothing was guessed).
+                ctx.finish(
+                    ValidateResult(ValidateStatus.REJECT, "token code required"),
+                    outcome_applies=False,
+                )
+            return
+        if ctx.token_type is not TokenType.SMS:
+            return
+        challenges = self.server.db.table("challenges")
+        if not challenges.exists(ctx.user_id):
+            ctx.finish(
+                ValidateResult(
+                    ValidateStatus.REJECT,
+                    "no SMS challenge outstanding",
+                    serial=ctx.row["serial"],
+                )
+            )
+            return
+        challenge = challenges.get(ctx.user_id)
+        if challenge["expires_at"] <= self.server.clock.now():
+            challenges.delete(ctx.user_id)
+            ctx.finish(
+                ValidateResult(
+                    ValidateStatus.REJECT, "token code expired", serial=ctx.row["serial"]
+                )
+            )
+            return
+        ctx.challenge = challenge
+
+    def _start_sms_challenge(self, ctx: PipelineContext) -> None:
+        server = self.server
+        row = ctx.row
+        challenges = server.db.table("challenges")
+        now = server.clock.now()
+        if challenges.exists(ctx.user_id):
+            outstanding = challenges.get(ctx.user_id)
+            if outstanding["expires_at"] > now:
+                # "LinOTP will not forward to Twilio and instead ... a
+                # response message ... that the SMS has already been sent."
+                server._m_sms_challenges.inc(result="pending")
+                ctx.finish(
+                    ValidateResult(
+                        ValidateStatus.CHALLENGE_PENDING,
+                        "an SMS token code has already been sent",
+                        serial=row["serial"],
+                    ),
+                    outcome_applies=False,
+                )
+                return
+            challenges.delete(ctx.user_id)
+        secret = server._sealer.unseal(row["sealed_secret"])
+        code = totp_at(
+            secret, now, digits=server.config.digits, step=server.config.totp_step
+        )
+        server.sms.send(
+            row["phone_number"], f"Your {server.config.issuer} token code is {code}"
+        )
+        challenges.insert(
+            {
+                "user_id": ctx.user_id,
+                "serial": row["serial"],
+                "sealed_code": server._sealer.seal(code.encode()),
+                "sent_at": now,
+                "expires_at": now + server.config.sms_code_validity,
+            }
+        )
+        ctx.audit("sms_challenge", serial=row["serial"])
+        server._m_sms_challenges.inc(result="sent")
+        ctx.finish(
+            ValidateResult(
+                ValidateStatus.CHALLENGE_SENT, "SMS token code sent", serial=row["serial"]
+            ),
+            outcome_applies=False,
+        )
+
+
+class DispatchByTokenType:
+    """The per-device-type code check (Section 3.3's four device paths)."""
+
+    name = "dispatch"
+    terminal = False
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self._handlers = {
+            TokenType.SMS: self._check_sms,
+            TokenType.HOTP: self._check_hotp,
+            TokenType.STATIC: self._check_static,
+            TokenType.SOFT: self._check_totp,
+            TokenType.HARD: self._check_totp,
+        }
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.finish(self._handlers[ctx.token_type](ctx))
+
+    def _check_sms(self, ctx: PipelineContext) -> ValidateResult:
+        serial = ctx.row["serial"]
+        expected = self.server._sealer.unseal(ctx.challenge["sealed_code"]).decode()
+        if expected == ctx.code:
+            # The code is nullified on success.
+            self.server.db.table("challenges").delete(ctx.user_id)
+            return ValidateResult(ValidateStatus.OK, serial=serial)
+        # A mismatch leaves the challenge outstanding (Section 3.2: "In the
+        # event of a token mismatch, the token code remains valid").
+        return ValidateResult(ValidateStatus.REJECT, "invalid token code", serial=serial)
+
+    def _check_hotp(self, ctx: PipelineContext) -> ValidateResult:
+        server = self.server
+        row = ctx.row
+        secret = server._sealer.unseal(row["sealed_secret"])
+        matched = verify_hotp(
+            secret,
+            ctx.code,
+            counter=row["hotp_counter"],
+            look_ahead=server.config.hotp_look_ahead,
+            digits=server.config.digits,
+        )
+        if matched is not None:
+            # Advance past the matched counter: consumed codes and any
+            # skipped presses can never be replayed.
+            server.db.table("tokens").update(row["serial"], {"hotp_counter": matched + 1})
+            return ValidateResult(ValidateStatus.OK, serial=row["serial"])
+        return ValidateResult(
+            ValidateStatus.REJECT, "invalid token code", serial=row["serial"]
+        )
+
+    def _check_static(self, ctx: PipelineContext) -> ValidateResult:
+        stored = self.server._sealer.unseal(ctx.row["static_code_sealed"]).decode()
+        ok = stored == ctx.code
+        return ValidateResult(
+            ValidateStatus.OK if ok else ValidateStatus.REJECT,
+            "" if ok else "invalid token code",
+            serial=ctx.row["serial"],
+        )
+
+    def _check_totp(self, ctx: PipelineContext) -> ValidateResult:
+        server = self.server
+        row = ctx.row
+        secret = server._sealer.unseal(row["sealed_secret"])
+        outcome = server._validator.validate(row["serial"], secret, ctx.code)
+        if outcome.reason == REASON_REPLAY:
+            server._m_replay.inc(serial=row["serial"])
+        return ValidateResult(
+            ValidateStatus.OK if outcome.ok else ValidateStatus.REJECT,
+            outcome.reason,
+            serial=row["serial"],
+        )
+
+
+class ApplyOutcome:
+    """Failure counters, the lockout rule, and success-side resets."""
+
+    name = "apply_outcome"
+    terminal = True
+
+    def __init__(self, server, policy: PolicyEngine) -> None:
+        self.server = server
+        self.policy = policy
+
+    def run(self, ctx: PipelineContext) -> None:
+        if ctx.result is None or not ctx.outcome_applies or ctx.row is None:
+            return
+        server = self.server
+        row = ctx.row
+        tokens = server.db.table("tokens")
+        if ctx.result.ok:
+            tokens.update(row["serial"], {"failcount": 0, "pairing_confirmed": True})
+            ctx.audit("validate", serial=row["serial"], success=True)
+            return
+        failcount = row["failcount"] + 1
+        changes: dict = {"failcount": failcount}
+        ctx.audit(
+            "validate", serial=row["serial"], success=False, detail=ctx.result.reason
+        )
+        if self.policy.lockout.is_lockout(failcount):
+            changes["active"] = False
+            server._m_lockouts.inc()
+            ctx.audit(
+                "lockout",
+                serial=row["serial"],
+                success=False,
+                detail=f"{failcount} consecutive failures",
+            )
+        tokens.update(row["serial"], changes)
+
+
+class Audit:
+    """Flush the buffered audit trail, in order, exactly once."""
+
+    name = "audit"
+    terminal = True
+
+    def __init__(self, server) -> None:
+        self.server = server
+
+    def run(self, ctx: PipelineContext) -> None:
+        for event in ctx.audit_events:
+            self.server.audit.record(
+                event.action,
+                ctx.user_id,
+                event.serial,
+                success=event.success,
+                detail=event.detail,
+            )
+        ctx.audit_events.clear()
+
+
+def default_stages(server, policy: PolicyEngine) -> list:
+    """The standard six-stage validate pipeline, in order."""
+    return [
+        ResolveIdentity(server),
+        EvaluatePolicy(server, policy),
+        ReplayGuard(server),
+        DispatchByTokenType(server),
+        ApplyOutcome(server, policy),
+        Audit(server),
+    ]

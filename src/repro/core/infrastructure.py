@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import NotFoundError, ValidationError
@@ -36,6 +36,7 @@ from repro.pam.modules.exemption import MFAExemptionModule
 from repro.pam.modules.pubkey import PublicKeySuccessModule
 from repro.pam.modules.token import MFATokenModule
 from repro.pam.modules.unix_password import UnixPasswordModule
+from repro.policy import EnforcementLadder, PolicyEngine
 from repro.radius.client import RADIUSClient
 from repro.radius.server import RADIUSServer
 from repro.radius.transport import UDPFabric
@@ -69,6 +70,35 @@ class UsernameResolvingBackend:
             return ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
         return self._otp.validate(uid, code)
 
+    def validate_many(self, requests: Sequence[Tuple]) -> List[ValidateResult]:
+        """Batch counterpart of :meth:`validate`, order-preserving.
+
+        Usernames resolve through LDAP up front; unknown ones answer "no
+        token" without occupying a slot in the OTP server's batch, and
+        the rest ride its concurrent ``validate_many``.
+        """
+        results: List[Optional[ValidateResult]] = [None] * len(requests)
+        resolved_idx: List[int] = []
+        resolved: List[Tuple] = []
+        for i, request in enumerate(requests):
+            username, rest = request[0], request[1:]
+            try:
+                uid = self._identity.get(username).uid
+            except NotFoundError:
+                results[i] = ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
+                continue
+            resolved_idx.append(i)
+            resolved.append((uid, *rest))
+        if resolved:
+            batch = getattr(self._otp, "validate_many", None)
+            if callable(batch):
+                answers = batch(resolved)
+            else:
+                answers = [self._otp.validate(*r) for r in resolved]
+            for i, answer in zip(resolved_idx, answers):
+                results[i] = answer
+        return results
+
 
 class HPCSystem:
     """One production system: login nodes + ACL + enforcement mode."""
@@ -94,6 +124,10 @@ class HPCSystem:
             f"+ : ALL : {ip_prefix}.0/24 : ALL\n", clock=center.clock
         )
         self._extra_acl_lines: List[str] = []
+        # The per-system policy engine: this system's ACL and ladder over
+        # the deployment-wide lockout rule (shared with the OTP server's
+        # pipeline, so PAM and the back end agree on every rule family).
+        self.policy = self._build_policy()
         self.authlog = AuthLog(center.clock)
         # File-backed PAM configuration when the center has a pam.d
         # directory: every login resolves the stack through the manager,
@@ -132,7 +166,16 @@ class HPCSystem:
             )
             self.daemons.append(daemon)
 
-    # -- PAM stack construction (the Figure-1 configuration) --------------------
+    # -- policy / PAM stack construction (the Figure-1 configuration) -----------
+
+    def _build_policy(self) -> PolicyEngine:
+        return PolicyEngine(
+            ladder=EnforcementLadder(self.mode, self.deadline),
+            exemptions=self.acl,
+            lockout=self.center.otp.policy.lockout,
+            clock=self.center.clock,
+            telemetry=self.center.telemetry,
+        )
 
     def _build_stack(self) -> PAMStack:
         stack = PAMStack("sshd")
@@ -142,7 +185,7 @@ class HPCSystem:
             PublicKeySuccessModule(self.authlog),
         )
         stack.append("requisite", UnixPasswordModule(self.center.identity))
-        stack.append("sufficient", MFAExemptionModule(self.acl))
+        stack.append("sufficient", MFAExemptionModule(self.policy))
         stack.append(
             "requisite",
             MFATokenModule(
@@ -150,6 +193,7 @@ class HPCSystem:
                 radius=self.center.new_radius_client(f"{self.ip_prefix}.5"),
                 mode=self.mode,
                 deadline=self.deadline,
+                policy=self.policy,
             ),
         )
         return stack
@@ -160,6 +204,7 @@ class HPCSystem:
         self.mode = mode
         if deadline is not None:
             self.deadline = deadline
+        self.policy = self._build_policy()
         if self._pam_manager is not None:
             self._pam_manager.set_enforcement_mode("sshd", mode, self.deadline)
             return
@@ -255,6 +300,11 @@ class MFACenter:
         self.systems: Dict[str, HPCSystem] = {}
         self._storage_systems: List[str] = []
         self._next_system_subnet = 3
+
+    @property
+    def policy(self) -> PolicyEngine:
+        """The deployment-wide policy engine the OTP pipeline enforces."""
+        return self.otp.policy
 
     # -- topology ----------------------------------------------------------------
 

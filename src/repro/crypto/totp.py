@@ -19,7 +19,6 @@ refusing codes at or below it.
 from __future__ import annotations
 
 import hmac
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -95,24 +94,13 @@ class ValidationOutcome:
     resynchronization workflow admins run from the LinOTP UI.
 
     Shares the ``.ok``/``.reason`` accessor pair with
-    :class:`repro.otpserver.server.ValidateResult` so telemetry can label
-    validation outcomes uniformly across layers; ``.message`` is kept as a
-    deprecated alias mirroring that class's historical field name.
+    :class:`repro.otpserver.results.ValidateResult` so telemetry can label
+    validation outcomes uniformly across layers.
     """
 
     ok: bool
     offset: Optional[int] = None
     reason: str = ""
-
-    @property
-    def message(self) -> str:
-        """Deprecated alias for :attr:`reason`."""
-        warnings.warn(
-            "ValidationOutcome.message is deprecated; use ValidationOutcome.reason",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.reason
 
 
 class TOTPValidator:

@@ -19,13 +19,8 @@ Subsystems:
 """
 
 from repro.otpserver.database import Database, Table
-from repro.otpserver.server import (
-    OTPServer,
-    OTPServerConfig,
-    TokenBackend,
-    ValidateResult,
-    ValidateStatus,
-)
+from repro.otpserver.results import TokenBackend, ValidateResult, ValidateStatus
+from repro.otpserver.server import OTPServer, OTPServerConfig
 from repro.otpserver.sms_gateway import SMSGateway, SMSPricing
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
 

@@ -52,6 +52,7 @@ class AdminAPI:
             ("POST", "/admin/reset"): self._handle_reset,
             ("GET", "/admin/show"): self._handle_show,
             ("GET", "/admin/storage"): self._handle_storage,
+            ("GET", "/admin/policy"): self._handle_policy,
             ("POST", "/validate/check"): self._handle_validate,
         }
         self.request_count = 0
@@ -136,6 +137,10 @@ class AdminAPI:
     def _handle_storage(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """Operational view of the storage tier (shards, caches, row counts)."""
         return self.server.storage_stats()
+
+    def _handle_policy(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The active policy: ladder mode, exemptions, lockout, rate limits."""
+        return self.server.policy_snapshot()
 
     def _handle_validate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         result = self.server.validate(

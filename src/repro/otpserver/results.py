@@ -1,0 +1,58 @@
+"""Validation result types and the back-end protocol seam.
+
+Split out of :mod:`repro.otpserver.server` so the authflow pipeline
+stages can build :class:`ValidateResult` values without importing the
+server module (which itself imports the pipeline).  Everything here is
+re-exported from both ``repro.otpserver`` and ``repro.otpserver.server``
+for existing callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Protocol, runtime_checkable
+
+
+class ValidateStatus(str, Enum):
+    OK = "ok"
+    REJECT = "reject"
+    CHALLENGE_SENT = "challenge_sent"  # SMS dispatched, awaiting code
+    CHALLENGE_PENDING = "challenge_pending"  # "SMS already sent" message
+    LOCKED = "locked"
+    NO_TOKEN = "no_token"
+
+
+@dataclass
+class ValidateResult:
+    """Outcome of one ``/validate/check`` call.
+
+    The canonical accessors shared with
+    :class:`~repro.crypto.totp.ValidationOutcome` are ``.ok`` and
+    ``.reason`` — telemetry labels every layer's validation outcome
+    through that pair without isinstance checks.
+    """
+
+    status: ValidateStatus
+    reason: str = ""
+    serial: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ValidateStatus.OK
+
+
+@runtime_checkable
+class TokenBackend(Protocol):
+    """The validation surface RADIUS servers (and anything else that checks
+    a second factor) call — LinOTP's ``/validate/check`` as a typed seam.
+
+    Implementations: :class:`repro.otpserver.server.OTPServer` itself, and
+    :class:`repro.core.infrastructure.UsernameResolvingBackend`, which joins
+    the RADIUS User-Name to the OTP key space through LDAP first.  ``code``
+    is ``None`` (or empty) for the SMS "null request".  Backends may also
+    offer a ``validate_many(requests)`` batch entry point; callers discover
+    it by duck typing (see :meth:`repro.radius.server.RADIUSServer.handle_batch`).
+    """
+
+    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult: ...

@@ -16,28 +16,45 @@ Responsibilities reproduced from the paper:
   re-synchronize tokens, clear failure counters, enable/disable tokens;
 * hold pre-programmed hard-token batches so users can pair by serial
   number, and static codes for training accounts.
+
+The validate path itself is a staged pipeline (:mod:`repro.authflow`):
+``OTPServer`` assembles ResolveIdentity → EvaluatePolicy → ReplayGuard →
+DispatchByTokenType → ApplyOutcome → Audit against one
+:class:`repro.policy.PolicyEngine`, and each attempt runs under a
+per-user striped lock so distinct users validate concurrently.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
+import threading
 from dataclasses import dataclass
-from enum import Enum
-from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # runtime import lives in OTPServer.__init__ (cycle)
+    from repro.authflow import AuthPipeline, ConcurrencyConfig
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.ids import IdAllocator
-from repro.crypto.hotp import verify_hotp
 from repro.crypto.secrets import SecretSealer, generate_secret
-from repro.crypto.totp import REASON_REPLAY, TOTPValidator, totp_at
+from repro.crypto.totp import TOTPValidator
 from repro.otpserver.audit import AuditLog
 from repro.otpserver.database import Database
+from repro.otpserver.results import TokenBackend, ValidateResult, ValidateStatus
 from repro.otpserver.sms_gateway import SMSGateway
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
-from repro.storage import StorageConfig, StorageEngine, build_engine
+from repro.policy import LockoutPolicy, PolicyEngine
+from repro.storage import StorageConfig, build_engine
 from repro.telemetry import NOOP_REGISTRY
+
+__all__ = [
+    "OTPServer",
+    "OTPServerConfig",
+    "TokenBackend",
+    "ValidateResult",
+    "ValidateStatus",
+]
 
 
 @dataclass(frozen=True)
@@ -61,59 +78,6 @@ class OTPServerConfig:
             raise ValueError("digits must be in [6, 10]")
         if self.sms_code_validity <= 0 or self.hotp_look_ahead < 0:
             raise ValueError("invalid SMS validity / HOTP look-ahead")
-
-
-class ValidateStatus(str, Enum):
-    OK = "ok"
-    REJECT = "reject"
-    CHALLENGE_SENT = "challenge_sent"  # SMS dispatched, awaiting code
-    CHALLENGE_PENDING = "challenge_pending"  # "SMS already sent" message
-    LOCKED = "locked"
-    NO_TOKEN = "no_token"
-
-
-@dataclass
-class ValidateResult:
-    """Outcome of one ``/validate/check`` call.
-
-    The canonical accessors shared with
-    :class:`~repro.crypto.totp.ValidationOutcome` are ``.ok`` and
-    ``.reason`` — telemetry labels every layer's validation outcome through
-    that pair without isinstance checks.  ``.message`` is the historical
-    name for ``.reason`` and is kept as a deprecated read-only alias.
-    """
-
-    status: ValidateStatus
-    reason: str = ""
-    serial: str = ""
-
-    @property
-    def ok(self) -> bool:
-        return self.status is ValidateStatus.OK
-
-    @property
-    def message(self) -> str:
-        """Deprecated alias for :attr:`reason` (the pre-protocol field name)."""
-        warnings.warn(
-            "ValidateResult.message is deprecated; use ValidateResult.reason",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.reason
-
-
-@runtime_checkable
-class TokenBackend(Protocol):
-    """The validation surface RADIUS servers (and anything else that checks
-    a second factor) call — LinOTP's ``/validate/check`` as a typed seam.
-
-    Implementations: :class:`OTPServer` itself, and
-    :class:`repro.core.infrastructure.UsernameResolvingBackend`, which joins
-    the RADIUS User-Name to the OTP key space through LDAP first.  ``code``
-    is ``None`` (or empty) for the SMS "null request".
-    """
-
-    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult: ...
 
 
 _TOKEN_COLUMNS = (
@@ -144,7 +108,13 @@ class OTPServer:
         rng: Optional[random.Random] = None,
         telemetry=None,
         storage: Optional[object] = None,
+        policy: Optional[PolicyEngine] = None,
+        concurrency: Optional[ConcurrencyConfig] = None,
     ) -> None:
+        # Imported here, not at module level: the authflow stages build
+        # ValidateResult values from repro.otpserver.results, so a module
+        # -level import either way would be circular.
+        from repro.authflow import AuthPipeline, default_stages
         self.clock = clock or SystemClock()
         self.config = config or OTPServerConfig()
         self._rng = rng or random.Random()
@@ -201,6 +171,26 @@ class OTPServer:
         # manufacturer batch but not yet paired to a user.
         self._hard_inventory: Dict[str, bytes] = {}
         self.validate_requests = 0
+        self._stats_lock = threading.Lock()
+        # The policy engine every validate consults.  The default engine
+        # (full ladder, no exemptions, no admission control) reproduces
+        # the paper's always-challenge server; the lockout threshold comes
+        # from this server's config so the two can never disagree.
+        self.policy = policy or PolicyEngine(
+            lockout=LockoutPolicy(self.config.lockout_threshold),
+            clock=self.clock,
+            telemetry=self.telemetry,
+        )
+        self._pipeline = AuthPipeline(
+            default_stages(self, self.policy),
+            concurrency=concurrency,
+            telemetry=self.telemetry,
+        )
+
+    @property
+    def pipeline(self) -> AuthPipeline:
+        """The assembled validate pipeline (read-only introspection)."""
+        return self._pipeline
 
     # -- enrollment ---------------------------------------------------------
 
@@ -367,17 +357,21 @@ class OTPServer:
 
     # -- validation ---------------------------------------------------------
 
-    def validate(self, user_id: str, code: Optional[str]) -> ValidateResult:
+    def validate(
+        self, user_id: str, code: Optional[str], source: Optional[str] = None
+    ) -> ValidateResult:
         """The ``/validate/check`` equivalent RADIUS servers call.
 
         ``code=None`` (the "null request") triggers the SMS challenge for
         SMS-paired users; any other value is checked as a token code.
+        ``source`` feeds the policy engine's per-source admission control
+        when the caller knows the requesting address.
         """
         with self._tracer.span("otp.validate", user=user_id) as span:
             latest = self.audit.latest()
             if latest is not None:
                 self._m_audit_lag.observe(self.clock.now() - latest.timestamp)
-            result = self._validate(user_id, code)
+            result = self._pipeline.run(user_id, code, source)
             span.annotate("status", result.status.value)
             if result.reason:
                 span.annotate("reason", result.reason)
@@ -385,155 +379,26 @@ class OTPServer:
             self._g_audit_size.set(len(self.audit))
             return result
 
-    def _validate(self, user_id: str, code: Optional[str]) -> ValidateResult:
-        self.validate_requests += 1
-        rows = self._user_tokens(user_id)
-        if not rows:
-            self.audit.record("validate", user_id, success=False, detail="no token")
-            return ValidateResult(ValidateStatus.NO_TOKEN, "no device pairing")
-        active = [r for r in rows if r["active"]]
-        if not active:
-            self.audit.record("validate", user_id, success=False, detail="locked")
-            return ValidateResult(
-                ValidateStatus.LOCKED, "account temporarily deactivated"
-            )
-        row = active[0]
-        token_type = TokenType(row["token_type"])
+    def validate_many(self, requests: Sequence[Tuple]) -> List[ValidateResult]:
+        """Batch ``validate``: one result per request, in input order.
 
-        if code is None or code == "":
-            if token_type is TokenType.SMS:
-                return self._start_sms_challenge(user_id, row)
-            # Null request against a non-SMS token is just a failed attempt
-            # without a counter hit (nothing was guessed).
-            return ValidateResult(ValidateStatus.REJECT, "token code required")
-
-        if token_type is TokenType.SMS:
-            result = self._check_sms_code(user_id, row, code)
-        elif token_type is TokenType.HOTP:
-            secret = self._sealer.unseal(row["sealed_secret"])
-            matched = verify_hotp(
-                secret,
-                code,
-                counter=row["hotp_counter"],
-                look_ahead=self.config.hotp_look_ahead,
-                digits=self.config.digits,
-            )
-            if matched is not None:
-                # Advance past the matched counter: consumed codes and any
-                # skipped presses can never be replayed.
-                self.db.table("tokens").update(
-                    row["serial"], {"hotp_counter": matched + 1}
-                )
-                result = ValidateResult(ValidateStatus.OK, serial=row["serial"])
-            else:
-                result = ValidateResult(
-                    ValidateStatus.REJECT, "invalid token code", serial=row["serial"]
-                )
-        elif token_type is TokenType.STATIC:
-            stored = self._sealer.unseal(row["static_code_sealed"]).decode()
-            ok = stored == code
-            result = ValidateResult(
-                ValidateStatus.OK if ok else ValidateStatus.REJECT,
-                "" if ok else "invalid token code",
-                serial=row["serial"],
-            )
-        else:  # soft and hard tokens share the TOTP path
-            secret = self._sealer.unseal(row["sealed_secret"])
-            outcome = self._validator.validate(row["serial"], secret, code)
-            if outcome.reason == REASON_REPLAY:
-                self._m_replay.inc(serial=row["serial"])
-            result = ValidateResult(
-                ValidateStatus.OK if outcome.ok else ValidateStatus.REJECT,
-                outcome.reason,
-                serial=row["serial"],
-            )
-        self._apply_outcome(user_id, row, result)
-        return result
-
-    def _apply_outcome(self, user_id: str, row: dict, result: ValidateResult) -> None:
-        tokens = self.db.table("tokens")
-        if result.ok:
-            tokens.update(
-                row["serial"], {"failcount": 0, "pairing_confirmed": True}
-            )
-            self.audit.record("validate", user_id, row["serial"], success=True)
-            return
-        failcount = row["failcount"] + 1
-        changes: Dict[str, object] = {"failcount": failcount}
-        self.audit.record(
-            "validate", user_id, row["serial"], success=False, detail=result.reason
-        )
-        if failcount >= self.config.lockout_threshold:
-            changes["active"] = False
-            self._m_lockouts.inc()
-            self.audit.record(
-                "lockout",
-                user_id,
-                row["serial"],
-                success=False,
-                detail=f"{failcount} consecutive failures",
-            )
-        tokens.update(row["serial"], changes)
-
-    # -- SMS challenge lifecycle ---------------------------------------------
-
-    def _start_sms_challenge(self, user_id: str, row: dict) -> ValidateResult:
-        challenges = self.db.table("challenges")
-        now = self.clock.now()
-        if challenges.exists(user_id):
-            outstanding = challenges.get(user_id)
-            if outstanding["expires_at"] > now:
-                # "LinOTP will not forward to Twilio and instead ... a
-                # response message ... that the SMS has already been sent."
-                self._m_sms_challenges.inc(result="pending")
-                return ValidateResult(
-                    ValidateStatus.CHALLENGE_PENDING,
-                    "an SMS token code has already been sent",
-                    serial=row["serial"],
-                )
-            challenges.delete(user_id)
-        secret = self._sealer.unseal(row["sealed_secret"])
-        code = totp_at(secret, now, digits=self.config.digits, step=self.config.totp_step)
-        self.sms.send(
-            row["phone_number"], f"Your {self.config.issuer} token code is {code}"
-        )
-        challenges.insert(
-            {
-                "user_id": user_id,
-                "serial": row["serial"],
-                "sealed_code": self._sealer.seal(code.encode()),
-                "sent_at": now,
-                "expires_at": now + self.config.sms_code_validity,
-            }
-        )
-        self.audit.record("sms_challenge", user_id, row["serial"])
-        self._m_sms_challenges.inc(result="sent")
-        return ValidateResult(
-            ValidateStatus.CHALLENGE_SENT, "SMS token code sent", serial=row["serial"]
+        Each request is ``(user_id, code)`` or ``(user_id, code, source)``.
+        Distinct users run concurrently on the pipeline's worker pool
+        (per-user striped locks keep same-user attempts serialized), so a
+        RADIUS server draining a burst overlaps the storage round trips.
+        """
+        return self._pipeline.map_batch(
+            lambda request: self.validate(*request), list(requests)
         )
 
-    def _check_sms_code(self, user_id: str, row: dict, code: str) -> ValidateResult:
-        challenges = self.db.table("challenges")
-        if not challenges.exists(user_id):
-            return ValidateResult(
-                ValidateStatus.REJECT, "no SMS challenge outstanding", serial=row["serial"]
-            )
-        challenge = challenges.get(user_id)
-        now = self.clock.now()
-        if challenge["expires_at"] <= now:
-            challenges.delete(user_id)
-            return ValidateResult(
-                ValidateStatus.REJECT, "token code expired", serial=row["serial"]
-            )
-        expected = self._sealer.unseal(challenge["sealed_code"]).decode()
-        if expected == code:
-            challenges.delete(user_id)  # the code is nullified on success
-            return ValidateResult(ValidateStatus.OK, serial=row["serial"])
-        # A mismatch leaves the challenge outstanding (Section 3.2: "In the
-        # event of a token mismatch, the token code remains valid").
-        return ValidateResult(
-            ValidateStatus.REJECT, "invalid token code", serial=row["serial"]
-        )
+    def policy_snapshot(self) -> Dict[str, object]:
+        """The active policy plus pipeline concurrency, for operators."""
+        snap = self.policy.snapshot()
+        snap["concurrency"] = {
+            "lock_stripes": self._pipeline.locks.stripes,
+            "batch_workers": self._pipeline.concurrency.batch_workers,
+        }
+        return snap
 
     # -- admin operations (the built-in web UI, Section 3.1) -----------------
 

@@ -8,24 +8,36 @@ further action by the user is required to gain SSH entry" (Section 3.4).
 In the Figure-1 stack the module is ``sufficient``: a granted exemption
 short-circuits past the token module; a denial is ignored and the user
 continues to the token prompt.
+
+The module consults the unified :class:`repro.policy.PolicyEngine` — it
+accepts either a ready engine (the per-system one, shared with the token
+module) or a bare ACL, which it wraps, so existing call sites keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-from repro.pam.acl import ExemptionACL
 from repro.pam.framework import PAMResult, PAMSession
+from repro.policy import PolicyEngine
 
 
 class MFAExemptionModule:
-    """Answers Figure 1's "MFA Exemption Granted?" from the live ACL."""
+    """Answers Figure 1's "MFA Exemption Granted?" from the live policy."""
 
     name = "pam_mfa_exemption"
 
-    def __init__(self, acl: ExemptionACL) -> None:
-        self._acl = acl
+    def __init__(self, acl) -> None:
+        if isinstance(acl, PolicyEngine):
+            self._policy = acl
+        else:
+            self._policy = PolicyEngine(exemptions=acl)
+
+    @property
+    def policy(self) -> PolicyEngine:
+        return self._policy
 
     def authenticate(self, session: PAMSession) -> PAMResult:
-        if self._acl.check(session.username, session.remote_ip):
+        if self._policy.is_exempt(session.username, session.remote_ip):
             session.items["mfa_exempt"] = True
             return PAMResult.SUCCESS
         return PAMResult.AUTH_ERR

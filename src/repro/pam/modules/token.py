@@ -12,29 +12,31 @@ Section 3.4:
 * ``full``      — everyone is challenged; no pairing means no entry
   (phase 3).  Configuration errors also land here: the module fails closed.
 
-The pairing type comes from an LDAP query; the token code round trip runs
-over the round-robin RADIUS client, including the SMS null-request /
+The ladder itself lives in :class:`repro.policy.PolicyEngine` — the same
+engine the OTP server's validate pipeline consults — so PAM and the back
+end can never disagree about the active phase.  This module turns the
+engine's :class:`~repro.policy.Decision` into PAM conversation behaviour:
+the pairing type comes from an LDAP query (lazily, so ``off`` mode costs
+no directory round trip); the token code round trip runs over the
+round-robin RADIUS client, including the SMS null-request /
 challenge-response exchange.
 """
 
 from __future__ import annotations
 
-from datetime import datetime, timezone
-from enum import Enum
-from math import ceil
 from typing import Optional
 
-from repro.common.clock import parse_date
 from repro.pam.framework import PAMResult, PAMSession
+from repro.policy import (
+    AuthRequest,
+    EnforcementLadder,
+    EnforcementMode,
+    PolicyAction,
+    PolicyEngine,
+)
 from repro.radius.client import AuthStatus, RADIUSClient
 
-
-class EnforcementMode(str, Enum):
-    OFF = "off"
-    PAIRED = "paired"
-    COUNTDOWN = "countdown"
-    FULL = "full"
-
+__all__ = ["DEFAULT_PROMPT", "EnforcementMode", "MFATokenModule"]
 
 DEFAULT_PROMPT = "Token Code: "
 
@@ -54,6 +56,7 @@ class MFATokenModule:
         info_url: str = "https://portal.center.edu/mfa",
         prompt: str = DEFAULT_PROMPT,
         passive_notice: bool = False,
+        policy: Optional[PolicyEngine] = None,
     ) -> None:
         self._ldap = ldap
         self._radius = radius
@@ -64,33 +67,25 @@ class MFATokenModule:
         # unpaired interactive users a passive one-line notice (no
         # acknowledgement required — that escalation is `countdown` mode).
         self._passive_notice = passive_notice
-        self._config_error = False
-        try:
-            self._mode = EnforcementMode(mode)
-        except ValueError:
-            # "if any configuration errors occur, the token module defaults
-            # to the fourth enforcement mode."
-            self._mode = EnforcementMode.FULL
-            self._config_error = True
-        self._deadline: Optional[datetime] = None
-        if deadline is not None:
-            try:
-                self._deadline = parse_date(deadline)
-            except ValueError:
-                self._mode = EnforcementMode.FULL
-                self._config_error = True
-        elif self._mode is EnforcementMode.COUNTDOWN:
-            # Countdown without a deadline is a configuration error.
-            self._mode = EnforcementMode.FULL
-            self._config_error = True
+        # A shared engine (e.g. the per-system one HPCSystem builds) wins;
+        # otherwise the module owns a private engine carrying just the
+        # ladder parsed from its own mode/deadline arguments.
+        self._policy = policy or PolicyEngine(
+            ladder=EnforcementLadder(mode, deadline)
+        )
 
     @property
     def effective_mode(self) -> EnforcementMode:
-        return self._mode
+        return self._policy.ladder.configured_mode
 
     @property
     def had_config_error(self) -> bool:
-        return self._config_error
+        return self._policy.ladder.config_error
+
+    @property
+    def policy(self) -> PolicyEngine:
+        """The engine this module evaluates against (shared or private)."""
+        return self._policy
 
     # -- LDAP pairing lookup (Figure 2, first box) ----------------------------
 
@@ -104,51 +99,57 @@ class MFATokenModule:
     # -- the module entry point ------------------------------------------------
 
     def authenticate(self, session: PAMSession) -> PAMResult:
-        mode = self._mode
-        if mode is EnforcementMode.COUNTDOWN and self._deadline is not None:
-            now = datetime.fromtimestamp(session.clock.now(), tz=timezone.utc)
-            if now >= self._deadline:
-                # "If the configured countdown date expires, the token
-                # module will default to the fourth mode."
-                mode = EnforcementMode.FULL
-
-        if mode is EnforcementMode.OFF:
+        decision = self._policy.evaluate(
+            AuthRequest(
+                session.username,
+                session.remote_ip,
+                pairing_lookup=self._pairing_type,
+            ),
+            now=session.clock.now(),
+        )
+        if decision.action is PolicyAction.THROTTLE:
+            if session.conversation is not None:
+                session.conversation.error("too many attempts; try again later")
+            return PAMResult.AUTH_ERR
+        if decision.action is PolicyAction.EXEMPT:
+            # Only reachable through a shared engine carrying an ACL; the
+            # Figure-1 stack normally grants exemptions one module earlier.
+            session.items["mfa_exempt"] = True
+            return PAMResult.SUCCESS
+        if decision.mode is EnforcementMode.OFF:
+            # Single-factor phase: no LDAP lookup happened, nothing to log.
             return PAMResult.SUCCESS
 
-        pairing = self._pairing_type(session.username)
-        session.items["mfa_pairing"] = pairing
+        session.items["mfa_pairing"] = decision.pairing
         session.telemetry.counter(
             "pam_token_enforcement_total",
             "token-module decisions by effective mode and pairing type",
-        ).inc(mode=mode.value, pairing=pairing or "unpaired")
+        ).inc(mode=decision.mode.value, pairing=decision.pairing or "unpaired")
 
-        if mode is EnforcementMode.PAIRED:
-            if pairing is None:
-                if self._passive_notice and session.conversation is not None:
-                    session.conversation.info(
-                        "Multi-factor authentication is available; pair a "
-                        f"device at {self._info_url}"
-                    )
-                return PAMResult.SUCCESS
-            return self._challenge(session, pairing)
-
-        if mode is EnforcementMode.COUNTDOWN:
-            if pairing is None:
-                return self._countdown_notice(session)
-            return self._challenge(session, pairing)
-
-        # FULL: prompt regardless; an unpaired user is denied after the
-        # round trip (the prompt itself leaks nothing about pairing state).
-        return self._challenge(session, pairing)
+        if decision.action is PolicyAction.ALLOW:
+            # Unpaired user during the opt-in (`paired`) phase.
+            if self._passive_notice and session.conversation is not None:
+                session.conversation.info(
+                    "Multi-factor authentication is available; pair a "
+                    f"device at {self._info_url}"
+                )
+            return PAMResult.SUCCESS
+        if decision.action is PolicyAction.NOTIFY:
+            return self._countdown_notice(session, decision.countdown_days)
+        if decision.action is PolicyAction.DENY:
+            if session.conversation is not None:
+                session.conversation.error("access denied by policy")
+            return PAMResult.AUTH_ERR
+        # CHALLENGE: prompt regardless; an unpaired user in `full` mode is
+        # denied after the round trip (the prompt leaks nothing about
+        # pairing state).
+        return self._challenge(session, decision.pairing)
 
     # -- countdown messaging (phase 2) -----------------------------------------
 
-    def _countdown_notice(self, session: PAMSession) -> PAMResult:
-        assert self._deadline is not None
+    def _countdown_notice(self, session: PAMSession, days_left: int) -> PAMResult:
         if session.conversation is None:
             return PAMResult.AUTH_ERR
-        now = datetime.fromtimestamp(session.clock.now(), tz=timezone.utc)
-        days_left = max(0, ceil((self._deadline - now).total_seconds() / 86400))
         session.conversation.info(
             f"Multi-factor authentication will be mandatory in {days_left} "
             f"day(s). Pair a device now: {self._info_url}"

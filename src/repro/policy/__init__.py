@@ -1,0 +1,27 @@
+"""Unified access policy: exemptions, enforcement ladder, lockout,
+admission control — one ``PolicyEngine.evaluate(request) -> Decision``
+consumed by both the PAM modules and the OTP server's authflow pipeline.
+"""
+
+from repro.policy.engine import (
+    AuthRequest,
+    Decision,
+    EnforcementLadder,
+    EnforcementMode,
+    LockoutPolicy,
+    PolicyAction,
+    PolicyEngine,
+)
+from repro.policy.ratelimit import RateLimitConfig, TokenBucketLimiter
+
+__all__ = [
+    "AuthRequest",
+    "Decision",
+    "EnforcementLadder",
+    "EnforcementMode",
+    "LockoutPolicy",
+    "PolicyAction",
+    "PolicyEngine",
+    "RateLimitConfig",
+    "TokenBucketLimiter",
+]

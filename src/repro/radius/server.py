@@ -11,7 +11,7 @@ describes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.otpserver import TokenBackend, ValidateStatus
@@ -131,11 +131,93 @@ class RADIUSServer:
             self.handled += 1
             self._m_requests.inc(server=self.name)
             response = self._respond(request, secret)
-            if response is not None:
-                self._response_cache[cache_key] = response
-                while len(self._response_cache) > self._response_cache_size:
-                    self._response_cache.popitem(last=False)
+            self._cache_response(cache_key, response)
             return response
+
+    def handle_batch(
+        self, datagrams: Sequence[Tuple[bytes, str]]
+    ) -> List[Optional[bytes]]:
+        """Drain a burst of ``(datagram, source)`` pairs in one call.
+
+        Each datagram goes through the same gauntlet as
+        :meth:`handle_datagram` — secret check, decode, dup cache — but the
+        surviving Access-Requests are validated together through the back
+        end's ``validate_many`` (when it offers one), so a burst of logins
+        rides the OTP pipeline's striped locks instead of serialising.
+        Responses come back positionally: ``None`` where the datagram was
+        silently dropped.
+        """
+        with self._tracer.span(
+            "radius.server.batch", server=self.name, size=len(datagrams)
+        ):
+            responses: List[Optional[bytes]] = [None] * len(datagrams)
+            pending: List[Tuple[int, RADIUSPacket, bytes, Tuple[str, int, bytes]]] = []
+            to_validate: List[Tuple[str, Optional[str]]] = []
+            # A retransmission can land twice inside one burst; the second
+            # copy waits for the first to resolve, then replays its answer.
+            batch_dups: List[Tuple[int, Tuple[str, int, bytes]]] = []
+            seen_keys = set()
+            for i, (datagram, source) in enumerate(datagrams):
+                secret = self._secret_for(source)
+                if secret is None:
+                    self.rejected_clients += 1
+                    self._m_unknown.inc(server=self.name)
+                    continue
+                try:
+                    request = decode_packet(datagram)
+                except ProtocolError:
+                    continue
+                if request.code != PacketCode.ACCESS_REQUEST:
+                    continue
+                cache_key = (source, request.identifier, request.authenticator)
+                cached = self._response_cache.get(cache_key)
+                if cached is not None:
+                    self.duplicates_replayed += 1
+                    self._m_duplicates.inc(server=self.name)
+                    responses[i] = cached
+                    continue
+                if cache_key in seen_keys:
+                    self.duplicates_replayed += 1
+                    self._m_duplicates.inc(server=self.name)
+                    batch_dups.append((i, cache_key))
+                    continue
+                seen_keys.add(cache_key)
+                self.handled += 1
+                self._m_requests.inc(server=self.name)
+                username = request.get_str(Attr.USER_NAME)
+                if username is None:
+                    response = self._reply(
+                        request, secret, PacketCode.ACCESS_REJECT, "User-Name is required"
+                    )
+                    self._cache_response(cache_key, response)
+                    responses[i] = response
+                    continue
+                hidden = request.get(Attr.USER_PASSWORD)
+                if hidden is None:
+                    code: Optional[str] = None
+                else:
+                    try:
+                        code = recover_password(hidden, secret, request.authenticator)
+                    except ProtocolError:
+                        continue  # wrong shared secret or mangled packet
+                pending.append((i, request, secret, cache_key))
+                to_validate.append((username, code if code else None))
+            if pending:
+                batch = getattr(self._backend, "validate_many", None)
+                if callable(batch) and len(to_validate) > 1:
+                    results = list(batch(to_validate))
+                else:
+                    results = [
+                        self._backend.validate(user, code)
+                        for user, code in to_validate
+                    ]
+                for (i, request, secret, cache_key), result in zip(pending, results):
+                    response = self._access_response(request, secret, result)
+                    self._cache_response(cache_key, response)
+                    responses[i] = response
+            for i, cache_key in batch_dups:
+                responses[i] = self._response_cache.get(cache_key)
+            return responses
 
     def _respond(self, request: RADIUSPacket, secret: bytes) -> Optional[bytes]:
         username = request.get_str(Attr.USER_NAME)
@@ -152,6 +234,11 @@ class RADIUSServer:
             except ProtocolError:
                 return None  # wrong shared secret or mangled packet
         result = self._backend.validate(username, code if code else None)
+        return self._access_response(request, secret, result)
+
+    def _access_response(
+        self, request: RADIUSPacket, secret: bytes, result
+    ) -> bytes:
         # Reply with the canned per-status message, never the back end's
         # internal reason — drift-window details and replay diagnostics
         # would hand an attacker an oracle.
@@ -160,10 +247,20 @@ class RADIUSServer:
         response.add(Attr.REPLY_MESSAGE, message)
         if packet_code == PacketCode.ACCESS_CHALLENGE:
             # Opaque challenge state the client must echo back with the code.
+            username = request.get_str(Attr.USER_NAME) or ""
             response.add(Attr.STATE, f"sms-challenge:{username}".encode())
         for proxy_state in request.get_all(Attr.PROXY_STATE):
             response.add(Attr.PROXY_STATE, proxy_state)
         return encode_packet(response, secret, request.authenticator)
+
+    def _cache_response(
+        self, cache_key: Tuple[str, int, bytes], response: Optional[bytes]
+    ) -> None:
+        if response is None:
+            return
+        self._response_cache[cache_key] = response
+        while len(self._response_cache) > self._response_cache_size:
+            self._response_cache.popitem(last=False)
 
     def _reply(
         self, request: RADIUSPacket, secret: bytes, code: PacketCode, message: str

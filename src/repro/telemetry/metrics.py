@@ -20,6 +20,7 @@ Design constraints:
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 #: A label set normalized to a hashable, order-independent key.
@@ -56,6 +57,10 @@ class _Instrument:
         self.help = help
         self._max_series = max_series
         self.overflow_count = 0
+        # Guards every read-modify-write on the series dict: the OTP
+        # pipeline's batch path drives these instruments from worker
+        # threads, and a lost increment is a silently wrong dashboard.
+        self._lock = threading.Lock()
 
     def _resolve_key(self, series: Dict[LabelKey, object], labels: Dict[str, object]) -> LabelKey:
         key = label_key(labels)
@@ -77,22 +82,26 @@ class Counter(_Instrument):
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (amount={amount})")
-        key = self._resolve_key(self._series, labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            key = self._resolve_key(self._series, labels)
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         return self._series.get(label_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every series (all label sets)."""
-        return sum(self._series.values())
+        with self._lock:
+            return sum(self._series.values())
 
     def series(self) -> Dict[LabelKey, float]:
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
     def reset(self) -> None:
-        self._series.clear()
-        self.overflow_count = 0
+        with self._lock:
+            self._series.clear()
+            self.overflow_count = 0
 
     def snapshot(self) -> dict:
         return {
@@ -101,7 +110,7 @@ class Counter(_Instrument):
             "help": self.help,
             "series": [
                 {"labels": dict(key), "value": value}
-                for key, value in sorted(self._series.items())
+                for key, value in sorted(self.series().items())
             ],
         }
 
@@ -116,12 +125,14 @@ class Gauge(_Instrument):
         self._series: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: object) -> None:
-        key = self._resolve_key(self._series, labels)
-        self._series[key] = float(value)
+        with self._lock:
+            key = self._resolve_key(self._series, labels)
+            self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
-        key = self._resolve_key(self._series, labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            key = self._resolve_key(self._series, labels)
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
@@ -130,11 +141,13 @@ class Gauge(_Instrument):
         return self._series.get(label_key(labels), 0.0)
 
     def series(self) -> Dict[LabelKey, float]:
-        return dict(self._series)
+        with self._lock:
+            return dict(self._series)
 
     def reset(self) -> None:
-        self._series.clear()
-        self.overflow_count = 0
+        with self._lock:
+            self._series.clear()
+            self.overflow_count = 0
 
     def snapshot(self) -> dict:
         return {
@@ -143,7 +156,7 @@ class Gauge(_Instrument):
             "help": self.help,
             "series": [
                 {"labels": dict(key), "value": value}
-                for key, value in sorted(self._series.items())
+                for key, value in sorted(self.series().items())
             ],
         }
 
@@ -188,17 +201,18 @@ class Histogram(_Instrument):
         return series
 
     def observe(self, value: float, **labels: object) -> None:
-        series = self._get_series(labels)
         index = len(self.buckets)  # default: the +Inf bucket
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 index = i
                 break
-        series.bucket_counts[index] += 1
-        series.count += 1
-        series.sum += value
-        series.min = value if series.min is None else min(series.min, value)
-        series.max = value if series.max is None else max(series.max, value)
+        with self._lock:
+            series = self._get_series(labels)
+            series.bucket_counts[index] += 1
+            series.count += 1
+            series.sum += value
+            series.min = value if series.min is None else min(series.min, value)
+            series.max = value if series.max is None else max(series.max, value)
 
     def count(self, **labels: object) -> int:
         series = self._series.get(label_key(labels))
@@ -235,12 +249,15 @@ class Histogram(_Instrument):
         return series.max if series.max is not None else self.buckets[-1]
 
     def reset(self) -> None:
-        self._series.clear()
-        self.overflow_count = 0
+        with self._lock:
+            self._series.clear()
+            self.overflow_count = 0
 
     def snapshot(self) -> dict:
         out = []
-        for key, series in sorted(self._series.items()):
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, series in items:
             out.append(
                 {
                     "labels": dict(key),

@@ -21,6 +21,7 @@ Timestamps come from the injected :class:`~repro.common.clock.Clock`, never
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional
 
@@ -123,17 +124,30 @@ class Tracer:
 
     def __init__(self, clock: Optional[Clock] = None, max_traces: int = DEFAULT_MAX_TRACES) -> None:
         self._clock = clock or SystemClock()
-        self._stack: List[Span] = []
+        # Each thread builds its own span tree: a worker validating one
+        # user must not become a child of another worker's span.  Finished
+        # traces from every thread land in the shared ring buffer.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self.traces: Deque[Span] = deque(maxlen=max_traces)
         self.spans_started = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attributes: object) -> _SpanContext:
         """Open a span; it becomes a child of the currently open span."""
         span = Span(name, self._clock.now(), attributes or None)
-        if self._stack:
-            self._stack[-1].children.append(span)
-        self._stack.append(span)
-        self.spans_started += 1
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        with self._lock:
+            self.spans_started += 1
         return _SpanContext(self, span)
 
     def _finish(self, span: Span, exc: Optional[BaseException]) -> None:
@@ -143,32 +157,38 @@ class Tracer:
             span.attributes.setdefault("error", repr(exc))
         # Pop down to (and including) the span: robust against a child the
         # caller leaked open — it is force-closed with its parent.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
             if top.end is None:
                 top.end = span.end
                 top.status = "error"
-        if not self._stack:
-            self.traces.append(span)
+        if not stack:
+            with self._lock:
+                self.traces.append(span)
 
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def last_trace(self) -> Optional[Span]:
         return self.traces[-1] if self.traces else None
 
     def take_traces(self) -> List[Span]:
         """Drain and return every retained finished trace, oldest first."""
-        out = list(self.traces)
-        self.traces.clear()
+        with self._lock:
+            out = list(self.traces)
+            self.traces.clear()
         return out
 
     def reset(self) -> None:
+        """Clear the calling thread's open spans and the shared buffer."""
         self._stack.clear()
-        self.traces.clear()
-        self.spans_started = 0
+        with self._lock:
+            self.traces.clear()
+            self.spans_started = 0
 
 
 class NoopSpan:

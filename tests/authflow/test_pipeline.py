@@ -1,0 +1,224 @@
+"""The staged validate pipeline: locks, batching, policy hooks, telemetry."""
+
+import random
+import threading
+
+import pytest
+
+from repro.authflow import (
+    DEFAULT_STRIPES,
+    AuthPipeline,
+    ConcurrencyConfig,
+    StripedLockSet,
+    default_stages,
+)
+from repro.common.clock import SimulatedClock
+from repro.otpserver.server import OTPServer, OTPServerConfig, ValidateStatus
+from repro.policy import (
+    EnforcementLadder,
+    LockoutPolicy,
+    PolicyEngine,
+    RateLimitConfig,
+)
+from repro.telemetry import Registry
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock.at("2016-10-05T09:00:00")
+
+
+def make_server(clock, **kwargs):
+    kwargs.setdefault("rng", random.Random(11))
+    return OTPServer(clock=clock, **kwargs)
+
+
+class TestStripedLocks:
+    def test_same_key_same_lock(self):
+        locks = StripedLockSet(8)
+        assert locks.lock_for("alice") is locks.lock_for("alice")
+        assert locks.stripe_for("alice") == locks.stripe_for("alice")
+
+    def test_keys_spread_over_stripes(self):
+        locks = StripedLockSet(16)
+        stripes = {locks.stripe_for(f"user{i}") for i in range(200)}
+        assert len(stripes) > 8
+
+    def test_stripe_count_validation(self):
+        with pytest.raises(ValueError):
+            StripedLockSet(0)
+
+    def test_concurrency_config_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyConfig(lock_stripes=0)
+        with pytest.raises(ValueError):
+            ConcurrencyConfig(batch_workers=0)
+
+
+class TestPipelineWiring:
+    def test_server_exposes_pipeline_with_default_stripes(self, clock):
+        server = make_server(clock)
+        assert isinstance(server.pipeline, AuthPipeline)
+        assert server.pipeline.locks.stripes == DEFAULT_STRIPES
+
+    def test_stage_order(self, clock):
+        server = make_server(clock)
+        names = [stage.name for stage in default_stages(server, server.policy)]
+        assert names == [
+            "resolve_identity",
+            "evaluate_policy",
+            "replay_guard",
+            "dispatch",
+            "apply_outcome",
+            "audit",
+        ]
+
+    def test_custom_stripe_count(self, clock):
+        server = make_server(clock, concurrency=ConcurrencyConfig(lock_stripes=4))
+        assert server.pipeline.locks.stripes == 4
+
+    def test_policy_snapshot_includes_concurrency(self, clock):
+        server = make_server(
+            clock, concurrency=ConcurrencyConfig(lock_stripes=4, batch_workers=2)
+        )
+        snap = server.policy_snapshot()
+        assert snap["concurrency"] == {"lock_stripes": 4, "batch_workers": 2}
+        assert snap["lockout"]["threshold"] == 20
+
+
+class TestStageTelemetry:
+    def test_per_stage_histogram_and_decision_counter(self, clock):
+        telemetry = Registry()
+        server = make_server(clock, telemetry=telemetry)
+        server.enroll_static("alice", "424242")
+        assert server.validate("alice", "424242").ok
+        server.validate("alice", "000000")
+
+        histogram = telemetry.histogram("authflow_stage_seconds", "")
+        for stage in ("resolve_identity", "evaluate_policy", "replay_guard",
+                      "dispatch", "apply_outcome", "audit"):
+            assert histogram.count(stage=stage) == 2, stage
+
+        decisions = telemetry.counter("authflow_decisions_total", "")
+        assert decisions.value(status="ok") == 1
+        assert decisions.value(status="reject") == 1
+
+    def test_policy_decisions_counted(self, clock):
+        telemetry = Registry()
+        server = make_server(clock, telemetry=telemetry)
+        server.enroll_static("alice", "424242")
+        server.validate("alice", "424242")
+        counter = telemetry.counter("policy_decisions_total", "")
+        assert counter.value(action="challenge") == 1
+
+
+class TestValidateMany:
+    def test_results_positional_and_correct(self, clock):
+        server = make_server(clock)
+        for i in range(6):
+            server.enroll_static(f"user{i}", f"{i}{i}{i}{i}{i}{i}")
+        requests = [(f"user{i}", f"{i}{i}{i}{i}{i}{i}" if i % 2 == 0 else "999999")
+                    for i in range(6)]
+        requests.append(("ghost", "123456"))
+        results = server.validate_many(requests)
+        assert len(results) == 7
+        for i in range(6):
+            assert results[i].ok == (i % 2 == 0)
+        assert results[6].status is ValidateStatus.NO_TOKEN
+
+    def test_single_request_batch(self, clock):
+        server = make_server(clock)
+        server.enroll_static("solo", "424242")
+        results = server.validate_many([("solo", "424242")])
+        assert len(results) == 1 and results[0].ok
+
+    def test_empty_batch(self, clock):
+        server = make_server(clock)
+        assert server.validate_many([]) == []
+
+    def test_same_user_race_keeps_failcount_exact(self, clock):
+        """Concurrent failures for one user must serialize on their stripe."""
+        server = make_server(
+            clock, config=OTPServerConfig(lockout_threshold=500)
+        )
+        server.enroll_static("alice", "424242")
+        threads = [
+            threading.Thread(
+                target=lambda: server.validate_many([("alice", "000000")] * 10)
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (token,) = server.user_tokens("alice")
+        assert token.failcount == 80
+
+    def test_batch_with_telemetry_registry_is_thread_safe(self, clock):
+        """Worker threads drive real instruments without losing increments."""
+        telemetry = Registry()
+        server = make_server(clock, telemetry=telemetry)
+        for i in range(8):
+            server.enroll_static(f"user{i}", "424242")
+        requests = [(f"user{i % 8}", "424242") for i in range(64)]
+        results = server.validate_many(requests)
+        assert all(r.ok for r in results)
+        decisions = telemetry.counter("authflow_decisions_total", "")
+        assert decisions.value(status="ok") == 64
+
+
+class TestPolicyHooks:
+    def test_rate_limited_source_rejected_without_burning_failcount(self, clock):
+        policy = PolicyEngine(
+            lockout=LockoutPolicy(20),
+            rate_limit=RateLimitConfig(rate=1.0, burst=2.0),
+            clock=clock,
+        )
+        server = make_server(clock, policy=policy)
+        server.enroll_static("alice", "424242")
+        source = "203.0.113.9"
+        assert server.validate("alice", "424242", source=source).ok
+        assert server.validate("alice", "424242", source=source).ok
+        throttled = server.validate("alice", "424242", source=source)
+        assert throttled.status is ValidateStatus.REJECT
+        assert "rate limit" in throttled.reason
+        (token,) = server.user_tokens("alice")
+        assert token.failcount == 0
+
+    def test_requests_without_source_bypass_admission(self, clock):
+        policy = PolicyEngine(
+            rate_limit=RateLimitConfig(rate=1.0, burst=1.0), clock=clock
+        )
+        server = make_server(clock, policy=policy)
+        server.enroll_static("alice", "424242")
+        for _ in range(4):
+            assert server.validate("alice", "424242").ok
+
+    def test_exempt_user_passes_without_code(self, clock):
+        class GrantAll:
+            def check(self, username, ip):
+                return True
+
+        policy = PolicyEngine(exemptions=GrantAll(), clock=clock)
+        server = make_server(clock, policy=policy)
+        server.enroll_static("alice", "424242")
+        result = server.validate("alice", "000000", source="10.0.0.5")
+        assert result.ok
+        assert "exemption" in result.reason
+        (token,) = server.user_tokens("alice")
+        assert token.failcount == 0
+
+    def test_ladder_off_allows_any_code(self, clock):
+        policy = PolicyEngine(ladder=EnforcementLadder("off"), clock=clock)
+        server = make_server(clock, policy=policy)
+        server.enroll_static("alice", "424242")
+        result = server.validate("alice", "000000")
+        assert result.ok
+        assert result.reason == "enforcement off"
+
+    def test_default_policy_challenges_as_before(self, clock):
+        server = make_server(clock)
+        server.enroll_static("alice", "424242")
+        assert not server.validate("alice", "000000").ok
+        assert server.validate("alice", "424242").ok

@@ -153,8 +153,6 @@ class TestTrainingAccountJourney:
         )
         assert result.success
         # After the session, the code is rotated; the old one is dead.
-        new_code = center.pair_training_rotate("train01") if hasattr(
-            center, "pair_training_rotate") else None
         center.otp.enroll_static(center.uid_of("train01"), "999999")
         clock.advance(31)
         result, _ = client.connect(

@@ -56,6 +56,18 @@ class TestRoutes:
         with pytest.raises(ValidationError):
             client.call("GET", "/admin/nonexistent", {})
 
+    def test_policy_snapshot(self, client):
+        body = client.call("GET", "/admin/policy")
+        assert body["ladder"]["effective_mode"] == "full"
+        assert body["lockout"]["threshold"] == 20
+        assert body["exemptions"] == {"configured": False}
+        assert body["rate_limit"] == {"configured": False}
+        assert body["concurrency"]["lock_stripes"] == 64
+
+    def test_policy_requires_auth(self, api):
+        response = api.request("GET", "/admin/policy")
+        assert response.status == 401
+
     def test_init_soft(self, client, server):
         body = client.call("POST", "/admin/init", {"user": "alice", "type": "soft"})
         assert "serial" in body and "otpkey" in body

@@ -1,4 +1,9 @@
-"""The deprecated ``.message`` aliases: still functional, now warned."""
+"""The deprecated ``.message`` aliases are gone: ``.reason`` is the API.
+
+The aliases shipped a DeprecationWarning in PR 2; this PR removes them.
+These tests pin the removal so the alias cannot quietly reappear, and
+that the canonical ``.ok``/``.reason`` pair still round-trips cleanly.
+"""
 
 import warnings
 
@@ -8,29 +13,28 @@ from repro.crypto.totp import ValidationOutcome
 from repro.otpserver import ValidateResult, ValidateStatus
 
 
-class TestValidateResultMessage:
-    def test_alias_returns_reason(self):
+class TestMessageAliasRemoved:
+    def test_validate_result_has_no_message(self):
         result = ValidateResult(ValidateStatus.REJECT, reason="invalid token code")
-        with pytest.warns(DeprecationWarning, match="ValidateResult.message"):
-            assert result.message == "invalid token code"
-        assert result.reason == "invalid token code"
+        with pytest.raises(AttributeError):
+            result.message
 
-    def test_empty_reason_round_trips(self):
-        result = ValidateResult(ValidateStatus.OK)
-        with pytest.warns(DeprecationWarning):
-            assert result.message == ""
-
-
-class TestValidationOutcomeMessage:
-    def test_alias_returns_reason(self):
+    def test_validation_outcome_has_no_message(self):
         outcome = ValidationOutcome(ok=False, reason="code replayed")
-        with pytest.warns(DeprecationWarning, match="ValidationOutcome.message"):
-            assert outcome.message == "code replayed"
+        with pytest.raises(AttributeError):
+            outcome.message
+
+
+class TestCanonicalAccessors:
+    def test_reason_and_ok_round_trip(self):
+        result = ValidateResult(ValidateStatus.REJECT, reason="invalid token code")
+        assert not result.ok
+        assert result.reason == "invalid token code"
+        outcome = ValidationOutcome(ok=False, reason="code replayed")
+        assert not outcome.ok
         assert outcome.reason == "code replayed"
 
-
-class TestCanonicalAccessorsStayQuiet:
-    def test_reason_and_ok_do_not_warn(self):
+    def test_no_deprecation_warnings_anywhere(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             result = ValidateResult(ValidateStatus.OK, reason="")

@@ -6,7 +6,7 @@ import pytest
 
 from repro.common.clock import SimulatedClock
 from repro.crypto.hotp import hotp
-from repro.otpserver.server import OTPServer, OTPServerConfig, ValidateStatus
+from repro.otpserver.server import OTPServer, OTPServerConfig
 from repro.otpserver.tokens import TokenType
 
 
@@ -101,3 +101,47 @@ class TestHOTPTokens:
         for _ in range(3):
             fob.press()
         assert not server.validate("carol", fob.press()).ok
+
+
+class TestLookAheadEdges:
+    """The exact fenceposts of the counter search window.
+
+    The window is inclusive: with the server counter at ``c`` and
+    ``look_ahead`` of ``w``, counters ``c .. c + w`` match and ``c + w + 1``
+    does not.
+    """
+
+    LOOK_AHEAD = 10
+
+    def _server(self, seed):
+        clock = SimulatedClock.at("2016-10-05T09:00:00")
+        server = OTPServer(
+            clock=clock,
+            config=OTPServerConfig(hotp_look_ahead=self.LOOK_AHEAD),
+            rng=random.Random(seed),
+        )
+        _, secret = server.enroll_hotp("dave")
+        return server, secret
+
+    def test_code_at_window_end_validates(self):
+        server, secret = self._server(4)
+        assert server.validate("dave", hotp(secret, self.LOOK_AHEAD)).ok
+
+    def test_code_one_past_window_rejects(self):
+        server, secret = self._server(5)
+        assert not server.validate("dave", hotp(secret, self.LOOK_AHEAD + 1)).ok
+        # The failed probe must not move the counter: the window end
+        # itself still validates afterwards.
+        assert server.validate("dave", hotp(secret, self.LOOK_AHEAD)).ok
+
+    def test_validated_code_advances_counter_past_match(self):
+        server, secret = self._server(6)
+        assert server.validate("dave", hotp(secret, self.LOOK_AHEAD)).ok
+        # Counter is now look_ahead + 1: the matched code and everything
+        # before it are consumed...
+        assert not server.validate("dave", hotp(secret, self.LOOK_AHEAD)).ok
+        assert not server.validate("dave", hotp(secret, 3)).ok
+        # ...the next press is live, and the window slid with the counter.
+        assert server.validate("dave", hotp(secret, self.LOOK_AHEAD + 1)).ok
+        new_end = (self.LOOK_AHEAD + 2) + self.LOOK_AHEAD
+        assert server.validate("dave", hotp(secret, new_end)).ok

@@ -6,9 +6,6 @@ bit-identical series; different seeds move the noise but not the shape.
 
 from datetime import date
 
-import numpy as np
-import pytest
-
 from repro.sim import RolloutConfig, RolloutSimulation
 
 

@@ -1,7 +1,5 @@
 """Parallel seed sweeps: worker correctness, pool equivalence, aggregation."""
 
-import pytest
-
 from repro.sim.sweep import SeedSummary, aggregate, run_sweep, summarize
 from repro.sim import RolloutConfig, RolloutSimulation
 

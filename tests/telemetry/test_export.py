@@ -17,7 +17,9 @@ class TestLabelValueEscaping:
         counter = registry.counter("evil_total", "labels from user input")
         counter.inc(reason='user "alice"\nsaid\\no')
         text = render_text(registry.snapshot(include_traces=False))
-        line = next(l for l in text.splitlines() if l.startswith("evil_total{"))
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("evil_total{")
+        )
         assert line == 'evil_total{reason="user \\"alice\\"\\nsaid\\\\no"} 1'
         # The rendered output must stay one-line-per-sample.
         assert "\nsaid" not in text

@@ -160,7 +160,7 @@ class TestPollingVsMail:
     def test_mail_eliminates_polling_traffic(self, scheduler, clock):
         """The Section 5 comparison: a remote cron polling squeue every
         5 minutes vs --mail-type=END.  Count the status queries."""
-        job = scheduler.submit(
+        scheduler.submit(
             "alice", "longsim", wall_seconds=6 * 3600,
             mail_events={MailEvent.END}, mail_to="alice@utexas.edu",
         )
