@@ -1,9 +1,9 @@
 """Failover latency: what one dead RADIUS server costs a login.
 
-Measured in *simulated* seconds (``FailoverPolicy.simulate_waits``): every
-unanswered attempt charges its timeout and backoff wait to the deployment
-clock, and a chaos latency fault gives the healthy path a realistic
-non-zero round trip.  The acceptance bar: with one of three servers down,
+Measured in *simulated* seconds (the deployment's VirtualClock injected as
+the RADIUS wait clock): every unanswered attempt charges its timeout and
+backoff wait to the deployment clock, and a chaos latency fault gives the
+healthy path a realistic non-zero round trip.  The acceptance bar: with one of three servers down,
 the health-aware client's median login latency stays within 2x the
 all-healthy median — the circuit breaker ejects the dead server after the
 first login pays the discovery cost, so the median never sees it again.
@@ -21,7 +21,6 @@ from repro.chaos import ChaosEngine, FaultPlan, LatencyFault
 from repro.common.clock import SimulatedClock
 from repro.core import MFACenter
 from repro.crypto.totp import TOTPGenerator
-from repro.radius.health import FailoverPolicy
 from repro.ssh import SSHClient
 
 LOGINS = 12
@@ -35,7 +34,7 @@ def login_latencies(down_servers: int = 0, health_aware: bool = True):
     center = MFACenter(
         clock=clock,
         rng=random.Random(3),
-        radius_policy=FailoverPolicy(simulate_waits=True),
+        radius_wait_clock=clock,
     )
     system = center.add_system("bench", login_nodes=1)
     node = system.login_node()

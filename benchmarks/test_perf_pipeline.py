@@ -22,10 +22,12 @@ import random
 import threading
 import time
 
+from benchlib import emit_bench, percentile
+
 from repro.authflow import ConcurrencyConfig
-from repro.common.clock import SimulatedClock
+from repro.common.clock import SimulatedClock, WallClock
 from repro.otpserver import OTPServer
-from repro.storage import StorageConfig
+from repro.storage import StorageConfig, build_engine
 
 #: Simulated backing-store round trip per engine op (seconds) — the MariaDB
 #: stand-in, so thread scaling measures lock contention, not dict speed.
@@ -35,10 +37,17 @@ SIMULATED_OP_LATENCY = 150e-6
 def _pipeline_rig(stripes: int, n_users: int = 32):
     """An OTP server on 4 storage shards with ``stripes`` validate locks."""
     clock = SimulatedClock.at("2016-10-05T09:00:00")
+    # The storage stack gets an explicit WallClock: its per-op latency must
+    # really sleep (releasing the GIL) so thread scaling measures actual
+    # lock contention — on the server's virtual clock the round trip would
+    # be free and the comparison meaningless.
+    storage = build_engine(
+        StorageConfig(shards=4, latency=SIMULATED_OP_LATENCY), clock=WallClock()
+    )
     server = OTPServer(
         clock=clock,
         rng=random.Random(1),
-        storage=StorageConfig(shards=4, latency=SIMULATED_OP_LATENCY),
+        storage=storage,
         concurrency=ConcurrencyConfig(lock_stripes=stripes),
     )
     users = [f"user{i:03d}" for i in range(n_users)]
@@ -86,6 +95,18 @@ class TestStripedLockThroughput:
             f"    64 stripes           : {tput_striped:8.0f} logins/s"
             f"   (x{speedup:.2f})"
         )
+        emit_bench(
+            "pipeline",
+            {
+                "threaded": {
+                    "users": len(users64),
+                    "threads": 4,
+                    "single_stripe_ops_per_sec": round(tput_single, 1),
+                    "striped_ops_per_sec": round(tput_striped, 1),
+                    "speedup": round(speedup, 2),
+                }
+            },
+        )
         assert speedup >= 2.0, (
             f"striped-lock speedup only x{speedup:.2f} "
             f"({tput_single:.0f} -> {tput_striped:.0f} logins/s)"
@@ -97,8 +118,13 @@ class TestValidateManyBatching:
         server, users = _pipeline_rig(stripes=64)
         requests = [(user, "424242") for user in users] * 4
 
+        latencies = []
         start = time.perf_counter()
-        sequential = [server.validate(user, code) for user, code in requests]
+        sequential = []
+        for user, code in requests:
+            began = time.perf_counter()
+            sequential.append(server.validate(user, code))
+            latencies.append(time.perf_counter() - began)
         seq_elapsed = time.perf_counter() - start
         assert all(r.ok for r in sequential)
 
@@ -114,6 +140,20 @@ class TestValidateManyBatching:
             f"    sequential loop: {seq_elapsed * 1e3:7.1f} ms\n"
             f"    validate_many  : {batch_elapsed * 1e3:7.1f} ms"
             f"   (x{speedup:.2f})"
+        )
+        emit_bench(
+            "pipeline",
+            {
+                "batch": {
+                    "users": len(users),
+                    "requests": len(requests),
+                    "sequential_ops_per_sec": round(len(requests) / seq_elapsed, 1),
+                    "batched_ops_per_sec": round(len(requests) / batch_elapsed, 1),
+                    "validate_p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+                    "validate_p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+                    "speedup": round(speedup, 2),
+                }
+            },
         )
         assert speedup >= 2.0, (
             f"batch speedup only x{speedup:.2f} "

@@ -24,9 +24,9 @@ import threading
 import time
 from pathlib import Path
 
-from repro.common.clock import SimulatedClock
+from repro.common.clock import SimulatedClock, WallClock
 from repro.otpserver import OTPServer
-from repro.storage import InMemoryEngine, StorageConfig, TableSchema
+from repro.storage import InMemoryEngine, StorageConfig, TableSchema, build_engine
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -104,10 +104,16 @@ class TestUndoLogTransactionCost:
 def _login_rig(shards: int, n_users: int = 32):
     """An OTP server on ``shards`` shards with static-token users enrolled."""
     clock = SimulatedClock.at("2016-10-05T09:00:00")
+    # Explicit WallClock for the storage stack: the per-op latency must
+    # really sleep (releasing the GIL) so shard scaling measures actual
+    # contention — charged to the server's virtual clock it would be free.
     server = OTPServer(
         clock=clock,
         rng=random.Random(1),
-        storage=StorageConfig(shards=shards, latency=SIMULATED_OP_LATENCY),
+        storage=build_engine(
+            StorageConfig(shards=shards, latency=SIMULATED_OP_LATENCY),
+            clock=WallClock(),
+        ),
     )
     users = [f"user{i:03d}" for i in range(n_users)]
     for user in users:

@@ -16,6 +16,10 @@ Commands:
 * ``chaos [--plan NAME] [--seed N] [--logins M] [--json] [--list]`` — run
   a login workload under a seeded fault plan and report the invariant
   verdicts; exits non-zero if any invariant was violated.
+* ``simulate [--users N] [--days D] [--seed S] [--json] [--csv PATH]`` —
+  run the vectorised scaled rollout (defaults: 100k users, 14 virtual
+  days) on the discrete-event core and print the summary, including the
+  SHA-256 determinism digest; ``--csv`` also writes the daily series.
 * ``policy [--mode MODE]`` — print the active policy snapshot (enforcement
   ladder, exemptions, lockout threshold, rate limits, lock striping) of a
   demo deployment as JSON.
@@ -164,6 +168,49 @@ def _cmd_chaos(args: list) -> int:
     return 1 if summary["violations"] else 0
 
 
+def _cmd_simulate(args: list) -> int:
+    import json
+    import time
+
+    from repro.sim.scale import simulate
+
+    users = _flag_value(args, "--users", 100_000)
+    days = _flag_value(args, "--days", 14)
+    seed = _flag_value(args, "--seed", 20160810)
+    began = time.time()
+    rollout = simulate(users, days, seed)
+    elapsed = time.time() - began
+    summary = rollout.summary()
+    summary["wall_seconds"] = round(elapsed, 3)
+    if "--csv" in args:
+        index = args.index("--csv")
+        if index + 1 >= len(args):
+            raise SystemExit("--csv requires a path")
+        rollout.metrics.to_csv(args[index + 1])
+    if "--json" in args:
+        print(json.dumps(summary, indent=2))
+        return 0
+    m = rollout.metrics
+    print(f"scaled rollout: {users:,} users x {days} virtual days (seed {seed})")
+    print(f"wall time: {elapsed:.2f}s  events: {summary['events']}")
+    phases = summary["phase_days"]
+    print(
+        f"phases: announcement day {phases['announcement']}, "
+        f"countdown day {phases['phase2']}, mandatory day {phases['phase3']}"
+    )
+    print(f"paired: {summary['paired_fraction']:.1%} of eligible users")
+    print(f"new pairings: {summary['new_pairings_total']:,}")
+    print(
+        f"traffic: {summary['external_mfa_total']:,} external MFA, "
+        f"{summary['external_nonmfa_total']:,} external non-MFA, "
+        f"{summary['internal_total']:,} internal"
+    )
+    peak = int(m.unique_mfa_users.max())
+    print(f"unique MFA users: peak {peak:,}, final {summary['unique_mfa_users_final']:,}")
+    print(f"digest: {summary['digest']}")
+    return 0
+
+
 def _cmd_policy(args: list) -> int:
     import json
     import random
@@ -199,6 +246,7 @@ def main(argv: list) -> int:
         "telemetry": _cmd_telemetry,
         "qr": _cmd_qr,
         "chaos": _cmd_chaos,
+        "simulate": _cmd_simulate,
         "policy": _cmd_policy,
     }
     if not argv or argv[0] not in commands:

@@ -23,12 +23,12 @@ overlap distinct users' storage round trips.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.authflow.context import PipelineContext
+from repro.common.clock import Clock, WallClock
 from repro.authflow.locks import DEFAULT_STRIPES, StripedLockSet
 from repro.otpserver.results import ValidateResult
 
@@ -66,10 +66,14 @@ class AuthPipeline:
         stages: Sequence,
         concurrency: Optional[ConcurrencyConfig] = None,
         telemetry=None,
+        clock: Optional[Clock] = None,
     ) -> None:
         if not stages:
             raise ValueError("pipeline needs at least one stage")
         self.stages = list(stages)
+        # Stage durations read the injected clock: wall seconds normally,
+        # simulated seconds when the server runs on a VirtualClock.
+        self._clock = clock or WallClock()
         self.concurrency = concurrency or ConcurrencyConfig()
         self.locks = StripedLockSet(self.concurrency.lock_stripes)
         if telemetry is None:
@@ -96,12 +100,12 @@ class AuthPipeline:
             for stage in self.stages:
                 if ctx.finished and not stage.terminal:
                     continue
-                started = time.perf_counter()
+                started = self._clock.now()
                 try:
                     stage.run(ctx)
                 finally:
                     self._m_stage_seconds.observe(
-                        time.perf_counter() - started, stage=stage.name
+                        self._clock.now() - started, stage=stage.name
                     )
         if ctx.result is None:
             raise RuntimeError(

@@ -195,6 +195,30 @@ class ChaosEngine:
             self._apply(fault, entering=False)
         self._open = active
 
+    def schedule_ticks(self, scheduler) -> List[object]:
+        """Schedule a :meth:`tick` at every fault-window boundary.
+
+        The historical polling mode ticked between workload steps, so a
+        window opening mid-step was applied up to one step late (and a
+        window shorter than the step could be missed outright).  Scheduling
+        one tick at ``epoch + fault.start`` and one at ``epoch + fault.end``
+        pins state application exactly to the plan's boundaries: windows are
+        half-open ``[start, end)``, so the tick *at* ``start`` opens the
+        window and the tick *at* ``end`` closes it.  Boundary ticks are
+        scheduled before any same-instant workload event (lower sequence
+        number), matching the old tick-before-step ordering.
+
+        Returns the event handles (cancel them to fall back to polling).
+        """
+        now = scheduler.clock.now()
+        boundaries = set()
+        for fault in self.plan.faults:
+            for offset in (fault.start, fault.end):
+                when = self.epoch + offset
+                if when >= now:
+                    boundaries.add(when)
+        return [scheduler.schedule_at(when, self.tick) for when in sorted(boundaries)]
+
     def _apply(self, fault, entering: bool) -> None:
         if isinstance(fault, SlowShard):
             self._set_shard_latency(fault.shard, fault.latency if entering else 0.0)

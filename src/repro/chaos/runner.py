@@ -35,6 +35,7 @@ from repro.common.clock import SimulatedClock
 from repro.core import MFACenter
 from repro.crypto.totp import TOTPGenerator
 from repro.radius.health import FailoverPolicy
+from repro.simcore import EventScheduler
 from repro.ssh import SSHClient
 from repro.storage import StorageConfig
 
@@ -177,9 +178,8 @@ def run_chaos(
         rng=random.Random(config.seed),
         telemetry=True,
         storage=StorageConfig(shards=config.shards),
-        radius_policy=FailoverPolicy(
-            deadline_budget=config.deadline_budget, simulate_waits=True
-        ),
+        radius_policy=FailoverPolicy(deadline_budget=config.deadline_budget),
+        radius_wait_clock=clock,
     )
     system = center.add_system("chaos-rig", login_nodes=1)
     node = system.login_node()
@@ -204,45 +204,56 @@ def run_chaos(
     client = SSHClient(source_ip="198.51.100.9")
     farm = [server.address for server in center.radius_servers]
     report = ChaosReport(plan=plan, config=config)
+
+    def _login(index: int) -> None:
+        username = users[index % len(users)]
+        device = devices[username]
+        expect_success = not (
+            config.wrong_every
+            and index % config.wrong_every == config.wrong_every - 1
+        )
+        token = (
+            device.current_code
+            if expect_success
+            else (lambda d=device: wrong_code(d.current_code()))
+        )
+        healthy = any(
+            not center.fabric.is_down(a) and not engine.impaired(a) for a in farm
+        )
+        result, conversation = client.connect(
+            node, username, password=f"pw-{username}", token=token
+        )
+        reasons = tuple(
+            line for line in conversation.displayed if line != node.banner
+        )
+        engine.record(
+            "attempt",
+            index=index,
+            user=username,
+            expect=expect_success,
+            healthy=healthy,
+            ok=result.success,
+        )
+        report.attempts.append(
+            AttemptRecord(
+                index, username, expect_success, healthy, result.success, reasons
+            )
+        )
+
+    # Everything is events on one heap: fault-window boundary ticks first
+    # (exact activation instants, no polling drift), then the login train
+    # at fixed offsets — same-instant ties resolve tick-before-login by
+    # scheduling order.  A login that burns simulated time (retransmits,
+    # latency faults) pushes the clock forward; later logins whose slots
+    # already passed fire immediately, still in order.
+    scheduler = EventScheduler(clock=clock, seed=config.seed)
+    engine.schedule_ticks(scheduler)
+    base = clock.now()
+    for index in range(config.logins):
+        scheduler.schedule_at(base + index * config.step_seconds, _login, index)
     try:
-        for index in range(config.logins):
-            engine.tick()
-            username = users[index % len(users)]
-            device = devices[username]
-            expect_success = not (
-                config.wrong_every
-                and index % config.wrong_every == config.wrong_every - 1
-            )
-            token = (
-                device.current_code
-                if expect_success
-                else (lambda d=device: wrong_code(d.current_code()))
-            )
-            healthy = any(
-                not center.fabric.is_down(a) and not engine.impaired(a)
-                for a in farm
-            )
-            result, conversation = client.connect(
-                node, username, password=f"pw-{username}", token=token
-            )
-            reasons = tuple(
-                line for line in conversation.displayed if line != node.banner
-            )
-            engine.record(
-                "attempt",
-                index=index,
-                user=username,
-                expect=expect_success,
-                healthy=healthy,
-                ok=result.success,
-            )
-            report.attempts.append(
-                AttemptRecord(
-                    index, username, expect_success, healthy, result.success, reasons
-                )
-            )
-            clock.advance(config.step_seconds)
-        engine.tick()  # close any windows that ended inside the run
+        scheduler.run_until(base + config.logins * config.step_seconds)
+        engine.tick()  # close any windows that ended exactly at the horizon
     finally:
         engine.detach()
     report.event_lines = engine.event_log_lines()

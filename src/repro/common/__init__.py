@@ -6,7 +6,14 @@ exemption expiry dates and the rollout simulation all agree on what "now"
 means), the exception hierarchy, and tagged identifier generation.
 """
 
-from repro.common.clock import Clock, SimulatedClock, SystemClock
+from repro.common.clock import (
+    Clock,
+    Deadline,
+    SimulatedClock,
+    SystemClock,
+    VirtualClock,
+    WallClock,
+)
 from repro.common.errors import (
     ConfigurationError,
     MFAError,
@@ -19,8 +26,11 @@ from repro.common.ids import IdAllocator
 
 __all__ = [
     "Clock",
+    "Deadline",
     "SimulatedClock",
     "SystemClock",
+    "VirtualClock",
+    "WallClock",
     "ReproError",
     "MFAError",
     "ConfigurationError",

@@ -249,6 +249,7 @@ class MFACenter:
         telemetry=None,
         storage=None,
         radius_policy=None,
+        radius_wait_clock: Optional[Clock] = None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
@@ -279,8 +280,12 @@ class MFACenter:
         self.radius_secret = radius_secret
         # Failover tuning for every login node's RADIUS client (circuit
         # breaker thresholds, backoff curve, deadline budget); None means
-        # the FailoverPolicy defaults.
+        # the FailoverPolicy defaults.  ``radius_wait_clock`` is the clock
+        # RADIUS waits are charged to: pass the deployment's VirtualClock to
+        # make retransmit timeouts consume simulated time (the chaos and
+        # failover rigs), leave None for free waits.
         self.radius_policy = radius_policy
+        self.radius_wait_clock = radius_wait_clock
         self.radius_backend: TokenBackend = UsernameResolvingBackend(
             self.identity, self.otp
         )
@@ -318,6 +323,7 @@ class MFACenter:
             telemetry=self.telemetry,
             clock=self.clock,
             policy=self.radius_policy,
+            wait_clock=self.radius_wait_clock,
         )
 
     def add_system(

@@ -148,7 +148,7 @@ class OTPServer:
         # StorageConfig/None describing the stack to build against this
         # server's telemetry registry (so op metrics land in the shared one).
         if storage is None or isinstance(storage, StorageConfig):
-            storage = build_engine(storage, telemetry=self.telemetry)
+            storage = build_engine(storage, telemetry=self.telemetry, clock=self.clock)
         self.db = Database("linotp", engine=storage)
         # token_type is indexed so the Table-1 style per-type breakdown is
         # an index length lookup, not a full-table scan.
@@ -185,6 +185,7 @@ class OTPServer:
             default_stages(self, self.policy),
             concurrency=concurrency,
             telemetry=self.telemetry,
+            clock=self.clock,
         )
 
     @property

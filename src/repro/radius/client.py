@@ -19,11 +19,12 @@ original behaviour (the failover benchmark compares the two).
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.clock import Clock
+from repro.common.clock import Clock, VirtualClock
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.radius.backoff import BackoffSchedule, stable_seed
 from repro.radius.dictionary import Attr, PacketCode
@@ -82,6 +83,7 @@ class RADIUSClient:
         clock: Optional[Clock] = None,
         policy: Optional[FailoverPolicy] = None,
         health_aware: bool = True,
+        wait_clock: Optional[Clock] = None,
     ) -> None:
         if not servers:
             raise ConfigurationError("RADIUS client requires at least one server")
@@ -99,14 +101,32 @@ class RADIUSClient:
         self.per_server_attempts = {s: 0 for s in servers}
         self.telemetry = telemetry if telemetry is not None else NOOP_REGISTRY
         self._tracer = self.telemetry.tracer()
-        # Waiting (timeouts, backoff) advances the deployment clock when it
-        # is simulated; without one the client keeps private virtual time so
-        # probe intervals still mean something.  A SystemClock cannot be
-        # advanced, so waits under it are free (the in-process fabric
-        # answers instantly anyway).
-        self._clock = clock
-        self._virtual_now = 0.0
         self.policy = policy or FailoverPolicy()
+        # Time is read from ``clock`` and waiting (timeouts, backoff) is
+        # charged to ``wait_clock.sleep()`` — injecting a VirtualClock makes
+        # waits advance simulated time so deadline budgets bind; wait_clock
+        # None makes waits free (the in-process fabric answers instantly,
+        # and moving shared time mid-call would shift TOTP steps under the
+        # caller's feet, so only the chaos/benchmark rigs opt in).  Without
+        # a clock at all, a private VirtualClock plays both roles so probe
+        # intervals still mean something.
+        if clock is None:
+            clock = VirtualClock()
+            if wait_clock is None:
+                wait_clock = clock
+        elif self.policy.simulate_waits:
+            # Legacy knob: FailoverPolicy(simulate_waits=True) meant "charge
+            # waits to the deployment clock when it can be advanced".
+            warnings.warn(
+                "FailoverPolicy.simulate_waits is deprecated; pass the clock "
+                "to RADIUSClient(wait_clock=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if wait_clock is None and hasattr(clock, "advance"):
+                wait_clock = clock
+        self._clock = clock
+        self._wait_clock = wait_clock
         self.health_aware = health_aware
         self.health = HealthTracker(self._servers, self.policy, self.telemetry)
         # Backoff schedules are keyed per (source, server): deterministic
@@ -143,21 +163,12 @@ class RADIUSClient:
     # -- time ----------------------------------------------------------------
 
     def _now(self) -> float:
-        if self._clock is not None:
-            return self._clock.now()
-        return self._virtual_now
+        return self._clock.now()
 
     def _elapse(self, seconds: float) -> None:
-        """Account for waiting: advance simulated time where possible."""
-        if seconds <= 0:
-            return
-        if self._clock is not None:
-            if self.policy.simulate_waits:
-                advance = getattr(self._clock, "advance", None)
-                if advance is not None:
-                    advance(seconds)
-            return
-        self._virtual_now += seconds
+        """Charge a wait to the injected wait clock (no clock = free)."""
+        if seconds > 0 and self._wait_clock is not None:
+            self._wait_clock.sleep(seconds)
 
     # -- server ordering ------------------------------------------------------
 
@@ -220,18 +231,14 @@ class RADIUSClient:
             start = self._next_start
             self._next_start = (self._next_start + 1) % len(self._servers)
             source = source_override or self._source
-            deadline = (
-                self._now() + self.policy.deadline_budget
-                if self.policy.deadline_budget is not None
-                else None
-            )
+            deadline = self._clock.deadline(self.policy.deadline_budget)
             # Retransmit to the same server before failing over: the server's
             # duplicate-detection cache (RFC 5080) can then replay a response
             # whose first copy was lost, instead of re-consuming the one-time
             # code on a different server.
             deadline_hit = False
             for index, (server, is_probe) in enumerate(self._attempt_plan(start)):
-                if deadline is not None and self._now() >= deadline:
+                if deadline.expired():
                     deadline_hit = True
                     break
                 if index and not is_probe:
@@ -239,7 +246,7 @@ class RADIUSClient:
                 if is_probe:
                     self.health.begin_probe(server, self._now())
                 for attempt in range(self._retries):
-                    if deadline is not None and self._now() >= deadline:
+                    if deadline.expired():
                         deadline_hit = True
                         break
                     if attempt:

@@ -1,45 +1,38 @@
-"""A minimal discrete-event engine.
+"""The rollout's event queue, now a thin view over :mod:`repro.simcore`.
 
 The rollout timeline mixes one-shot events (the August 10 announcement,
 the September 6 and October 4 phase switches) with a recurring daily tick.
-A heap-based event queue keeps the ordering honest — events scheduled for
-the same instant fire in scheduling order — and advances the shared
-simulation clock as it drains.
+Those schedule onto the repo-wide discrete-event core
+(:class:`repro.simcore.EventScheduler`); this module keeps the original
+``EventQueue`` surface — same ordering guarantees (events at the same
+instant fire in scheduling order), same clock-advancing drain — so the
+scenario code and its tests read unchanged.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable
 
-from repro.common.clock import SimulatedClock
+from repro.common.clock import VirtualClock
+from repro.simcore import EventScheduler
 
 Event = Callable[[], None]
 
 
-class EventQueue:
-    """Time-ordered callbacks driving a :class:`SimulatedClock`."""
+class EventQueue(EventScheduler):
+    """Time-ordered callbacks driving a :class:`VirtualClock`.
 
-    def __init__(self, clock: SimulatedClock) -> None:
-        self.clock = clock
-        self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = 0
-        self.fired = 0
+    A compatibility subclass: :meth:`schedule_daily` is the only addition
+    over :class:`EventScheduler`, and the inherited ``schedule_at`` /
+    ``schedule_in`` / ``run_until`` behave exactly as the pre-simcore
+    engine did.
+    """
 
-    def __len__(self) -> int:
-        return len(self._heap)
-
-    def schedule_at(self, timestamp: float, event: Event) -> None:
-        """Schedule an absolute-time event (must not be in the past)."""
-        if timestamp < self.clock.now():
-            raise ValueError(
-                f"cannot schedule at {timestamp} before now {self.clock.now()}"
-            )
-        heapq.heappush(self._heap, (timestamp, self._seq, event))
-        self._seq += 1
+    def __init__(self, clock: VirtualClock, seed: int = 0) -> None:
+        super().__init__(clock=clock, seed=seed)
 
     def schedule_in(self, delay: float, event: Event) -> None:
-        self.schedule_at(self.clock.now() + delay, event)
+        self.schedule(delay, event)
 
     def schedule_daily(
         self,
@@ -50,38 +43,4 @@ class EventQueue:
         """Schedule ``event(day_index)`` once per 86400 s for ``days`` days."""
         base = self.clock.now() + start_offset
         for day in range(days):
-            heapq.heappush(
-                self._heap, (base + day * 86400.0, self._seq, _Daily(event, day))
-            )
-            self._seq += 1
-
-    def run_until(self, timestamp: Optional[float] = None) -> int:
-        """Drain events up to ``timestamp`` (or everything), advancing the
-        clock to each event's time.  Returns how many events fired."""
-        fired = 0
-        while self._heap:
-            when, _, event = self._heap[0]
-            if timestamp is not None and when > timestamp:
-                break
-            heapq.heappop(self._heap)
-            if when > self.clock.now():
-                self.clock.set(when)
-            event()
-            fired += 1
-        if timestamp is not None and timestamp > self.clock.now():
-            self.clock.set(timestamp)
-        self.fired += fired
-        return fired
-
-
-class _Daily:
-    """Adapter binding a day index into a no-arg event."""
-
-    __slots__ = ("_event", "_day")
-
-    def __init__(self, event: Callable[[int], None], day: int) -> None:
-        self._event = event
-        self._day = day
-
-    def __call__(self) -> None:
-        self._event(self._day)
+            self.schedule_at(base + day * 86400.0, event, day)

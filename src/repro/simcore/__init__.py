@@ -1,0 +1,40 @@
+"""The virtual-time simulation core.
+
+Three pieces, all deterministic by construction:
+
+* :class:`EventScheduler` — a discrete-event heap keyed on
+  ``(virtual time, sequence number)`` with ``schedule`` / ``cancel`` /
+  ``advance`` / ``run_until``, driving a
+  :class:`~repro.common.clock.VirtualClock`;
+* :class:`RngStreams` — per-actor ``random.Random`` streams derived from
+  one root seed via SHA-256, so actors never perturb each other's draws;
+* :class:`EventLog` — canonical-JSON event logs whose SHA-256
+  :meth:`~EventLog.digest` is the byte-identical-replay witness.
+
+The redesigned time seam itself (``Clock.now()/sleep()/deadline()`` with
+:class:`~repro.common.clock.WallClock` and
+:class:`~repro.common.clock.VirtualClock`) lives in
+:mod:`repro.common.clock` — the lowest layer, because every subsystem
+injects it — and is re-exported here for convenience.  ``sim/``,
+``workload/`` and ``chaos/`` all schedule onto this core; new subsystems
+should take a ``clock`` (and, when they generate traffic, a scheduler)
+rather than reading wall time.
+"""
+
+from repro.common.clock import Clock, Deadline, VirtualClock, WallClock
+from repro.simcore.digest import EventLog, canonical_line
+from repro.simcore.rng import RngStreams, derive_seed
+from repro.simcore.scheduler import EventHandle, EventScheduler
+
+__all__ = [
+    "Clock",
+    "Deadline",
+    "EventHandle",
+    "EventLog",
+    "EventScheduler",
+    "RngStreams",
+    "VirtualClock",
+    "WallClock",
+    "canonical_line",
+    "derive_seed",
+]

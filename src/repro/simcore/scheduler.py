@@ -1,0 +1,200 @@
+"""The discrete-event scheduler at the heart of the virtual-time core.
+
+Events live on a heap keyed by ``(virtual time, sequence number)``: the
+sequence number breaks ties so two events scheduled for the same instant
+fire in scheduling order, deterministically, on every run.  Draining the
+heap advances the bound :class:`~repro.common.clock.VirtualClock` to each
+event's timestamp — simulated hours cost microseconds of wall time, which
+is what lets a million-user, multi-day rollout finish in minutes.
+
+Cancellation is lazy: :meth:`EventHandle.cancel` marks the entry and the
+drain loop skips it, so cancelling is O(1) and never disturbs heap order.
+Callbacks may schedule further events (including at the current instant)
+and may advance the clock themselves (a RADIUS retransmit wait, a storage
+round trip); an event whose timestamp has already been passed fires
+immediately, in order, without rewinding time.
+
+Per-actor randomness comes from :meth:`EventScheduler.rng`: independent
+seeded streams (:mod:`repro.simcore.rng`) derived from the scheduler's
+root seed, so one actor's draws never shift another's.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.common.clock import VirtualClock
+from repro.simcore.rng import RngStreams
+
+
+class EventHandle:
+    """One scheduled callback; returned by ``schedule*`` for cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "interval", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple,
+        interval: Optional[float] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.interval = interval
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the drain loop will skip it.  Idempotent.
+        A repeating event stops rescheduling from this point on."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, seq={self.seq}, {state})"
+
+
+class EventScheduler:
+    """A heap of virtual-time events driving one :class:`VirtualClock`."""
+
+    def __init__(
+        self, clock: Optional[VirtualClock] = None, seed: int = 0
+    ) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.seed = int(seed)
+        self.streams = RngStreams(self.seed)
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self.fired = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Pending (non-cancelled) events."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def rng(self, *actor: object):
+        """The seeded per-actor stream for ``actor`` (see :mod:`.rng`)."""
+        return self.streams.stream(*actor)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _push(self, handle: EventHandle) -> EventHandle:
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(
+        self, timestamp: float, fn: Callable[..., None], *args: object
+    ) -> EventHandle:
+        """Schedule an absolute-time event (must not be in the past)."""
+        if timestamp < self.clock.now():
+            raise ValueError(
+                f"cannot schedule at {timestamp} before now {self.clock.now()}"
+            )
+        handle = EventHandle(float(timestamp), self._seq, fn, args)
+        self._seq += 1
+        return self._push(handle)
+
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: object
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        return self.schedule_at(self.clock.now() + delay, fn, *args)
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        fn: Callable[..., None],
+        *args: object,
+        first_delay: Optional[float] = None,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` every ``interval`` seconds until cancelled.
+
+        The returned handle is reused across firings, so one ``cancel()``
+        stops the whole series.
+        """
+        if interval <= 0:
+            raise ValueError(f"repeat interval must be positive, got {interval}")
+        delay = interval if first_delay is None else first_delay
+        if delay < 0:
+            raise ValueError(f"first delay must be >= 0, got {delay}")
+        handle = EventHandle(
+            self.clock.now() + delay, self._seq, fn, args, interval=interval
+        )
+        self._seq += 1
+        return self._push(handle)
+
+    # -- draining ------------------------------------------------------------
+
+    def run_until(self, timestamp: Optional[float] = None) -> int:
+        """Fire events due at or before ``timestamp`` (None = drain all).
+
+        The clock lands exactly on ``timestamp`` afterwards even if the
+        last event fired earlier, so two half-runs — ``run_until(t1)``
+        then ``run_until(t2)`` — replay identically to one
+        ``run_until(t2)``.  Returns how many events fired.
+        """
+        fired = 0
+        while self._heap:
+            handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if timestamp is not None and handle.time > timestamp:
+                break
+            heapq.heappop(self._heap)
+            if handle.time > self.clock.now():
+                self.clock.set(handle.time)
+            handle.fn(*handle.args)
+            fired += 1
+            if handle.interval is not None and not handle.cancelled:
+                handle.time += handle.interval
+                handle.seq = self._seq
+                self._seq += 1
+                self._push(handle)
+        if timestamp is not None and timestamp > self.clock.now():
+            self.clock.set(timestamp)
+        self.fired += fired
+        return fired
+
+    def advance(self, seconds: float) -> int:
+        """Run ``seconds`` of virtual time from now; returns events fired."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative delta {seconds!r}")
+        return self.run_until(self.clock.now() + seconds)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain every pending event (optionally capped); returns fired."""
+        if max_events is None:
+            return self.run_until(None)
+        fired = 0
+        while fired < max_events and self._heap:
+            handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            heapq.heappop(self._heap)
+            if handle.time > self.clock.now():
+                self.clock.set(handle.time)
+            handle.fn(*handle.args)
+            fired += 1
+            if handle.interval is not None and not handle.cancelled:
+                handle.time += handle.interval
+                handle.seq = self._seq
+                self._seq += 1
+                self._push(handle)
+        self.fired += fired
+        return fired

@@ -50,20 +50,29 @@ class StorageConfig:
             raise ValueError("invalid storage configuration")
 
 
-def build_engine(config: StorageConfig = None, telemetry=None) -> StorageEngine:
-    """Assemble cache → shards → memory per ``config``, instrumented."""
+def build_engine(
+    config: StorageConfig = None, telemetry=None, clock=None
+) -> StorageEngine:
+    """Assemble cache → shards → memory per ``config``, instrumented.
+
+    ``clock`` is the deployment clock simulated latency is charged to and
+    op durations are read from; None keeps wall time (real sleeps).
+    """
     config = config or StorageConfig()
     if config.shards == 1:
-        engine: StorageEngine = InMemoryEngine(latency=config.latency)
+        engine: StorageEngine = InMemoryEngine(latency=config.latency, clock=clock)
     else:
         engine = ShardedEngine(
-            [InMemoryEngine(latency=config.latency) for _ in range(config.shards)],
+            [
+                InMemoryEngine(latency=config.latency, clock=clock)
+                for _ in range(config.shards)
+            ],
             virtual_nodes=config.virtual_nodes,
             telemetry=telemetry,
         )
     if config.cache_capacity:
         engine = CachingEngine(engine, config.cache_capacity, telemetry=telemetry)
-    return InstrumentedEngine(engine, telemetry=telemetry)
+    return InstrumentedEngine(engine, telemetry=telemetry, clock=clock)
 
 
 __all__ = [

@@ -8,15 +8,15 @@ the PR-1 registry:
 * ``storage_transactions_total{outcome}`` — commit/abort counter.
 
 With the default :data:`~repro.telemetry.NOOP_REGISTRY` the wrapper costs
-two ``perf_counter`` reads and two no-op calls per operation.
+two clock reads and two no-op calls per operation.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from typing import Any, List, Optional
 
+from repro.common.clock import Clock, WallClock
 from repro.storage.engine import Predicate, Row, StorageEngine
 from repro.storage.schema import TableSchema
 
@@ -31,8 +31,17 @@ OP_LATENCY_BUCKETS = (
 class InstrumentedEngine:
     """Times and counts every operation of the wrapped engine."""
 
-    def __init__(self, inner: StorageEngine, telemetry=None) -> None:
+    def __init__(
+        self,
+        inner: StorageEngine,
+        telemetry=None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.inner = inner
+        # Durations come off the injected clock: wall time in production,
+        # simulated seconds when the deployment runs on a VirtualClock (a
+        # virtual-latency round trip then shows up in the histogram).
+        self._clock = clock or WallClock()
         if telemetry is None:
             from repro.telemetry import NOOP_REGISTRY
 
@@ -50,11 +59,11 @@ class InstrumentedEngine:
         )
 
     def _timed(self, op: str, table: str, fn, *args):
-        start = time.perf_counter()
+        start = self._clock.now()
         try:
             return fn(*args)
         finally:
-            self._h_latency.observe(time.perf_counter() - start, op=op, table=table)
+            self._h_latency.observe(self._clock.now() - start, op=op, table=table)
             self._c_ops.inc(op=op, table=table)
 
     # -- row operations -----------------------------------------------------
@@ -111,7 +120,7 @@ class InstrumentedEngine:
 
     @contextmanager
     def transaction(self):
-        start = time.perf_counter()
+        start = self._clock.now()
         try:
             with self.inner.transaction():
                 yield self
@@ -122,7 +131,7 @@ class InstrumentedEngine:
             self._c_txn.inc(outcome="commit")
         finally:
             self._h_latency.observe(
-                time.perf_counter() - start, op="transaction", table="*"
+                self._clock.now() - start, op="transaction", table="*"
             )
 
     def __getattr__(self, name: str):

@@ -24,10 +24,10 @@ everything, including committed inner blocks.
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common.clock import Clock, WallClock
 from repro.common.errors import NotFoundError, ValidationError
 from repro.storage.engine import Predicate, Row
 from repro.storage.schema import TableSchema
@@ -144,12 +144,18 @@ class _MemoryTable:
 class InMemoryEngine:
     """Thread-safe dict-backed engine with undo-log transactions."""
 
-    def __init__(self, latency: float = 0.0) -> None:
+    def __init__(self, latency: float = 0.0, clock: Optional[Clock] = None) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
         self._tables: Dict[str, _MemoryTable] = {}
         self._lock = threading.RLock()
         self._latency = latency
+        # The clock the simulated round trip is charged to: a WallClock
+        # really sleeps (threaded benchmarks measure real contention); a
+        # VirtualClock charges the wait to simulated time, which is how a
+        # chaos slow-shard window costs logins simulated seconds instead of
+        # stalling the test run.
+        self._clock = clock or WallClock()
         #: LIFO of inverse operations recorded while a transaction is open.
         self._log: List[tuple] = []
         self._txn_depth = 0
@@ -160,7 +166,7 @@ class InMemoryEngine:
         # The simulated backing-store round trip (held under the lock, like
         # a connection checked out of a pool for the duration of the query).
         if self._latency:
-            time.sleep(self._latency)
+            self._clock.sleep(self._latency)
 
     @property
     def latency(self) -> float:

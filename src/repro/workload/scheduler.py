@@ -13,6 +13,7 @@ from repro.common.clock import Clock, SystemClock
 from repro.common.errors import NotFoundError, ValidationError
 from repro.common.ids import IdAllocator
 from repro.portal.mailer import Mailer
+from repro.simcore import EventScheduler
 
 
 class JobState(str, Enum):
@@ -179,17 +180,37 @@ class BatchScheduler:
             running += 1
             self._mail(job, MailEvent.BEGIN)
 
-    def run_until_idle(self, step: float = 60.0, max_steps: int = 100_000) -> int:
-        """Advance the clock in ``step`` increments until no job is live.
+    def run_until_idle(
+        self,
+        step: float = 60.0,
+        max_steps: int = 100_000,
+        scheduler: Optional["EventScheduler"] = None,
+    ) -> int:
+        """Drain the queue as scheduled ticks on the discrete-event core.
 
-        Requires a :class:`SimulatedClock`.  Returns ticks consumed.
+        Each tick is an event ``step`` seconds after the previous one; the
+        series stops (no further event is scheduled) once no job is live,
+        so the clock ends on the final tick's instant — the same contract
+        the old polling loop offered.  Requires a :class:`VirtualClock`.
+        Pass ``scheduler`` to ride a shared event heap (the caller drains
+        it); otherwise a private scheduler is drained here.  Returns ticks
+        consumed.
         """
+        own = scheduler is None
+        if own:
+            scheduler = EventScheduler(clock=self.clock)
         ticks = 0
-        for ticks in range(1, max_steps + 1):
+
+        def _tick() -> None:
+            nonlocal ticks
+            ticks += 1
             self.tick()
-            if not self.squeue():
-                break
-            self.clock.advance(step)  # type: ignore[attr-defined]
+            if self.squeue() and ticks < max_steps:
+                scheduler.schedule(step, _tick)
+
+        scheduler.schedule(0.0, _tick)
+        if own:
+            scheduler.run()
         return ticks
 
     # -- reporting ---------------------------------------------------------------------

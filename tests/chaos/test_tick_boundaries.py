@@ -1,0 +1,114 @@
+"""Regression: fault windows activate exactly at their plan boundaries.
+
+The polling-era engine ticked only between workload steps, so a window
+opening mid-step was applied up to one ``step_seconds`` late, and a
+window shorter than the step could be skipped entirely.  With boundary
+ticks scheduled on the event core (``ChaosEngine.schedule_ticks``), the
+``window_open``/``window_close`` events land at the exact plan-relative
+instants — these tests pin that behaviour.
+"""
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.faults import ClockSkew, SlowShard
+from repro.chaos.plan import FaultPlan
+from repro.common.clock import VirtualClock
+from repro.simcore import EventScheduler
+from repro.storage import InMemoryEngine
+
+
+def make_rig(faults):
+    clock = VirtualClock(10_000.0)
+    storage = InMemoryEngine(clock=clock)
+    plan = FaultPlan("boundary-test", "tick boundary regression", tuple(faults))
+    engine = ChaosEngine(plan, clock, seed=1, storage=storage)
+    scheduler = EventScheduler(clock=clock, seed=1)
+    engine.schedule_ticks(scheduler)
+    return engine, scheduler, storage
+
+
+def transitions(engine):
+    return [
+        (event["t"], event["kind"], event["fault"])
+        for event in engine.events
+        if event["kind"] in ("window_open", "window_close")
+    ]
+
+
+class TestBoundaryExactness:
+    def test_window_opens_and_closes_at_exact_instants(self):
+        engine, scheduler, storage = make_rig(
+            [SlowShard(start=30.0, duration=45.0, shard=0, latency=0.5)]
+        )
+        scheduler.run_until(10_000.0 + 200.0)
+        assert transitions(engine) == [
+            (30.0, "window_open", "slow_shard"),
+            (75.0, "window_close", "slow_shard"),
+        ]
+
+    def test_state_is_applied_at_open_and_reverted_at_close(self):
+        engine, scheduler, storage = make_rig(
+            [SlowShard(start=30.0, duration=45.0, shard=0, latency=0.5)]
+        )
+        probe = []
+        # Sample the latency knob around the boundaries; ticks schedule
+        # first, so a same-instant probe sees the just-applied state.
+        for offset in (29.0, 30.0, 74.0, 75.0):
+            scheduler.schedule_at(
+                10_000.0 + offset, lambda: probe.append(storage.latency)
+            )
+        scheduler.run_until(10_000.0 + 100.0)
+        assert probe == [0.0, 0.5, 0.5, 0.0]
+
+    def test_window_shorter_than_old_polling_step_is_not_missed(self):
+        # A 5-second window between 17-second workload steps: the polling
+        # engine could miss it entirely; boundary ticks cannot.
+        engine, scheduler, _ = make_rig(
+            [SlowShard(start=20.0, duration=5.0, shard=0, latency=0.25)]
+        )
+        scheduler.run_until(10_000.0 + 40.0)
+        assert transitions(engine) == [
+            (20.0, "window_open", "slow_shard"),
+            (25.0, "window_close", "slow_shard"),
+        ]
+
+    def test_boundaries_beyond_the_horizon_stay_pending(self):
+        engine, scheduler, _ = make_rig(
+            [SlowShard(start=50.0, duration=100.0, shard=0, latency=0.25)]
+        )
+        scheduler.run_until(10_000.0 + 60.0)
+        assert transitions(engine) == [(50.0, "window_open", "slow_shard")]
+        assert len(scheduler) == 1  # the close tick is still queued
+
+    def test_multiple_faults_get_independent_boundaries(self):
+        engine, scheduler, _ = make_rig(
+            [
+                SlowShard(start=10.0, duration=20.0, shard=0, latency=0.25),
+                ClockSkew(start=15.0, duration=30.0, skew=90.0),
+            ]
+        )
+        scheduler.run_until(10_000.0 + 100.0)
+        assert transitions(engine) == [
+            (10.0, "window_open", "slow_shard"),
+            (15.0, "window_open", "clock_skew"),
+            (30.0, "window_close", "slow_shard"),
+            (45.0, "window_close", "clock_skew"),
+        ]
+
+    def test_shared_boundary_produces_one_tick_both_transitions(self):
+        # Fault A ends exactly when fault B begins: one scheduled tick
+        # handles the close and the open, in index order.
+        engine, scheduler, _ = make_rig(
+            [
+                SlowShard(start=10.0, duration=10.0, shard=0, latency=0.25),
+                ClockSkew(start=20.0, duration=10.0, skew=90.0),
+            ]
+        )
+        handles = 3  # 10, 20 (shared), 30
+        assert len(scheduler) == handles
+        scheduler.run_until(10_000.0 + 100.0)
+        assert transitions(engine) == [
+            (10.0, "window_open", "slow_shard"),
+            (20.0, "window_open", "clock_skew"),
+            (20.0, "window_close", "slow_shard"),
+            (30.0, "window_close", "clock_skew"),
+        ]

@@ -1,0 +1,98 @@
+"""Wait-clock injection: how RADIUS waits are charged to simulated time.
+
+The legacy knob (``FailoverPolicy.simulate_waits``) is folded into clock
+injection: pass ``wait_clock=`` to charge timeout/backoff waits to a
+clock, omit it for free waits.  The old knob keeps working behind a
+DeprecationWarning.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.common.clock import VirtualClock, WallClock
+from repro.radius.client import RADIUSClient
+from repro.radius.health import FailoverPolicy
+from repro.radius.transport import UDPFabric
+
+
+def make_client(**kwargs) -> RADIUSClient:
+    fabric = UDPFabric()
+    servers = ["10.0.0.10:1812"]
+    fabric.set_down(servers[0])  # every attempt times out
+    kwargs.setdefault("rng", random.Random(5))
+    return RADIUSClient(fabric, servers, b"secret", source="10.1.1.5", **kwargs)
+
+
+class TestWaitClockInjection:
+    def test_injected_wait_clock_charges_waits(self):
+        clock = VirtualClock(1000.0)
+        client = make_client(clock=clock, wait_clock=clock)
+        client.authenticate("user", "123456")
+        # Three timeouts plus two backoff waits all landed on the clock.
+        assert clock.now() > 1000.0
+
+    def test_no_wait_clock_means_free_waits(self):
+        clock = VirtualClock(1000.0)
+        client = make_client(clock=clock)
+        client.authenticate("user", "123456")
+        assert clock.now() == 1000.0
+
+    def test_without_any_clock_private_virtual_time_still_moves(self):
+        client = make_client()
+        before = client._now()
+        client.authenticate("user", "123456")
+        assert client._now() > before
+
+    def test_deadline_budget_binds_under_wait_clock(self):
+        clock = VirtualClock(0.0)
+        client = make_client(
+            clock=clock,
+            wait_clock=clock,
+            policy=FailoverPolicy(deadline_budget=2.0),
+        )
+        response = client.authenticate("user", "123456")
+        assert "deadline" in response.message
+        # The budget bounds simulated spend to roughly the budget plus the
+        # last wait that straddled it.
+        assert clock.now() < 10.0
+
+
+class TestSimulateWaitsShim:
+    def test_legacy_knob_warns_and_charges_the_clock(self):
+        clock = VirtualClock(1000.0)
+        with pytest.warns(DeprecationWarning, match="simulate_waits"):
+            client = make_client(
+                clock=clock, policy=FailoverPolicy(simulate_waits=True)
+            )
+        client.authenticate("user", "123456")
+        assert clock.now() > 1000.0
+
+    def test_legacy_knob_never_real_sleeps_on_wall_clock(self):
+        # Historical behaviour: simulate_waits over a wall clock was a
+        # no-op (waits free), never a real sleep.
+        with pytest.warns(DeprecationWarning):
+            client = make_client(
+                clock=WallClock(), policy=FailoverPolicy(simulate_waits=True)
+            )
+        assert client._wait_clock is None
+
+    def test_explicit_wait_clock_wins_over_legacy_knob(self):
+        clock = VirtualClock(0.0)
+        waits = VirtualClock(0.0)
+        with pytest.warns(DeprecationWarning):
+            client = make_client(
+                clock=clock,
+                wait_clock=waits,
+                policy=FailoverPolicy(simulate_waits=True),
+            )
+        client.authenticate("user", "123456")
+        assert clock.now() == 0.0  # shared time untouched
+        assert waits.now() > 0.0  # waits charged to the dedicated clock
+
+    def test_modern_path_emits_no_warning(self):
+        clock = VirtualClock(0.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            make_client(clock=clock, wait_clock=clock)

@@ -1,0 +1,307 @@
+"""EventScheduler semantics: ordering, cancellation, repeats, draining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import EventScheduler, VirtualClock
+
+
+def make() -> EventScheduler:
+    return EventScheduler(clock=VirtualClock(1000.0), seed=1)
+
+
+class TestScheduling:
+    def test_schedule_fires_in_time_order(self):
+        s = make()
+        fired = []
+        s.schedule(30.0, fired.append, "late")
+        s.schedule(10.0, fired.append, "early")
+        s.schedule(20.0, fired.append, "middle")
+        s.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_instant_fires_in_scheduling_order(self):
+        s = make()
+        fired = []
+        for name in ("a", "b", "c", "d"):
+            s.schedule(5.0, fired.append, name)
+        s.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_schedule_at_rejects_past(self):
+        s = make()
+        with pytest.raises(ValueError):
+            s.schedule_at(999.0, lambda: None)
+
+    def test_schedule_at_now_is_allowed(self):
+        s = make()
+        fired = []
+        s.schedule_at(1000.0, fired.append, 1)
+        s.run()
+        assert fired == [1]
+
+    def test_clock_lands_on_event_times(self):
+        s = make()
+        seen = []
+        s.schedule(7.0, lambda: seen.append(s.clock.now()))
+        s.schedule(19.0, lambda: seen.append(s.clock.now()))
+        s.run()
+        assert seen == [1007.0, 1019.0]
+
+    def test_len_counts_live_events(self):
+        s = make()
+        s.schedule(1.0, lambda: None)
+        h = s.schedule(2.0, lambda: None)
+        assert len(s) == 2
+        h.cancel()
+        assert len(s) == 1
+
+    def test_callback_may_schedule_more(self):
+        s = make()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                s.schedule(1.0, chain, depth + 1)
+
+        s.schedule(1.0, chain, 0)
+        s.run()
+        assert fired == [0, 1, 2, 3]
+        assert s.clock.now() == 1004.0
+
+
+class TestRunUntil:
+    def test_only_fires_up_to_timestamp(self):
+        s = make()
+        fired = []
+        s.schedule(10.0, fired.append, "in")
+        s.schedule(50.0, fired.append, "out")
+        assert s.run_until(1030.0) == 1
+        assert fired == ["in"]
+        assert s.clock.now() == 1030.0
+        assert len(s) == 1
+
+    def test_boundary_event_is_included(self):
+        s = make()
+        fired = []
+        s.schedule(30.0, fired.append, "edge")
+        s.run_until(1030.0)
+        assert fired == ["edge"]
+
+    def test_split_run_equals_continuous_run(self):
+        events = [(3.0, "a"), (9.0, "b"), (9.0, "c"), (21.0, "d")]
+
+        def trace(split):
+            s = make()
+            fired = []
+            for delay, name in events:
+                s.schedule(delay, lambda n=name: fired.append((s.clock.now(), n)))
+            if split is not None:
+                s.run_until(1000.0 + split)
+            s.run_until(1030.0)
+            return fired
+
+        assert trace(None) == trace(9.0) == trace(10.0)
+
+    def test_advance_runs_relative_window(self):
+        s = make()
+        fired = []
+        s.schedule(5.0, fired.append, 1)
+        assert s.advance(5.0) == 1
+        assert s.clock.now() == 1005.0
+        with pytest.raises(ValueError):
+            s.advance(-1.0)
+
+    def test_fired_counter_accumulates(self):
+        s = make()
+        for _ in range(4):
+            s.schedule(1.0, lambda: None)
+        s.run_until(1001.0)
+        s.run()
+        assert s.fired == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        s = make()
+        fired = []
+        handle = s.schedule(5.0, fired.append, "dead")
+        s.schedule(6.0, fired.append, "live")
+        handle.cancel()
+        s.run()
+        assert fired == ["live"]
+
+    def test_cancel_is_idempotent(self):
+        s = make()
+        handle = s.schedule(5.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert s.run() == 0
+
+    def test_cancel_from_earlier_event(self):
+        s = make()
+        fired = []
+        victim = s.schedule(10.0, fired.append, "victim")
+        s.schedule(5.0, victim.cancel)
+        s.run()
+        assert fired == []
+
+    def test_peek_skips_cancelled(self):
+        s = make()
+        first = s.schedule(1.0, lambda: None)
+        s.schedule(2.0, lambda: None)
+        first.cancel()
+        assert s.peek() == 1002.0
+
+
+class TestRepeating:
+    def test_fires_every_interval(self):
+        s = make()
+        ticks = []
+        s.schedule_repeating(10.0, lambda: ticks.append(s.clock.now()))
+        s.run_until(1035.0)
+        assert ticks == [1010.0, 1020.0, 1030.0]
+
+    def test_first_delay_override(self):
+        s = make()
+        ticks = []
+        s.schedule_repeating(10.0, lambda: ticks.append(s.clock.now()), first_delay=0.0)
+        s.run_until(1020.0)
+        assert ticks == [1000.0, 1010.0, 1020.0]
+
+    def test_cancel_stops_the_series(self):
+        s = make()
+        ticks = []
+        handle = s.schedule_repeating(10.0, lambda: ticks.append(s.clock.now()))
+        s.run_until(1025.0)
+        handle.cancel()
+        s.run_until(1100.0)
+        assert ticks == [1010.0, 1020.0]
+
+    def test_self_cancel_from_callback(self):
+        s = make()
+        ticks = []
+
+        def tick():
+            ticks.append(s.clock.now())
+            if len(ticks) == 2:
+                handle.cancel()
+
+        handle = s.schedule_repeating(5.0, tick)
+        s.run_until(1100.0)
+        assert ticks == [1005.0, 1010.0]
+
+    def test_rejects_bad_intervals(self):
+        s = make()
+        with pytest.raises(ValueError):
+            s.schedule_repeating(0.0, lambda: None)
+        with pytest.raises(ValueError):
+            s.schedule_repeating(5.0, lambda: None, first_delay=-1.0)
+
+
+class TestRunCap:
+    def test_max_events_caps_precisely(self):
+        s = make()
+        fired = []
+        for i in range(5):
+            s.schedule(1.0, fired.append, i)  # all at the same instant
+        assert s.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+        assert len(s) == 2
+
+    def test_uncapped_run_drains(self):
+        s = make()
+        for i in range(5):
+            s.schedule(float(i), lambda: None)
+        assert s.run() == 5
+        assert len(s) == 0
+
+
+class TestRngStreams:
+    def test_per_actor_streams_are_stable(self):
+        a = make().rng("alice")
+        b = make().rng("alice")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_actors_do_not_perturb_each_other(self):
+        s1 = make()
+        lone = [s1.rng("alice").random() for _ in range(5)]
+        s2 = make()
+        s2.rng("mallory").random()  # interleaved foreign draws
+        shared = []
+        for _ in range(5):
+            shared.append(s2.rng("alice").random())
+            s2.rng("mallory").random()
+        assert lone == shared
+
+
+# -- heap tie-break ordering properties --------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_fires_sorted_by_time_then_schedule_order(delays):
+    s = EventScheduler(clock=VirtualClock(0.0))
+    fired = []
+    for index, delay in enumerate(delays):
+        s.schedule(delay, fired.append, (float(delay), index))
+    s.run()
+    assert fired == sorted(fired)  # (time, seq) is the exact firing key
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False, width=32),
+        min_size=2,
+        max_size=30,
+    ),
+    data=st.data(),
+)
+def test_property_cancellation_removes_exactly_the_cancelled(delays, data):
+    s = EventScheduler(clock=VirtualClock(0.0))
+    fired = []
+    handles = [
+        s.schedule(delay, fired.append, index)
+        for index, delay in enumerate(delays)
+    ]
+    doomed = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(delays) - 1))
+    )
+    for index in doomed:
+        handles[index].cancel()
+    s.run()
+    assert set(fired) == set(range(len(delays))) - doomed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32),
+        min_size=1,
+        max_size=30,
+    ),
+    split=st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32),
+)
+def test_property_split_runs_replay_identically(delays, split):
+    def trace(stops):
+        s = EventScheduler(clock=VirtualClock(0.0))
+        fired = []
+        for index, delay in enumerate(delays):
+            s.schedule(
+                delay, lambda i=index: fired.append((s.clock.now(), i))
+            )
+        for stop in stops:
+            s.run_until(stop)
+        return fired
+
+    assert trace([100.0]) == trace([float(split), 100.0])
