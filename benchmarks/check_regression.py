@@ -1,0 +1,95 @@
+"""Hot-path regression gate: fail CI when login throughput drops too far.
+
+Compares a freshly measured ``BENCH_pipeline.json`` (written by
+``test_perf_pipeline.py`` into ``$BENCH_DIR``) against the committed
+baseline at the repo root.  Every throughput series (keys ending in
+``ops_per_sec``, at any nesting depth) must stay above
+``(1 - tolerance) x baseline``; the default tolerance of 30% absorbs CI
+hardware noise while still catching a real hot-path regression — for
+example durable storage accidentally enabled on the default stack.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT BASELINE [--tolerance 0.30]
+
+Exit status 0 when every series passes, 1 on any regression, 2 on missing
+or key-incompatible files (a changed benchmark should update the committed
+baseline in the same PR).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def throughput_series(payload: dict, prefix: str = "") -> dict:
+    """Flatten to {dotted.key: value} for numeric keys ending in ops_per_sec."""
+    series = {}
+    for key, value in payload.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            series.update(throughput_series(value, prefix=f"{dotted}."))
+        elif key.endswith("ops_per_sec") and isinstance(value, (int, float)):
+            series[dotted] = float(value)
+    return series
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list:
+    """Regression messages (empty = pass)."""
+    current_series = throughput_series(current)
+    baseline_series = throughput_series(baseline)
+    problems = []
+    missing = sorted(set(baseline_series) - set(current_series))
+    if missing:
+        problems.append(
+            f"benchmark series missing from current run: {missing} "
+            f"(if the benchmark changed, refresh the committed baseline)"
+        )
+    for key, base in sorted(baseline_series.items()):
+        now = current_series.get(key)
+        if now is None or base <= 0:
+            continue
+        floor = (1.0 - tolerance) * base
+        verdict = "ok" if now >= floor else "REGRESSED"
+        print(
+            f"  {key}: {now:,.0f} vs baseline {base:,.0f} "
+            f"(floor {floor:,.0f}) {verdict}"
+        )
+        if now < floor:
+            problems.append(
+                f"{key} dropped {(1 - now / base) * 100:.1f}% "
+                f"({base:,.0f} -> {now:,.0f} ops/sec, tolerance "
+                f"{tolerance * 100:.0f}%)"
+            )
+    return problems
+
+
+def main(argv: list) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = 0.30
+    if "--tolerance" in argv:
+        tolerance = float(argv[argv.index("--tolerance") + 1])
+    current_path, baseline_path = Path(args[0]), Path(args[1])
+    for path in (current_path, baseline_path):
+        if not path.exists():
+            print(f"missing benchmark file: {path}", file=sys.stderr)
+            return 2
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    print(f"regression gate: {current_path} vs {baseline_path} "
+          f"(tolerance {tolerance * 100:.0f}%)")
+    problems = compare(current, baseline, tolerance)
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    if not problems:
+        print("hot-path throughput within tolerance of the baseline")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

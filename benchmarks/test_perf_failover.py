@@ -15,13 +15,16 @@ timeout ladder every time the rotation starts at the dead server.
 from __future__ import annotations
 
 import random
+import time
 from statistics import median
 
+from benchlib import emit_bench
 from repro.chaos import ChaosEngine, FaultPlan, LatencyFault
 from repro.common.clock import SimulatedClock
 from repro.core import MFACenter
 from repro.crypto.totp import TOTPGenerator
 from repro.ssh import SSHClient
+from repro.storage import ReplicaGroup, TableSchema
 
 LOGINS = 12
 #: Nominal per-datagram RADIUS round trip, charged by a latency fault.
@@ -76,6 +79,17 @@ def test_one_down_median_within_2x_all_healthy():
     print(f"    1/3 down (blind) median={median(blind):.3f} worst={max(blind):.3f}")
     assert median(healthy) > 0, "latency fault failed to charge the clock"
     assert median(degraded) <= 2 * median(healthy)
+    emit_bench(
+        "failover",
+        {
+            "radius": {
+                "healthy_median_seconds": round(median(healthy), 4),
+                "one_down_aware_median_seconds": round(median(degraded), 4),
+                "one_down_blind_median_seconds": round(median(blind), 4),
+                "one_down_worst_seconds": round(max(degraded), 4),
+            }
+        },
+    )
 
 
 def test_discovery_cost_paid_once():
@@ -86,3 +100,47 @@ def test_discovery_cost_paid_once():
     assert max(degraded[0], degraded[1]) > 2 * median(healthy)  # discovery
     tail = degraded[2:]
     assert median(tail) <= 2 * median(healthy)
+
+
+def test_storage_promotion_latency():
+    """Wall seconds to promote a replica (and rejoin) after a primary crash.
+
+    Promotion cost is one catch-up scan plus two digest computations, so it
+    must stay well under a second even over a 10k-row shard; rejoin replays
+    the whole log into a fresh node and is allowed more.
+    """
+    group = ReplicaGroup(replicas=2)
+    group.create_table(
+        "t", TableSchema(("id", "v", "blob"), "id", indexed=("v",))
+    )
+    rows = 10_000
+    for i in range(rows):
+        group.insert("t", {"id": i, "v": i % 17, "blob": b"\x00" * 16})
+
+    start = time.perf_counter()
+    promoted = group.crash_primary()
+    promote_seconds = time.perf_counter() - start
+    assert promoted["match"] is True
+
+    start = time.perf_counter()
+    rejoined = group.rejoin()
+    rejoin_seconds = time.perf_counter() - start
+    assert rejoined["match"] is True
+
+    print(
+        f"\n=== storage failover ({rows} rows) ===\n"
+        f"    promote: {promote_seconds * 1e3:8.1f} ms\n"
+        f"    rejoin : {rejoin_seconds * 1e3:8.1f} ms (full log replay)"
+    )
+    assert promote_seconds < 5.0, f"promotion took {promote_seconds:.2f}s"
+    emit_bench(
+        "failover",
+        {
+            "storage": {
+                "rows": rows,
+                "promote_seconds": round(promote_seconds, 4),
+                "rejoin_replay_seconds": round(rejoin_seconds, 4),
+                "log_records": len(group.wal.records),
+            }
+        },
+    )

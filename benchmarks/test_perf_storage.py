@@ -12,6 +12,9 @@ Three claims from the storage-engine extraction, each asserted:
   under four threads.
 * **The ops are observable.**  ``python -m repro telemetry`` must surface
   the storage op/cache series alongside the auth-path metrics.
+* **Durability is affordable and recovery is fast.**  The WAL's hot-path
+  overhead and the replay cost of a 100k-operation log (full and
+  snapshot+tail) are measured and exported to ``BENCH_storage.json``.
 """
 
 from __future__ import annotations
@@ -24,9 +27,18 @@ import threading
 import time
 from pathlib import Path
 
+from benchlib import emit_bench, percentile
 from repro.common.clock import SimulatedClock, WallClock
 from repro.otpserver import OTPServer
-from repro.storage import InMemoryEngine, StorageConfig, TableSchema, build_engine
+from repro.storage import (
+    InMemoryEngine,
+    StorageConfig,
+    TableSchema,
+    WALEngine,
+    build_engine,
+    replay,
+    state_digest,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -163,12 +175,134 @@ class TestShardedThroughput:
             f"sharding speedup only x{speedup:.2f} "
             f"({tput1:.0f} -> {tput4:.0f} logins/s)"
         )
+        emit_bench(
+            "storage",
+            {
+                "threaded": {
+                    "single_shard_logins_per_sec": round(tput1, 1),
+                    "four_shard_logins_per_sec": round(tput4, 1),
+                    "speedup": round(speedup, 2),
+                }
+            },
+        )
 
     def test_shards_hold_disjoint_row_sets(self):
         server, _ = _login_rig(shards=4)
         sizes = server.db.engine.shard_sizes("tokens")
         assert sum(sizes) == 32
         assert all(size > 0 for size in sizes), f"dead shard: {sizes}"
+
+
+def _mutate(engine, ops: int) -> None:
+    """A deterministic insert/update mix over a small key space."""
+    for i in range(ops):
+        pk = i % 1000
+        if i < 1000:
+            engine.insert("t", {"k": pk, "v": i, "blob": b"\x00" * 16})
+        else:
+            engine.update("t", pk, {"v": i})
+
+
+def _fresh(durable: bool, snapshot_every: int = 0):
+    inner = InMemoryEngine()
+    engine = (
+        WALEngine(inner, snapshot_every=snapshot_every) if durable else inner
+    )
+    engine.create_table(
+        "t", TableSchema(("k", "v", "blob"), "k", indexed=("v",))
+    )
+    return engine
+
+
+class TestWALOverhead:
+    def test_wal_hot_path_overhead(self):
+        """Per-op cost of logging: plain vs WAL-wrapped engine."""
+        ops = 20_000
+        samples = []
+
+        def timed_run(durable: bool) -> float:
+            engine = _fresh(durable)
+            _mutate(engine, 2_000)  # warm-up
+            probe = _fresh(durable)
+            start = time.perf_counter()
+            if durable:
+                for i in range(ops):
+                    op_start = time.perf_counter()
+                    pk = i % 1000
+                    if i < 1000:
+                        probe.insert("t", {"k": pk, "v": i, "blob": b"\x00" * 16})
+                    else:
+                        probe.update("t", pk, {"v": i})
+                    samples.append(time.perf_counter() - op_start)
+            else:
+                _mutate(probe, ops)
+            return ops / (time.perf_counter() - start)
+
+        plain = timed_run(durable=False)
+        durable = timed_run(durable=True)
+        overhead = plain / durable
+        print(
+            f"\n=== WAL hot-path overhead ({ops} ops) ===\n"
+            f"    plain  : {plain:10.0f} ops/s\n"
+            f"    durable: {durable:10.0f} ops/s   (x{overhead:.2f} slower)\n"
+            f"    durable p50={percentile(samples, 50) * 1e6:.1f}us "
+            f"p99={percentile(samples, 99) * 1e6:.1f}us"
+        )
+        # Logging is canonical-JSON rendering per op: a constant factor,
+        # never a blow-up.  Generous bound for slow CI machines.
+        assert overhead < 40, f"WAL made mutations x{overhead:.1f} slower"
+        emit_bench(
+            "storage",
+            {
+                "wal": {
+                    "plain_ops_per_sec": round(plain, 1),
+                    "durable_ops_per_sec": round(durable, 1),
+                    "overhead_factor": round(overhead, 2),
+                    "durable_p50_us": round(percentile(samples, 50) * 1e6, 1),
+                    "durable_p99_us": round(percentile(samples, 99) * 1e6, 1),
+                }
+            },
+        )
+
+
+class TestRecoveryReplay:
+    #: The documented recovery bar: a 100k-operation log must replay into
+    #: a fresh engine in under this many wall seconds (CI hardware).
+    FULL_REPLAY_BAR_SECONDS = 30.0
+
+    def test_replay_seconds_vs_log_size(self):
+        recovery = {}
+        for ops in (10_000, 100_000):
+            engine = _fresh(durable=True)
+            _mutate(engine, ops)
+            start = time.perf_counter()
+            recovered = replay(engine.wal.records)
+            elapsed = time.perf_counter() - start
+            assert state_digest(recovered) == engine.state_digest()
+            recovery[f"full_replay_{ops}_ops_seconds"] = round(elapsed, 3)
+        # Snapshot + tail: recovery skips the bulk of the history.
+        engine = _fresh(durable=True, snapshot_every=20_000)
+        _mutate(engine, 100_000)
+        tail_records = len(engine.wal.records_after(engine.wal.last_snapshot_lsn))
+        start = time.perf_counter()
+        recovered = replay(engine.wal.records)
+        tail_elapsed = time.perf_counter() - start
+        assert state_digest(recovered) == engine.state_digest()
+        recovery["snapshot_tail_100000_ops_seconds"] = round(tail_elapsed, 3)
+        recovery["snapshot_tail_records_replayed"] = tail_records
+        full = recovery["full_replay_100000_ops_seconds"]
+        print(
+            f"\n=== recovery replay ===\n"
+            f"    10k ops full    : {recovery['full_replay_10000_ops_seconds']:7.3f} s\n"
+            f"    100k ops full   : {full:7.3f} s\n"
+            f"    100k snap+tail  : {tail_elapsed:7.3f} s "
+            f"({tail_records} tail records)"
+        )
+        assert full < self.FULL_REPLAY_BAR_SECONDS, (
+            f"100k-op replay took {full:.1f}s "
+            f"(bar: {self.FULL_REPLAY_BAR_SECONDS}s)"
+        )
+        emit_bench("storage", {"recovery": recovery})
 
 
 class TestStorageMetricsVisible:

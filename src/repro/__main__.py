@@ -4,9 +4,11 @@ Commands:
 
 * ``report [population] [seed]`` — run the rollout simulation and print
   the paper-vs-measured evaluation report (default 1500 accounts).
-* ``demo [--telemetry-dump] [--shards N] [--cache N]`` — the quickstart
-  walkthrough (pair a token, log in); ``--shards``/``--cache`` run the OTP
-  back end on a sharded and/or LRU-cached storage stack; with
+* ``demo [--telemetry-dump] [--shards N] [--cache N] [--durability]
+  [--replicas N]`` — the quickstart walkthrough (pair a token, log in);
+  ``--shards``/``--cache`` run the OTP back end on a sharded and/or
+  LRU-cached storage stack, ``--durability`` adds write-ahead logging and
+  ``--replicas`` gives every shard N log-shipping replicas; with
   ``--telemetry-dump``, print the telemetry snapshot of the login.
 * ``telemetry [--json] [--shards N] [--cache N]`` — run one instrumented
   login and dump the resulting metrics snapshot and span tree (text by
@@ -23,6 +25,13 @@ Commands:
 * ``policy [--mode MODE]`` — print the active policy snapshot (enforcement
   ladder, exemptions, lockout threshold, rate limits, lock striping) of a
   demo deployment as JSON.
+* ``storage [--stats] [--replay WAL] [--demo DIR] [--shards N]
+  [--replicas N]`` — the durability toolbox: ``--stats`` prints the
+  storage tier's admin view (shards, cache hit ratio, WAL position,
+  replica lag) after a demo login; ``--demo DIR`` runs the demo with
+  per-shard WAL files written under DIR and prints each file's live state
+  digest; ``--replay WAL`` rebuilds an engine offline from a WAL file and
+  prints the recovered digest (equal to the live one for an intact log).
 """
 
 from __future__ import annotations
@@ -48,7 +57,14 @@ def _flag_value(args: list, flag: str, default: int) -> int:
     return default
 
 
-def _demo_login(telemetry=None, shards: int = 1, cache: int = 64):
+def _demo_login(
+    telemetry=None,
+    shards: int = 1,
+    cache: int = 64,
+    durability: bool = False,
+    replicas: int = 0,
+    wal_dir=None,
+):
     """The shared quickstart scenario: pair a soft token, log in once."""
     import random
 
@@ -63,7 +79,13 @@ def _demo_login(telemetry=None, shards: int = 1, cache: int = 64):
         clock=clock,
         rng=random.Random(42),
         telemetry=telemetry,
-        storage=StorageConfig(shards=shards, cache_capacity=cache),
+        storage=StorageConfig(
+            shards=shards,
+            cache_capacity=cache,
+            durability=durability,
+            replicas=replicas,
+            wal_dir=wal_dir,
+        ),
     )
     system = center.add_system("stampede", mode="full")
     center.create_user("demo", password="demo-password")
@@ -79,13 +101,33 @@ def _demo_login(telemetry=None, shards: int = 1, cache: int = 64):
 
 def _cmd_demo(args: list) -> int:
     dump = "--telemetry-dump" in args
+    replicas = _flag_value(args, "--replicas", 0)
     center, result = _demo_login(
         telemetry=True if dump else None,
         shards=_flag_value(args, "--shards", 1),
         cache=_flag_value(args, "--cache", 64),
+        durability="--durability" in args,
+        replicas=replicas,
     )
     print("demo login:", "GRANTED" if result.success else "DENIED")
     print("session items:", result.session_items)
+    if "--durability" in args or replicas:
+        stats = center.otp.storage_stats()
+        wal = stats.get("wal")
+        if isinstance(wal, dict):
+            wal = [wal]
+        for shard_wal in wal or []:
+            print(
+                f"wal: {shard_wal['records']} records, last lsn "
+                f"{shard_wal['last_lsn']}, {shard_wal['snapshots']} snapshots"
+            )
+        replication = stats.get("replication")
+        if replication:
+            print(
+                f"replication: {replication['shards']} shards x "
+                f"{replication['replicas_per_shard']} replicas, "
+                f"all caught up: {replication['all_caught_up']}"
+            )
     if dump:
         from repro.telemetry import render_text, render_trace_text
 
@@ -239,6 +281,83 @@ def _cmd_policy(args: list) -> int:
     return 0
 
 
+def _shard_digests(engine) -> list:
+    """Live per-shard state digests, whatever the stack's shape."""
+    from repro.storage import find_layer
+
+    replicated = find_layer(engine, "state_digests")
+    if replicated is not None:
+        return replicated.state_digests()
+    walled = find_layer(engine, "wal_stats")
+    if walled is not None:
+        return [walled.state_digest()]
+    sharded = find_layer(engine, "shard_sizes")
+    if sharded is not None:
+        return [
+            shard.state_digest()
+            for shard in sharded.shards
+            if find_layer(shard, "state_digest") is shard
+        ]
+    return []
+
+
+def _cmd_storage(args: list) -> int:
+    import json
+
+    if "--replay" in args:
+        from repro.storage import load_wal, replay, state_digest
+
+        index = args.index("--replay")
+        if index + 1 >= len(args):
+            raise SystemExit("--replay requires a WAL file path")
+        path = args[index + 1]
+        records, dropped = load_wal(path)
+        engine = replay(records)
+        out = {
+            "path": path,
+            "records": len(records),
+            "dropped": dropped,
+            "digest": state_digest(engine),
+            "tables": {name: engine.row_count(name) for name in engine.tables()},
+        }
+        print(json.dumps(out, indent=2))
+        return 0
+
+    wal_dir = None
+    if "--demo" in args:
+        import os
+
+        index = args.index("--demo")
+        if index + 1 >= len(args):
+            raise SystemExit("--demo requires a directory")
+        wal_dir = args[index + 1]
+        os.makedirs(wal_dir, exist_ok=True)
+
+    shards = _flag_value(args, "--shards", 2)
+    center, result = _demo_login(
+        shards=shards,
+        cache=_flag_value(args, "--cache", 64),
+        durability=True,
+        replicas=_flag_value(args, "--replicas", 0),
+        wal_dir=wal_dir,
+    )
+    if wal_dir is not None:
+        digests = _shard_digests(center.otp.db.engine)
+        out = {
+            "login": "GRANTED" if result.success else "DENIED",
+            "digests": {
+                f"{wal_dir}/shard{i}.wal": digest
+                for i, digest in enumerate(digests)
+            },
+            "stats": center.otp.storage_stats(),
+        }
+        print(json.dumps(out, indent=2))
+        return 0 if result.success else 1
+    # --stats (the default view)
+    print(json.dumps(center.otp.storage_stats(), indent=2))
+    return 0 if result.success else 1
+
+
 def main(argv: list) -> int:
     commands = {
         "report": _cmd_report,
@@ -248,6 +367,7 @@ def main(argv: list) -> int:
         "chaos": _cmd_chaos,
         "simulate": _cmd_simulate,
         "policy": _cmd_policy,
+        "storage": _cmd_storage,
     }
     if not argv or argv[0] not in commands:
         print(__doc__, file=sys.stderr)

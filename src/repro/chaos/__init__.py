@@ -23,6 +23,7 @@ from repro.chaos.faults import (
     LossBurst,
     Partition,
     ServerFlap,
+    ShardCrash,
     SlowShard,
     SMSBrownout,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "LossBurst",
     "Partition",
     "ServerFlap",
+    "ShardCrash",
     "SlowShard",
     "SMSBrownout",
     "WorkloadConfig",

@@ -32,6 +32,7 @@ from repro.chaos.faults import (
     LossBurst,
     Partition,
     ServerFlap,
+    ShardCrash,
     SlowShard,
     SMSBrownout,
     matches,
@@ -222,11 +223,51 @@ class ChaosEngine:
     def _apply(self, fault, entering: bool) -> None:
         if isinstance(fault, SlowShard):
             self._set_shard_latency(fault.shard, fault.latency if entering else 0.0)
+        elif isinstance(fault, ShardCrash):
+            self._crash_shard(fault.shard, entering)
         elif isinstance(fault, ClockSkew):
             for username, device in self._devices.items():
                 if fault.user and username != fault.user:
                     continue
                 device.skew = fault.skew if entering else 0.0
+
+    def _crash_shard(self, shard: int, entering: bool) -> None:
+        """Kill (or rejoin) one shard's primary on a replicated stack.
+
+        The promotion/rejoin reports carry state digests computed by the
+        storage layer; their ``match`` booleans land in the event log, so a
+        lost write shows up both as an invariant violation and as a digest
+        change in the determinism check.
+        """
+        from repro.storage import find_layer
+
+        if self._storage is None:
+            raise TypeError("plan has a shard-crash fault but no storage target")
+        target = find_layer(self._storage, "crash_primary")
+        if target is None:
+            raise TypeError(
+                "plan has a shard-crash fault but the storage stack is not "
+                "replicated (need StorageConfig(replicas=...))"
+            )
+        if entering:
+            info = target.crash_primary(shard)
+            self.record(
+                "shard_crash",
+                shard=shard,
+                old_primary=info["old_primary"],
+                new_primary=info["new_primary"],
+                lsn=info["lsn"],
+                digest_match=info["match"],
+            )
+        else:
+            info = target.rejoin(shard)
+            self.record(
+                "shard_rejoin",
+                shard=shard,
+                node=info["node"],
+                lsn=info["lsn"],
+                digest_match=info["match"],
+            )
 
     def _set_shard_latency(self, shard: int, latency: float) -> None:
         if self._storage is None:

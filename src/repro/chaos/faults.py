@@ -156,6 +156,28 @@ class SlowShard(Fault):
 
 
 @dataclass(frozen=True)
+class ShardCrash(Fault):
+    """A storage shard's primary dies mid-run — a harder failure than
+    :class:`SlowShard`'s degraded volume.
+
+    At window open the primary is killed and the most caught-up replica is
+    deterministically promoted; at window close the crashed node rejoins
+    and rebuilds purely by log replay.  Requires a replicated storage
+    stack (``StorageConfig(replicas=...)``); the runner upgrades the
+    default workload automatically when a plan schedules one.
+    """
+
+    shard: int = 0
+
+    kind = "shard_crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shard < 0:
+            raise ValueError(f"shard index must be >= 0, got {self.shard}")
+
+
+@dataclass(frozen=True)
 class SMSBrownout(Fault):
     """The carrier brownout from Section 5: during the window most
     messages stall and land ``stall_delay`` seconds later — typically past

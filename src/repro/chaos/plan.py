@@ -24,6 +24,7 @@ from repro.chaos.faults import (
     LossBurst,
     Partition,
     ServerFlap,
+    ShardCrash,
     SlowShard,
     SMSBrownout,
 )
@@ -108,6 +109,12 @@ def shipped_plans() -> Dict[str, FaultPlan]:
             "slow-shard",
             "one storage shard's volume degrades for the whole run",
             (SlowShard(start=0, duration=2040, shard=0, latency=0.002),),
+        ),
+        FaultPlan(
+            "kill-a-shard",
+            "shard 0's primary crashes mid-run: a replica is promoted with "
+            "zero lost writes, and the node rejoins by log replay",
+            (ShardCrash(start=400, duration=800, shard=0),),
         ),
         FaultPlan(
             "sms-brownout",

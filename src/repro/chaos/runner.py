@@ -25,11 +25,13 @@ d. **Determinism** — identical seeds yield identical event logs (checked
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.engine import ChaosEngine
+from repro.chaos.faults import ShardCrash
 from repro.chaos.plan import FaultPlan
 from repro.common.clock import SimulatedClock
 from repro.core import MFACenter
@@ -61,6 +63,14 @@ class WorkloadConfig:
     #: Per-authenticate simulated-time budget for the RADIUS client.
     deadline_budget: float = 8.0
     shards: int = 2
+    #: Log-shipping replicas per shard (0 = none).  A plan containing a
+    #: :class:`~repro.chaos.faults.ShardCrash` needs at least one; the
+    #: runner upgrades a default (0-replica) config to 2 automatically so
+    #: the shipped kill-a-shard plan runs out of the box while every other
+    #: plan keeps its historical storage stack (and event-log digest).
+    replicas: int = 0
+    #: Write-ahead logging without replication (implied by replicas > 0).
+    durability: bool = False
 
     def __post_init__(self) -> None:
         if self.logins < 1 or self.users < 1:
@@ -69,6 +79,8 @@ class WorkloadConfig:
             raise ValueError("step must be positive")
         if self.wrong_every < 0:
             raise ValueError("wrong_every must be >= 0")
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -108,6 +120,25 @@ class ChaosReport:
     def reasonless_denials(self) -> List[AttemptRecord]:
         return [a for a in self.attempts if not a.success and not a.reasons]
 
+    def storage_violations(self) -> List[str]:
+        """Promotions or rejoins that lost state (digest mismatch).
+
+        A ``shard_crash`` event's digest compares the dead primary against
+        its promoted replica; a ``shard_rejoin`` event's compares the
+        replayed node against the live primary.  Either differing means a
+        committed pairing or lockout write did not survive the failure.
+        """
+        out = []
+        for line in self.event_lines:
+            event = json.loads(line)
+            if event.get("kind") in ("shard_crash", "shard_rejoin"):
+                if not event.get("digest_match", True):
+                    out.append(
+                        f"{event['kind']} on shard {event.get('shard')} at "
+                        f"t={event.get('t')} lost state (digest mismatch)"
+                    )
+        return out
+
     def availability(self) -> float:
         """Success rate over honest logins attempted while >= 1 server
         was free of deterministic blocking."""
@@ -143,6 +174,7 @@ class ChaosReport:
                 f"{len(silent)} denial(s) showed the user no reason: "
                 f"{[a.index for a in silent]}"
             )
+        violations.extend(self.storage_violations())
         return violations
 
     def summary(self) -> dict:
@@ -156,6 +188,7 @@ class ChaosReport:
             "availability_floor": self.plan.availability_floor,
             "false_accepts": len(self.false_accepts()),
             "reasonless_denials": len(self.reasonless_denials()),
+            "storage_violations": len(self.storage_violations()),
             "events": len(self.event_lines),
             "digest": self.digest(),
             "violations": self.invariant_violations(),
@@ -173,11 +206,20 @@ def run_chaos(
     """Execute one seeded chaos run and return its report."""
     config = config or WorkloadConfig()
     clock = SimulatedClock.at(EPOCH)
+    replicas = config.replicas
+    if replicas == 0 and any(isinstance(f, ShardCrash) for f in plan.faults):
+        # A shard-crash plan needs something to promote; give the default
+        # workload a replicated stack without touching any other plan's.
+        replicas = 2
     center = MFACenter(
         clock=clock,
         rng=random.Random(config.seed),
         telemetry=True,
-        storage=StorageConfig(shards=config.shards),
+        storage=StorageConfig(
+            shards=config.shards,
+            durability=config.durability,
+            replicas=replicas,
+        ),
         radius_policy=FailoverPolicy(deadline_budget=config.deadline_budget),
         radius_wait_clock=clock,
     )

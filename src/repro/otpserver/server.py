@@ -45,7 +45,7 @@ from repro.otpserver.results import TokenBackend, ValidateResult, ValidateStatus
 from repro.otpserver.sms_gateway import SMSGateway
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
 from repro.policy import LockoutPolicy, PolicyEngine
-from repro.storage import StorageConfig, build_engine
+from repro.storage import StorageConfig, build_engine, find_layer
 from repro.telemetry import NOOP_REGISTRY
 
 __all__ = [
@@ -187,6 +187,12 @@ class OTPServer:
             telemetry=self.telemetry,
             clock=self.clock,
         )
+        # Version the read-through cache by the policy engine: a live
+        # reconfiguration (set_ladder) orphans every entry cached under the
+        # old rules, so no stale row outlives the policy that cached it.
+        cache = find_layer(self.db.engine, "set_version_source")
+        if cache is not None:
+            cache.set_version_source(lambda: self.policy.version)
 
     @property
     def pipeline(self) -> AuthPipeline:
@@ -466,15 +472,39 @@ class OTPServer:
         return counts
 
     def storage_stats(self) -> Dict[str, object]:
-        """Shape and size of the storage tier (the admin API exposes this)."""
+        """Shape and size of the storage tier (the admin API exposes this).
+
+        Capability layers are located with :func:`repro.storage.find_layer`
+        (``hasattr`` lies on delegating wrappers): per-shard row counts from
+        the sharded layer, hit ratio and key version from the cache, WAL
+        position/snapshot stats from the durability layer, and replica
+        lag/promotion counts from the replication layer.
+        """
         engine = self.db.engine
         stats: Dict[str, object] = {
             "tables": {name: self.db.table(name).count() for name in self.db.tables()},
         }
-        shard_sizes = getattr(engine, "shard_sizes", None)
-        if callable(shard_sizes):
-            stats["shards"] = shard_sizes()
-        cache_info = getattr(engine, "cache_info", None)
-        if callable(cache_info):
-            stats["cache"] = cache_info()
+        sharded = find_layer(engine, "shard_sizes")
+        if sharded is not None:
+            stats["shards"] = sharded.shard_sizes()
+            stats["shard_tables"] = sharded.shard_table_sizes()
+        cache = find_layer(engine, "cache_info")
+        if cache is not None:
+            stats["cache"] = cache.cache_info()
+        replicated = find_layer(engine, "replication_stats")
+        if replicated is not None:
+            stats["replication"] = replicated.replication_stats()
+            stats["wal"] = [group.wal_stats() for group in replicated.groups]
+        else:
+            wal = find_layer(engine, "wal_stats")
+            if wal is not None:
+                stats["wal"] = wal.wal_stats()
+            elif sharded is not None:
+                shard_wals = [
+                    shard.wal_stats()
+                    for shard in sharded.shards
+                    if find_layer(shard, "wal_stats") is shard
+                ]
+                if shard_wals:
+                    stats["wal"] = shard_wals
         return stats

@@ -221,6 +221,10 @@ class PolicyEngine:
     ) -> None:
         self.clock = clock or SystemClock()
         self.ladder = ladder or EnforcementLadder("full")
+        #: Monotonic reconfiguration counter.  Bumped by every live policy
+        #: change; the storage cache folds it into its keys so entries
+        #: cached under the old rules become unreachable, not stale.
+        self.version = 0
         self.exemptions = exemptions
         self.lockout = lockout or LockoutPolicy()
         if isinstance(rate_limit, RateLimitConfig):
@@ -307,6 +311,7 @@ class PolicyEngine:
         """Switch enforcement phase live ("any of these modes may be set
         during production operation")."""
         self.ladder = EnforcementLadder(mode, deadline)
+        self.version += 1
 
     # -- operator view -------------------------------------------------------
 
@@ -316,6 +321,7 @@ class PolicyEngine:
         ladder = self.ladder.snapshot()
         ladder["effective_mode"] = self.ladder.effective_mode(moment).value
         snap: dict = {
+            "version": self.version,
             "ladder": ladder,
             "lockout": self.lockout.snapshot(),
             "exemptions": self._exemptions_snapshot(),

@@ -7,26 +7,42 @@ The package extracts the relational store behind
   transactions** (abort cost is O(ops touched), not O(database size));
 * :class:`ShardedEngine` — consistent-hash placement across N engines with
   per-shard lock striping and routed secondary lookups;
+* :class:`WALEngine` — write-ahead logging with CRC'd canonical-JSON
+  records, periodic snapshots, and deterministic :func:`replay` recovery
+  (same log ⇒ same :func:`state_digest`);
+* :class:`ReplicatedEngine` — each shard a primary + N log-shipping
+  replicas, with deterministic promotion on primary crash and
+  rejoin-by-replay;
 * :class:`CachingEngine` — read-through LRU over point lookups with
-  write-invalidation;
+  write-invalidation and versioned keys;
 * :class:`InstrumentedEngine` — op latency/count series in the telemetry
   registry.
 
 :func:`build_engine` assembles the stack from a :class:`StorageConfig`;
 ``OTPServer``/``MFACenter`` accept either a config or a ready engine via
-their ``storage`` argument, and the CLI exposes ``demo --shards N``.
+their ``storage`` argument, and the CLI exposes
+``demo --shards N --durability --replicas N``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.storage.cache import DEFAULT_CAPACITY, CachingEngine
-from repro.storage.engine import Row, StorageEngine
+from repro.storage.engine import Row, StorageEngine, find_layer
 from repro.storage.instrument import InstrumentedEngine
 from repro.storage.memory import InMemoryEngine
+from repro.storage.replication import ReplicatedEngine, ReplicaGroup
 from repro.storage.schema import TableSchema
 from repro.storage.sharding import DEFAULT_VIRTUAL_NODES, HashRing, ShardedEngine
+from repro.storage.wal import (
+    WALEngine,
+    WriteAheadLog,
+    load_wal,
+    replay,
+    state_digest,
+)
 
 
 @dataclass(frozen=True)
@@ -35,38 +51,90 @@ class StorageConfig:
 
     ``latency`` simulates the backing store's per-operation round trip
     (seconds); it exists for capacity planning and the concurrency
-    benchmarks, and defaults to free.
+    benchmarks, and defaults to free.  ``durability`` turns on write-ahead
+    logging (per shard when sharded); ``replicas`` > 0 additionally gives
+    every shard that many log-shipping replicas (and implies durability,
+    since replication *is* log shipping).  ``wal_latency``/``replica_latency``
+    are the simulated fsync and ship round trips, charged to the deployment
+    clock; ``wal_dir`` persists each shard's log to ``<wal_dir>/shardN.wal``.
     """
 
     shards: int = 1
     cache_capacity: int = 0  # 0 disables the read-through cache
     virtual_nodes: int = DEFAULT_VIRTUAL_NODES
     latency: float = 0.0
+    durability: bool = False
+    replicas: int = 0
+    snapshot_every: int = 0
+    wal_latency: float = 0.0
+    replica_latency: float = 0.0
+    wal_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("need at least one shard")
         if self.cache_capacity < 0 or self.latency < 0 or self.virtual_nodes < 1:
             raise ValueError("invalid storage configuration")
+        if self.replicas < 0 or self.snapshot_every < 0:
+            raise ValueError("invalid storage configuration")
+        if self.wal_latency < 0 or self.replica_latency < 0:
+            raise ValueError("invalid storage configuration")
+
+    @property
+    def durable(self) -> bool:
+        return self.durability or self.replicas > 0
 
 
 def build_engine(
     config: StorageConfig = None, telemetry=None, clock=None
 ) -> StorageEngine:
-    """Assemble cache → shards → memory per ``config``, instrumented.
+    """Assemble cache → (replication | WAL) → shards → memory, instrumented.
 
     ``clock`` is the deployment clock simulated latency is charged to and
     op durations are read from; None keeps wall time (real sleeps).
     """
     config = config or StorageConfig()
-    if config.shards == 1:
-        engine: StorageEngine = InMemoryEngine(latency=config.latency, clock=clock)
+
+    def node() -> InMemoryEngine:
+        return InMemoryEngine(latency=config.latency, clock=clock)
+
+    if config.replicas > 0:
+        engine: StorageEngine = ReplicatedEngine(
+            shards=config.shards,
+            replicas=config.replicas,
+            engine_factory=node,
+            virtual_nodes=config.virtual_nodes,
+            snapshot_every=config.snapshot_every,
+            append_latency=config.wal_latency,
+            ship_latency=config.replica_latency,
+            wal_dir=config.wal_dir,
+            clock=clock,
+            telemetry=telemetry,
+        )
+    elif config.durable:
+        def walled(index: int) -> WALEngine:
+            return WALEngine(
+                node(),
+                path=f"{config.wal_dir}/shard{index}.wal" if config.wal_dir else None,
+                snapshot_every=config.snapshot_every,
+                append_latency=config.wal_latency,
+                clock=clock,
+                telemetry=telemetry,
+            )
+
+        if config.shards == 1:
+            engine = walled(0)
+        else:
+            engine = ShardedEngine(
+                [walled(index) for index in range(config.shards)],
+                virtual_nodes=config.virtual_nodes,
+                telemetry=telemetry,
+            )
+    elif config.shards == 1:
+        engine = node()
     else:
         engine = ShardedEngine(
-            [
-                InMemoryEngine(latency=config.latency, clock=clock)
-                for _ in range(config.shards)
-            ],
+            [node() for _ in range(config.shards)],
             virtual_nodes=config.virtual_nodes,
             telemetry=telemetry,
         )
@@ -82,10 +150,18 @@ __all__ = [
     "HashRing",
     "InMemoryEngine",
     "InstrumentedEngine",
+    "ReplicaGroup",
+    "ReplicatedEngine",
     "Row",
     "ShardedEngine",
     "StorageConfig",
     "StorageEngine",
     "TableSchema",
+    "WALEngine",
+    "WriteAheadLog",
     "build_engine",
+    "find_layer",
+    "load_wal",
+    "replay",
+    "state_digest",
 ]

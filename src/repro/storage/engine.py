@@ -72,3 +72,20 @@ class StorageEngine(Protocol):
 
     # -- transactions ------------------------------------------------------
     def transaction(self) -> ContextManager[Any]: ...
+
+
+def find_layer(engine: Any, attr: str) -> Optional[Any]:
+    """Walk an engine stack's ``.inner`` chain to the first layer *defining*
+    ``attr`` in its class (not merely delegating it via ``__getattr__``).
+
+    The assembled stack is instrumentation → cache → sharding/replication →
+    memory; capabilities like the cache's ``bump_version`` or the
+    replication layer's ``crash_primary`` live on one specific layer.
+    Returns ``None`` when no layer owns the attribute.
+    """
+    layer = engine
+    while layer is not None:
+        if any(attr in vars(klass) for klass in type(layer).__mro__):
+            return layer
+        layer = getattr(layer, "inner", None)
+    return None

@@ -28,6 +28,21 @@ OP_LATENCY_BUCKETS = (
 )
 
 
+def resolve_registry(telemetry):
+    """``telemetry`` or the process no-op registry.
+
+    Every storage layer accepts ``telemetry=None`` and must fall back to
+    :data:`repro.telemetry.NOOP_REGISTRY`; one helper keeps the lazy import
+    (telemetry imports nothing from storage, but the default registry is
+    only needed when no registry was injected) in a single place.
+    """
+    if telemetry is not None:
+        return telemetry
+    from repro.telemetry import NOOP_REGISTRY
+
+    return NOOP_REGISTRY
+
+
 class InstrumentedEngine:
     """Times and counts every operation of the wrapped engine."""
 
@@ -42,10 +57,7 @@ class InstrumentedEngine:
         # simulated seconds when the deployment runs on a VirtualClock (a
         # virtual-latency round trip then shows up in the histogram).
         self._clock = clock or WallClock()
-        if telemetry is None:
-            from repro.telemetry import NOOP_REGISTRY
-
-            telemetry = NOOP_REGISTRY
+        telemetry = resolve_registry(telemetry)
         self._h_latency = telemetry.histogram(
             "storage_op_seconds",
             "storage engine operation latency",

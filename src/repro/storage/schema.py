@@ -4,12 +4,16 @@ A schema is engine-independent: the in-memory engine, the sharded engine
 and the caching wrapper all enforce the same column set, primary key,
 unique constraints and secondary indices, so a `Database` façade can be
 re-pointed at a different engine without touching its consumers.
+
+Schemas also travel through the write-ahead log (:mod:`repro.storage.wal`):
+``to_dict``/``from_dict`` give them a canonical-JSON form so a replayed
+engine rebuilds exactly the constraint set the original enforced.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Dict, Sequence
 
 
 @dataclass
@@ -27,3 +31,21 @@ class TableSchema:
         for col in list(self.unique) + list(self.indexed):
             if col not in self.columns:
                 raise ValueError(f"constraint column {col!r} not a column")
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe rendering for WAL records and state snapshots."""
+        return {
+            "columns": list(self.columns),
+            "primary_key": self.primary_key,
+            "unique": list(self.unique),
+            "indexed": list(self.indexed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TableSchema":
+        return cls(
+            columns=tuple(data["columns"]),
+            primary_key=data["primary_key"],
+            unique=tuple(data.get("unique", ())),
+            indexed=tuple(data.get("indexed", ())),
+        )

@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import NotFoundError, ValidationError
 from repro.storage.engine import Predicate, Row, StorageEngine
+from repro.storage.instrument import resolve_registry
 from repro.storage.memory import InMemoryEngine
 from repro.storage.schema import TableSchema
 
@@ -82,10 +83,7 @@ class ShardedEngine:
         # (table, column) -> value -> {shard index: row refcount}
         self._routes: Dict[Tuple[str, str], Dict[Any, Dict[int, int]]] = {}
         self._route_lock = threading.Lock()
-        if telemetry is None:
-            from repro.telemetry import NOOP_REGISTRY
-
-            telemetry = NOOP_REGISTRY
+        telemetry = resolve_registry(telemetry)
         self._g_rows = telemetry.gauge(
             "storage_shard_rows", "rows held per shard, by table"
         )
@@ -138,6 +136,10 @@ class ShardedEngine:
 
     def shard_sizes(self, table: Optional[str] = None) -> List[int]:
         return [shard.row_count(table) for shard in self.shards]
+
+    def shard_table_sizes(self) -> Dict[str, List[int]]:
+        """Per-table, per-shard row counts (the admin API's placement view)."""
+        return {table: self.shard_sizes(table) for table in self._schemas}
 
     def row_count(self, table: Optional[str] = None) -> int:
         return sum(self.shard_sizes(table))

@@ -1,0 +1,446 @@
+"""Write-ahead logging, snapshots and deterministic replay.
+
+The paper's LinOTP keeps pairings and lockout counters in "an encrypted
+MariaDB relational database" — durable by construction.  This module gives
+the reproduction's in-process engines the same property:
+
+* :class:`WriteAheadLog` — an append-only record store.  Each record is
+  canonical JSON (sorted keys, no whitespace) prefixed with a CRC32, so a
+  log can be shipped between replicas, written to a file, and reloaded
+  with torn or corrupted tails detected rather than silently applied.
+* :class:`WALEngine` — wraps any :class:`~repro.storage.engine.StorageEngine`
+  and appends every committed mutation (``create_table`` / ``insert`` /
+  ``update`` / ``delete``, and whole transactions as single atomic ``txn``
+  records) after the inner engine accepts it.  Optional snapshot records
+  embed the full state every ``snapshot_every`` mutations so recovery is
+  snapshot + tail, not the whole history.
+* :func:`replay` — rebuild an engine from a record sequence.  Recovery is
+  deterministic: the same WAL always reconstructs the same state, witnessed
+  by :func:`state_digest` (SHA-256 over the canonical rendering every other
+  deterministic harness in the repo uses, via :mod:`repro.simcore.digest`).
+
+Append latency is charged to the injected :class:`~repro.common.clock.Clock`
+— the stand-in for the fsync/commit round trip — so a deployment on a
+VirtualClock pays it in simulated seconds and the million-user simulation
+stays virtual-time-fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import zlib
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.clock import Clock, WallClock
+from repro.common.errors import ValidationError
+from repro.simcore.digest import canonical_line
+from repro.storage.engine import Predicate, Row, StorageEngine
+from repro.storage.instrument import resolve_registry
+from repro.storage.memory import InMemoryEngine
+from repro.storage.schema import TableSchema
+
+__all__ = [
+    "WALEngine",
+    "WriteAheadLog",
+    "load_wal",
+    "replay",
+    "state_digest",
+]
+
+
+# -- canonical value encoding -------------------------------------------------
+#
+# Rows hold sealed secrets as raw bytes; JSON cannot.  Bytes are tagged so
+# a replayed row is byte-identical to the original, not a lossy repr.
+
+_BYTES_TAG = "__bytes__"
+
+
+def encode_value(value: Any) -> Any:
+    """A JSON-safe rendering of one column value (bytes become tagged hex)."""
+    if isinstance(value, bytes):
+        return {_BYTES_TAG: value.hex()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {_BYTES_TAG}:
+        return bytes.fromhex(value[_BYTES_TAG])
+    return value
+
+
+def encode_row(row: Row) -> Dict[str, Any]:
+    return {column: encode_value(value) for column, value in row.items()}
+
+
+def decode_row(row: Dict[str, Any]) -> Row:
+    return {column: decode_value(value) for column, value in row.items()}
+
+
+# -- the log ------------------------------------------------------------------
+
+
+class WriteAheadLog:
+    """An append-only, CRC'd, canonical-JSON record store.
+
+    In memory by default; with ``path`` every record is also written as a
+    line ``<crc32 hex> <canonical json>`` and flushed, so an offline
+    ``python -m repro storage --replay`` can rebuild state from the file.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.records: List[dict] = []
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8") if path else None
+        self.bytes_written = 0
+        self.snapshots = 0
+        self.last_snapshot_lsn = 0
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1]["lsn"] if self.records else 0
+
+    def append(self, record: dict) -> int:
+        """Assign the next LSN, render canonically, persist; returns the LSN."""
+        lsn = self.last_lsn + 1
+        record = dict(record, lsn=lsn)
+        line = canonical_line(record)
+        self.records.append(record)
+        self.bytes_written += len(line) + 10  # "crc " prefix + newline
+        if record.get("op") == "snapshot":
+            self.snapshots += 1
+            self.last_snapshot_lsn = lsn
+        if self._file is not None:
+            crc = zlib.crc32(line.encode("utf-8"))
+            self._file.write(f"{crc:08x} {line}\n")
+            self._file.flush()
+        return lsn
+
+    def records_after(self, lsn: int) -> List[dict]:
+        """Records with LSN strictly greater than ``lsn`` (replica catch-up)."""
+        return [record for record in self.records if record["lsn"] > lsn]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "records": len(self.records),
+            "last_lsn": self.last_lsn,
+            "snapshots": self.snapshots,
+            "last_snapshot_lsn": self.last_snapshot_lsn,
+            "bytes": self.bytes_written,
+            "path": self.path,
+        }
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def load_wal(path: str) -> Tuple[List[dict], int]:
+    """Read a WAL file back; returns ``(valid records, dropped lines)``.
+
+    Reading stops at the first record that fails its CRC or does not parse
+    — a torn tail from a crash mid-append, or corruption.  Everything from
+    that point on is dropped (count returned), never partially applied:
+    records after a gap could depend on the lost one.
+    """
+    records: List[dict] = []
+    dropped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, raw in enumerate(lines):
+        try:
+            crc_hex, line = raw.split(" ", 1)
+            if int(crc_hex, 16) != zlib.crc32(line.encode("utf-8")):
+                raise ValueError("crc mismatch")
+            record = json.loads(line)
+            if not isinstance(record.get("lsn"), int):
+                raise ValueError("missing lsn")
+            if records and record["lsn"] != records[-1]["lsn"] + 1:
+                raise ValueError("lsn gap")
+        except ValueError:
+            dropped = len(lines) - index
+            break
+        records.append(record)
+    return records, dropped
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def apply_record(engine: StorageEngine, record: dict) -> None:
+    """Apply one WAL record to an engine (replica shipping / recovery)."""
+    op = record["op"]
+    if op == "insert":
+        engine.insert(record["table"], decode_row(record["row"]))
+    elif op == "update":
+        engine.update(
+            record["table"], decode_value(record["pk"]), decode_row(record["changes"])
+        )
+    elif op == "delete":
+        engine.delete(record["table"], decode_value(record["pk"]))
+    elif op == "create_table":
+        engine.create_table(
+            record["table"], TableSchema.from_dict(record["schema"])
+        )
+    elif op == "txn":
+        with engine.transaction():
+            for sub in record["ops"]:
+                apply_record(engine, sub)
+    elif op == "snapshot":
+        # A snapshot confirms state a live follower already holds; only a
+        # from-scratch replay (which *starts* at the snapshot) restores it.
+        pass
+    else:
+        raise ValidationError(f"unknown WAL record op {op!r}")
+
+
+def restore_snapshot(engine: StorageEngine, state: dict) -> None:
+    """Load a snapshot record's embedded state into a fresh engine."""
+    for name in state["table_order"]:
+        table = state["tables"][name]
+        engine.create_table(name, TableSchema.from_dict(table["schema"]))
+        rows = [decode_row(row) for row in table["rows"]]
+        bulk_load = getattr(engine, "bulk_load", None)
+        if bulk_load is not None:
+            bulk_load(name, rows)
+        else:  # pragma: no cover - engines without the fast path
+            for row in rows:
+                engine.insert(name, row)
+
+
+def replay(
+    records: Sequence[dict],
+    engine_factory: Callable[[], StorageEngine] = InMemoryEngine,
+) -> StorageEngine:
+    """Rebuild an engine from a WAL: latest snapshot, then the tail.
+
+    Pure function of the record sequence — the determinism contract is
+    ``state_digest(replay(wal)) == state_digest(original)`` for any engine
+    the log was recorded against.
+    """
+    engine = engine_factory()
+    start = 0
+    for index in range(len(records) - 1, -1, -1):
+        if records[index].get("op") == "snapshot":
+            restore_snapshot(engine, records[index]["state"])
+            start = index + 1
+            break
+    for record in records[start:]:
+        apply_record(engine, record)
+    return engine
+
+
+def capture_state(engine: StorageEngine) -> dict:
+    """The full engine state in canonical, JSON-safe form.
+
+    ``table_order`` preserves creation order (recreating tables in order
+    keeps a replayed engine's ``tables()`` listing identical); rows are
+    sorted by their canonical rendering so the capture is independent of
+    dict iteration and insert order.
+    """
+    state: dict = {"tables": {}, "table_order": list(engine.tables())}
+    for name in state["table_order"]:
+        rows = [encode_row(row) for row in engine.select(name)]
+        rows.sort(key=canonical_line)
+        state["tables"][name] = {
+            "schema": engine.schema(name).to_dict(),
+            "rows": rows,
+        }
+    return state
+
+
+def state_digest(engine: StorageEngine) -> str:
+    """SHA-256 over the canonical state — the recovery-equality witness."""
+    return hashlib.sha256(
+        canonical_line(capture_state(engine)).encode("utf-8")
+    ).hexdigest()
+
+
+# -- the engine wrapper -------------------------------------------------------
+
+
+class WALEngine:
+    """Logs every committed mutation of the wrapped engine.
+
+    Ordering contract: one lock serializes mutations, so WAL order is apply
+    order and replay reconstructs the exact state.  Reads bypass the WAL
+    lock entirely (the inner engine has its own).  Mutations inside a
+    ``transaction()`` block are buffered and land as one atomic ``txn``
+    record at commit — an abort leaves no trace in the log, and a crash
+    between append and apply cannot split a transaction.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[StorageEngine] = None,
+        wal: Optional[WriteAheadLog] = None,
+        path: Optional[str] = None,
+        snapshot_every: int = 0,
+        append_latency: float = 0.0,
+        clock: Optional[Clock] = None,
+        telemetry=None,
+    ) -> None:
+        if snapshot_every < 0 or append_latency < 0:
+            raise ValueError("snapshot_every and append_latency must be >= 0")
+        self.inner = inner if inner is not None else InMemoryEngine()
+        self.wal = wal or WriteAheadLog(path)
+        self.snapshot_every = snapshot_every
+        self._append_latency = append_latency
+        self._clock = clock or WallClock()
+        self._lock = threading.RLock()
+        #: Stack of per-transaction record buffers (nested = savepoints).
+        self._txn_buffers: List[List[dict]] = []
+        self._ops_since_snapshot = 0
+        telemetry = resolve_registry(telemetry)
+        self._c_appends = telemetry.counter(
+            "storage_wal_appends_total", "WAL records appended, by op"
+        )
+        self._c_snapshots = telemetry.counter(
+            "storage_wal_snapshots_total", "snapshot records written"
+        )
+
+    # -- logging plumbing ---------------------------------------------------
+
+    def _log(self, record: dict) -> None:
+        """Buffer under a transaction, else append (and maybe snapshot)."""
+        if self._txn_buffers:
+            self._txn_buffers[-1].append(record)
+            return
+        self._append(record)
+        self._ops_since_snapshot += 1
+        if self.snapshot_every and self._ops_since_snapshot >= self.snapshot_every:
+            self.snapshot()
+
+    def _append(self, record: dict) -> int:
+        if self._append_latency:
+            # The durability round trip (fsync / commit ack), charged to the
+            # deployment clock: simulated time on a VirtualClock.
+            self._clock.sleep(self._append_latency)
+        lsn = self.wal.append(record)
+        self._c_appends.inc(op=record["op"])
+        return lsn
+
+    def snapshot(self) -> int:
+        """Write a full-state snapshot record; returns its LSN."""
+        with self._lock:
+            if self._txn_buffers:
+                raise ValidationError("cannot snapshot inside a transaction")
+            lsn = self._append({"op": "snapshot", "state": capture_state(self.inner)})
+            self._c_snapshots.inc()
+            self._ops_since_snapshot = 0
+            return lsn
+
+    def wal_stats(self) -> Dict[str, object]:
+        stats = self.wal.stats()
+        stats["snapshot_every"] = self.snapshot_every
+        return stats
+
+    def state_digest(self) -> str:
+        return state_digest(self.inner)
+
+    # -- schema -------------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema) -> None:
+        with self._lock:
+            self.inner.create_table(name, schema)
+            self._log(
+                {"op": "create_table", "table": name, "schema": schema.to_dict()}
+            )
+
+    def has_table(self, name: str) -> bool:
+        return self.inner.has_table(name)
+
+    def tables(self) -> List[str]:
+        return self.inner.tables()
+
+    def schema(self, table: str) -> TableSchema:
+        return self.inner.schema(table)
+
+    # -- mutations (logged) -------------------------------------------------
+
+    def insert(self, table: str, row: Row) -> Row:
+        with self._lock:
+            stored = self.inner.insert(table, row)
+            # Log the stored row (every column materialized), not the input:
+            # replay must not depend on per-engine default-fill behaviour.
+            self._log({"op": "insert", "table": table, "row": encode_row(stored)})
+            return stored
+
+    def update(self, table: str, pk: Any, changes: Row) -> Row:
+        with self._lock:
+            row = self.inner.update(table, pk, changes)
+            self._log(
+                {
+                    "op": "update",
+                    "table": table,
+                    "pk": encode_value(pk),
+                    "changes": encode_row(changes),
+                }
+            )
+            return row
+
+    def delete(self, table: str, pk: Any) -> Row:
+        with self._lock:
+            row = self.inner.delete(table, pk)
+            self._log({"op": "delete", "table": table, "pk": encode_value(pk)})
+            return row
+
+    # -- reads (not logged) ---------------------------------------------------
+
+    def get(self, table: str, pk: Any) -> Row:
+        return self.inner.get(table, pk)
+
+    def exists(self, table: str, pk: Any) -> bool:
+        return self.inner.exists(table, pk)
+
+    def get_by_unique(self, table: str, column: str, value: Any) -> Row:
+        return self.inner.get_by_unique(table, column, value)
+
+    def select(
+        self,
+        table: str,
+        where: Optional[Row] = None,
+        predicate: Optional[Predicate] = None,
+    ) -> List[Row]:
+        return self.inner.select(table, where, predicate)
+
+    def count(self, table: str, where: Optional[Row] = None) -> int:
+        return self.inner.count(table, where)
+
+    def row_count(self, table: Optional[str] = None) -> int:
+        return self.inner.row_count(table)
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """Buffer the block's records; commit appends one atomic record."""
+        with self._lock:
+            self._txn_buffers.append([])
+            try:
+                with self.inner.transaction():
+                    yield self
+            except BaseException:
+                self._txn_buffers.pop()  # inner engine rolled back: no trace
+                raise
+            else:
+                buffer = self._txn_buffers.pop()
+                if not buffer:
+                    return
+                if self._txn_buffers:
+                    # Committed savepoint: fold into the enclosing block.
+                    self._txn_buffers[-1].extend(buffer)
+                elif len(buffer) == 1:
+                    self._log(buffer[0])
+                else:
+                    self._log({"op": "txn", "ops": buffer})
+
+    def __getattr__(self, name: str):
+        # Surface engine-specific extras (set_latency, shard_sizes, ...).
+        return getattr(self.inner, name)

@@ -13,6 +13,7 @@ from repro.chaos import (
     LossBurst,
     Partition,
     ServerFlap,
+    ShardCrash,
     SlowShard,
     SMSBrownout,
     shipped_plans,
@@ -210,6 +211,47 @@ class TestStatefulFaults:
         chaos2 = ChaosEngine(plan2, SimulatedClock(0.0), seed=8, storage=InMemoryEngine())
         with pytest.raises(TypeError):
             chaos2.tick()
+
+    def test_shard_crash_promotes_then_rejoins(self):
+        from repro.storage import ReplicatedEngine, TableSchema
+
+        replicated = ReplicatedEngine(shards=2, replicas=2)
+        replicated.create_table(
+            "t", TableSchema(("id", "v"), "id")
+        )
+        for i in range(10):
+            replicated.insert("t", {"id": i, "v": i})
+        clock = SimulatedClock(0.0)
+        plan = FaultPlan(
+            "p", "", (ShardCrash(start=10, duration=10, shard=0),)
+        )
+        engine = ChaosEngine(plan, clock, seed=7, storage=replicated)
+        clock.set(10)
+        engine.tick()
+        group = replicated.groups[0]
+        assert group.promotions == 1
+        crash_events = [e for e in engine.events if e["kind"] == "shard_crash"]
+        assert crash_events and crash_events[0]["digest_match"] is True
+        clock.set(25)
+        engine.tick()
+        rejoin_events = [e for e in engine.events if e["kind"] == "shard_rejoin"]
+        assert rejoin_events and rejoin_events[0]["digest_match"] is True
+        assert replicated.replication_stats()["all_caught_up"] is True
+
+    def test_shard_crash_needs_replicated_storage(self):
+        clock = SimulatedClock(0.0)
+        plan = FaultPlan("p", "", (ShardCrash(start=0, duration=10, shard=0),))
+        chaos = ChaosEngine(plan, clock, seed=8, storage=InMemoryEngine())
+        with pytest.raises(TypeError):
+            chaos.tick()
+        plan2 = FaultPlan("p2", "", (ShardCrash(start=0, duration=10),))
+        with pytest.raises(TypeError):
+            ChaosEngine(plan2, SimulatedClock(0.0), seed=8).tick()
+
+    def test_shard_crash_validation(self):
+        with pytest.raises(ValueError):
+            ShardCrash(start=0, duration=10, shard=-1)
+        assert ShardCrash(start=0, duration=10).kind == "shard_crash"
 
     def test_clock_skew_applied_per_user(self):
         clock = SimulatedClock(0.0)

@@ -74,7 +74,12 @@ class TestReadThrough:
         cached.get("tokens", "S2")  # evicts S0
         cached.get("tokens", "S0")
         assert inner.backend_reads == 4
-        assert cached.cache_info() == {"entries": 2, "capacity": 2}
+        info = cached.cache_info()
+        assert info["entries"] == 2
+        assert info["capacity"] == 2
+        assert info["hits"] == 0
+        assert info["misses"] == 4
+        assert info["hit_ratio"] == 0.0
 
     def test_hit_miss_counters(self):
         registry = Registry()
@@ -84,6 +89,44 @@ class TestReadThrough:
         cached.get("tokens", "S1")
         assert registry.counter("storage_cache_misses_total").value(table="tokens") == 1
         assert registry.counter("storage_cache_hits_total").value(table="tokens") == 2
+
+
+class TestVersioning:
+    def test_bump_version_orphans_entries(self):
+        inner, cached = _rig()
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S1")
+        assert inner.backend_reads == 1
+        cached.bump_version()
+        cached.get("tokens", "S1")  # old-version key is unreachable
+        assert inner.backend_reads == 2
+
+    def test_external_version_source_invalidates(self):
+        inner, cached = _rig()
+        policy_version = {"n": 0}
+        cached.set_version_source(lambda: policy_version["n"])
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S1")
+        assert inner.backend_reads == 1
+        policy_version["n"] += 1  # live policy reconfiguration
+        cached.get("tokens", "S1")
+        assert inner.backend_reads == 2
+
+    def test_create_table_bumps_version(self):
+        _, cached = _rig()
+        before = cached.version()
+        cached.create_table("extra", TableSchema(("id",), "id"))
+        assert cached.version() > before
+
+    def test_hit_ratio_reported(self):
+        _, cached = _rig()
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S1")
+        cached.get("tokens", "S2")
+        info = cached.cache_info()
+        assert info["hits"] == 2 and info["misses"] == 2
+        assert info["hit_ratio"] == 0.5
 
 
 class TestWriteInvalidation:

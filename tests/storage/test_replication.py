@@ -1,0 +1,204 @@
+"""Replica groups: log shipping, deterministic promotion, rejoin-by-replay."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import ValidationError
+from repro.storage import (
+    ReplicaGroup,
+    ReplicatedEngine,
+    StorageConfig,
+    TableSchema,
+    build_engine,
+    find_layer,
+    state_digest,
+)
+
+SCHEMA = TableSchema(
+    columns=("id", "name", "secret"),
+    primary_key="id",
+    unique=("name",),
+    indexed=(),
+)
+
+
+def _group(replicas=2, **kwargs):
+    group = ReplicaGroup(replicas=replicas, **kwargs)
+    group.create_table("t", SCHEMA)
+    return group
+
+
+def _fill(engine, start=0, count=10):
+    for i in range(start, start + count):
+        engine.insert("t", {"id": i, "name": f"n{i}", "secret": bytes([i % 256])})
+
+
+class TestShipping:
+    def test_replicas_track_every_mutation(self):
+        group = _group()
+        _fill(group)
+        group.update("t", 3, {"secret": b"\xff"})
+        group.delete("t", 7)
+        primary = state_digest(group.inner)
+        for replica in group.replicas:
+            assert state_digest(replica.engine) == primary
+            assert replica.applied_lsn == group.wal.last_lsn
+
+    def test_transactions_ship_atomically(self):
+        group = _group()
+        with group.transaction():
+            group.insert("t", {"id": 1, "name": "a", "secret": b""})
+            group.insert("t", {"id": 2, "name": "b", "secret": b""})
+        assert all(
+            state_digest(r.engine) == state_digest(group.inner)
+            for r in group.replicas
+        )
+
+    def test_aborted_transaction_ships_nothing(self):
+        group = _group()
+        _fill(group, count=3)
+        head = group.wal.last_lsn
+        with pytest.raises(ValidationError):
+            with group.transaction():
+                group.insert("t", {"id": 50, "name": "x", "secret": b""})
+                group.insert("t", {"id": 0, "name": "dup-pk", "secret": b""})
+        assert group.wal.last_lsn == head
+        assert all(r.applied_lsn == head for r in group.replicas)
+
+    def test_snapshot_records_ship_as_position_only(self):
+        group = _group(snapshot_every=3)
+        _fill(group, count=7)
+        assert group.wal.snapshots >= 1
+        for replica in group.replicas:
+            assert replica.applied_lsn == group.wal.last_lsn
+            assert state_digest(replica.engine) == state_digest(group.inner)
+
+    def test_ship_latency_charged_to_injected_clock(self):
+        clock = VirtualClock(start=0.0)
+        group = ReplicaGroup(replicas=1, ship_latency=0.5, clock=clock)
+        group.create_table("t", SCHEMA)
+        before = clock.now()
+        _fill(group, count=4)
+        # 4 insert records x 0.5 s simulated ship time, no wall sleeping.
+        assert clock.now() - before == pytest.approx(2.0)
+
+
+class TestPromotion:
+    def test_promotion_preserves_state(self):
+        group = _group()
+        _fill(group)
+        pre = state_digest(group.inner)
+        info = group.crash_primary()
+        assert info["match"] is True
+        assert state_digest(group.inner) == pre
+        assert group.promotions == 1
+
+    def test_promotion_is_deterministic_max_lsn_then_lowest_id(self):
+        group = _group(replicas=3)
+        _fill(group)
+        # All replicas equally caught up -> lowest node id (1) wins.
+        info = group.crash_primary()
+        assert info["new_primary"] == 1
+
+    def test_promoted_primary_takes_writes(self):
+        group = _group()
+        _fill(group)
+        group.crash_primary()
+        _fill(group, start=100, count=5)
+        assert group.row_count("t") == 15
+        assert all(
+            r.applied_lsn == group.wal.last_lsn for r in group.replicas
+        )
+
+    def test_no_replica_no_promotion(self):
+        group = _group(replicas=0)
+        _fill(group, count=2)
+        with pytest.raises(ValidationError):
+            group.crash_primary()
+
+    def test_double_crash_without_rejoin_refused(self):
+        group = _group(replicas=2)
+        _fill(group, count=2)
+        group.crash_primary()
+        with pytest.raises(ValidationError):
+            group.crash_primary()
+
+
+class TestRejoin:
+    def test_rejoin_catches_up_from_log(self):
+        group = _group()
+        _fill(group)
+        group.crash_primary()
+        _fill(group, start=100, count=8)  # writes the dead node never saw
+        info = group.rejoin()
+        assert info["match"] is True
+        rejoined = next(r for r in group.replicas if r.node_id == info["node"])
+        assert state_digest(rejoined.engine) == state_digest(group.inner)
+        assert rejoined.applied_lsn == group.wal.last_lsn
+
+    def test_rejoin_without_crash_refused(self):
+        group = _group()
+        with pytest.raises(ValidationError):
+            group.rejoin()
+
+    def test_crash_promote_rejoin_cycle_repeats(self):
+        group = _group()
+        _fill(group)
+        for round_no in range(3):
+            group.crash_primary()
+            _fill(group, start=1000 + round_no * 10, count=3)
+            assert group.rejoin()["match"] is True
+        assert group.promotions == 3
+        assert group.row_count("t") == 19
+
+
+class TestReplicatedEngine:
+    def test_build_engine_assembles_replication(self):
+        engine = build_engine(StorageConfig(shards=2, replicas=2))
+        layer = find_layer(engine, "replication_stats")
+        assert layer is not None
+        stats = layer.replication_stats()
+        assert stats["shards"] == 2 and stats["replicas_per_shard"] == 2
+
+    def test_replicas_imply_durability(self):
+        assert StorageConfig(replicas=1).durable
+        assert StorageConfig(durability=True).durable
+        assert not StorageConfig().durable
+
+    def test_cross_shard_behaviour_survives_promotion(self):
+        engine = ReplicatedEngine(shards=3, replicas=2)
+        engine.create_table("t", SCHEMA)
+        _fill(engine, count=30)
+        digests = engine.state_digests()
+        for shard in range(3):
+            assert engine.crash_primary(shard)["match"] is True
+        assert engine.state_digests() == digests
+        assert engine.row_count("t") == 30
+        # Unique routing still enforced across shards after promotions.
+        with pytest.raises(ValidationError):
+            engine.insert("t", {"id": 999, "name": "n5", "secret": b""})
+        for shard in range(3):
+            assert engine.rejoin(shard)["match"] is True
+        assert engine.replication_stats()["all_caught_up"] is True
+
+    def test_replication_stats_shape(self):
+        engine = ReplicatedEngine(shards=2, replicas=1)
+        engine.create_table("t", SCHEMA)
+        _fill(engine, count=4)
+        stats = engine.replication_stats()
+        assert stats["promotions"] == 0
+        assert stats["all_caught_up"] is True
+        assert len(stats["groups"]) == 2
+        group = stats["groups"][0]
+        assert {"group", "primary", "last_lsn", "replicas", "wal"} <= set(group)
+
+    def test_wal_files_per_shard(self, tmp_path):
+        engine = ReplicatedEngine(shards=2, replicas=1, wal_dir=str(tmp_path))
+        engine.create_table("t", SCHEMA)
+        _fill(engine, count=6)
+        for group in engine.groups:
+            group.wal.close()
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "shard0.wal",
+            "shard1.wal",
+        ]
