@@ -25,6 +25,11 @@ Commands:
 * ``policy [--mode MODE]`` — print the active policy snapshot (enforcement
   ladder, exemptions, lockout threshold, rate limits, lock striping) of a
   demo deployment as JSON.
+* ``queue [--stats] [--json] [--interactive N] [--batch N]`` — run a
+  mixed-priority workload (N interactive soft-token logins alongside an
+  N-item batch backfill) through the ingestion queue of an
+  admission-controlled deployment and print the queue snapshot: per-class
+  depth, SLA hit-rate, wait times, shed/retry counters.
 * ``storage [--stats] [--replay WAL] [--demo DIR] [--shards N]
   [--replicas N]`` — the durability toolbox: ``--stats`` prints the
   storage tier's admin view (shards, cache hit ratio, WAL position,
@@ -281,6 +286,69 @@ def _cmd_policy(args: list) -> int:
     return 0
 
 
+def _cmd_queue(args: list) -> int:
+    import json
+    import random
+
+    from repro.common.clock import SimulatedClock
+    from repro.core import MFACenter
+    from repro.crypto.totp import TOTPGenerator
+    from repro.ingest import PriorityClass
+
+    interactive = _flag_value(args, "--interactive", 8)
+    batch_items = _flag_value(args, "--batch", 200)
+    clock = SimulatedClock.at("2016-10-05T09:00:00")
+    center = MFACenter(clock=clock, rng=random.Random(42), ingest=True)
+    center.add_system("stampede", mode="full")
+    queue = center.ingest_queue
+
+    # Interactive lane: soft-token users each submitting one valid login.
+    tickets = []
+    for i in range(interactive):
+        username = f"cli{i + 1}"
+        center.create_user(username, password=f"pw-{username}")
+        _, secret = center.pair_soft(username)
+        device = TOTPGenerator(secret=secret, clock=clock)
+        tickets.append(queue.submit((username, device.current_code())))
+
+    # Batch lane: a training-code backfill (static codes revalidate freely,
+    # so one account can absorb the whole sweep without tripping lockout).
+    center.create_user("resync", password="pw-resync")
+    code = center.pair_training("resync")
+    tickets.extend(
+        queue.submit_many(
+            [("resync", code)] * batch_items, priority=PriorityClass.BATCH
+        )
+    )
+    for ticket in tickets:
+        ticket.result()
+
+    snapshot = queue.snapshot()
+    if "--json" in args:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    # --stats (the default view)
+    print(
+        f"queue: {snapshot['submitted_total']} submitted, "
+        f"{snapshot['completed_total']} completed, "
+        f"{snapshot['shed_total']} shed, {snapshot['retry_total']} retries"
+    )
+    print(
+        f"depth {snapshot['depth']}/{snapshot['max_depth']}  "
+        f"shed order: {', '.join(snapshot['shed_classes'])} first"
+    )
+    for name, lane in snapshot["classes"].items():
+        hit = lane["sla_hit_rate"]
+        wait = lane["mean_wait_seconds"]
+        print(
+            f"  {name:12s} rank {lane['rank']}  sla {lane['sla_seconds']:g}s  "
+            f"done {lane['completed']:>5d}  "
+            f"sla-hit {'-' if hit is None else format(hit, '.0%'):>4s}  "
+            f"mean wait {'-' if wait is None else format(wait * 1000, '.2f') + ' ms'}"
+        )
+    return 0
+
+
 def _shard_digests(engine) -> list:
     """Live per-shard state digests, whatever the stack's shape."""
     from repro.storage import find_layer
@@ -367,6 +435,7 @@ def main(argv: list) -> int:
         "chaos": _cmd_chaos,
         "simulate": _cmd_simulate,
         "policy": _cmd_policy,
+        "queue": _cmd_queue,
         "storage": _cmd_storage,
     }
     if not argv or argv[0] not in commands:

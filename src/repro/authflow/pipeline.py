@@ -14,15 +14,19 @@ settled attempt increments ``authflow_decisions_total`` (labelled by
 status), so operators can see both where validate time goes and what
 the fleet of attempts is deciding.
 
-Batching: :meth:`validate_many` (and the generic :meth:`map_batch`)
-fan a request list across a lazily-created thread pool, preserving
-input order — the entry point ``RADIUSServer.handle_batch`` uses to
-overlap distinct users' storage round trips.
+Batching: :meth:`submit_many` (and the generic :meth:`map_batch`) fan a
+request list across a lazily-created thread pool, preserving input
+order — the entry point ``RADIUSServer.handle_batch`` uses to overlap
+distinct users' storage round trips.  The pipeline implements the
+:class:`~repro.otpserver.results.SubmitAPI` protocol with
+already-completed tickets; :meth:`validate_many` survives as a
+deprecated wrapper.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
@@ -30,7 +34,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 from repro.authflow.context import PipelineContext
 from repro.common.clock import Clock, WallClock
 from repro.authflow.locks import DEFAULT_STRIPES, StripedLockSet
-from repro.otpserver.results import ValidateResult
+from repro.otpserver.results import Ticket, ValidateResult
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -138,15 +142,38 @@ class AuthPipeline:
             return [fn(item) for item in items]
         return list(executor.map(fn, items))
 
-    def validate_many(self, requests: Sequence[ValidateRequest]) -> List[ValidateResult]:
-        """Run many attempts concurrently; order-preserving.
+    # -- SubmitAPI -----------------------------------------------------------
+
+    def submit(self, request: ValidateRequest) -> Ticket:
+        """Run one attempt synchronously; the ticket is already resolved.
+
+        The pipeline has no queue of its own — front it with
+        :class:`repro.ingest.IngestQueue` for deferred, prioritized
+        admission.  Offering the same :class:`SubmitAPI` shape here lets
+        callers swap between the two without branching.
+        """
+        return Ticket.completed(self.run(*request))
+
+    def submit_many(self, requests: Sequence[ValidateRequest]) -> List[Ticket]:
+        """Run many attempts concurrently; order-preserving tickets.
 
         Each request is ``(user_id, code)`` or ``(user_id, code, source)``.
         Per-user serialization still holds — two requests for the same
         user in one batch execute one after the other under their shared
         lock stripe.
         """
-        return self.map_batch(lambda req: self.run(*req), list(requests))
+        results = self.map_batch(lambda req: self.run(*req), list(requests))
+        return [Ticket.completed(result) for result in results]
+
+    def validate_many(self, requests: Sequence[ValidateRequest]) -> List[ValidateResult]:
+        """Deprecated alias for :meth:`submit_many` + ``result()``."""
+        warnings.warn(
+            "AuthPipeline.validate_many is deprecated; use submit_many and "
+            "Ticket.result() (the SubmitAPI protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [ticket.result() for ticket in self.submit_many(requests)]
 
     def close(self) -> None:
         """Tear down the batch executor (idempotent)."""

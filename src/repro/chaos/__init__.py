@@ -17,6 +17,7 @@ Everything derives from one seed, so a failing run replays exactly:
 
 from repro.chaos.engine import ChaosEngine
 from repro.chaos.faults import (
+    BatchBackfill,
     ClockSkew,
     Fault,
     LatencyFault,
@@ -39,6 +40,7 @@ from repro.chaos.runner import (
 
 __all__ = [
     "AttemptRecord",
+    "BatchBackfill",
     "ChaosEngine",
     "ChaosReport",
     "ClockSkew",

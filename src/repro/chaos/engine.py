@@ -27,6 +27,7 @@ import random
 from typing import Dict, List, Optional
 
 from repro.chaos.faults import (
+    BatchBackfill,
     ClockSkew,
     LatencyFault,
     LossBurst,
@@ -57,6 +58,8 @@ class ChaosEngine:
         storage=None,
         devices: Optional[Dict[str, object]] = None,
         telemetry=None,
+        ingest=None,
+        backfill=None,
     ) -> None:
         self.plan = plan
         self.seed = seed
@@ -82,6 +85,11 @@ class ChaosEngine:
             sms_gateway.carrier_override = self._carrier_now
         self._storage = storage
         self._devices = devices or {}
+        # Backfill faults: ``backfill(items)`` dumps a batch-class load
+        # into ``ingest`` (an IngestQueue), whose per-class counters the
+        # engine reads back at window close to judge the drain.
+        self._ingest = ingest
+        self._backfill = backfill
         self._open: set = set()  # indices of currently-active fault windows
 
     # -- time ---------------------------------------------------------------
@@ -225,11 +233,39 @@ class ChaosEngine:
             self._set_shard_latency(fault.shard, fault.latency if entering else 0.0)
         elif isinstance(fault, ShardCrash):
             self._crash_shard(fault.shard, entering)
+        elif isinstance(fault, BatchBackfill):
+            self._run_backfill(fault, entering)
         elif isinstance(fault, ClockSkew):
             for username, device in self._devices.items():
                 if fault.user and username != fault.user:
                     continue
                 device.skew = fault.skew if entering else 0.0
+
+    def _run_backfill(self, fault: BatchBackfill, entering: bool) -> None:
+        """Dump the backfill at window open; audit the drain at close.
+
+        The ``backfill_drain`` event carries the batch lane's remaining
+        depth — nonzero means the queue could not keep up inside the
+        window, which the report turns into an invariant violation.
+        """
+        if self._backfill is None or self._ingest is None:
+            raise TypeError(
+                "plan has a batch-backfill fault but no ingestion queue "
+                "attached (need an ingest-enabled deployment)"
+            )
+        if entering:
+            self._backfill(fault.items)
+            self.record("backfill_start", items=fault.items, depth=self._ingest.depth())
+        else:
+            snap = self._ingest.snapshot()
+            batch = snap["classes"]["batch"]
+            self.record(
+                "backfill_drain",
+                remaining=batch["depth"],
+                completed=batch["completed"],
+                shed=batch["shed"],
+                retries=batch["retries"],
+            )
 
     def _crash_shard(self, shard: int, entering: bool) -> None:
         """Kill (or rejoin) one shard's primary on a replicated stack.

@@ -200,6 +200,30 @@ class SMSBrownout(Fault):
 
 
 @dataclass(frozen=True)
+class BatchBackfill(Fault):
+    """A resync backfill storm: at window open, ``items`` batch-class
+    validations are dumped into the deployment's ingestion queue at once
+    (a job array re-pairing, a bulk token resync after a device recall).
+
+    The fault is about *pressure*, not breakage: nothing is dropped or
+    delayed directly.  The invariant it exists to test is SLA isolation —
+    interactive logins must keep their latency while the backfill drains,
+    and the backfill must fully drain before the window closes.  Requires
+    an ingest-enabled deployment; the runner upgrades the default
+    workload automatically when a plan schedules one.
+    """
+
+    items: int = 10_000
+
+    kind = "batch_backfill"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.items < 1:
+            raise ValueError(f"backfill needs at least one item, got {self.items}")
+
+
+@dataclass(frozen=True)
 class ClockSkew(Fault):
     """A device clock drifts by ``skew`` seconds relative to the server.
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.chaos.faults import (
+    BatchBackfill,
     ClockSkew,
     Fault,
     LatencyFault,
@@ -115,6 +116,13 @@ def shipped_plans() -> Dict[str, FaultPlan]:
             "shard 0's primary crashes mid-run: a replica is promoted with "
             "zero lost writes, and the node rejoins by log replay",
             (ShardCrash(start=400, duration=800, shard=0),),
+        ),
+        FaultPlan(
+            "resync-storm",
+            "a 10k-item batch resync backfill dumps into the ingestion "
+            "queue mid-run: it must fully drain before the window closes "
+            "while interactive login latency stays flat",
+            (BatchBackfill(start=200, duration=1500, items=10_000),),
         ),
         FaultPlan(
             "sms-brownout",

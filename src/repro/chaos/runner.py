@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.engine import ChaosEngine
-from repro.chaos.faults import ShardCrash
+from repro.chaos.faults import BatchBackfill, ShardCrash
 from repro.chaos.plan import FaultPlan
 from repro.common.clock import SimulatedClock
 from repro.core import MFACenter
@@ -71,6 +71,25 @@ class WorkloadConfig:
     replicas: int = 0
     #: Write-ahead logging without replication (implied by replicas > 0).
     durability: bool = False
+    #: Route every RADIUS validation through the priority ingestion queue
+    #: (:mod:`repro.ingest`).  A plan containing a
+    #: :class:`~repro.chaos.faults.BatchBackfill` needs the queue; the
+    #: runner enables it automatically so the shipped resync-storm plan
+    #: runs out of the box while every other plan keeps its historical
+    #: direct path (and event-log digest).
+    ingest: bool = False
+    ingest_depth: int = 16384
+    #: Scheduled queue pump: ``pump_items / pump_interval`` items per
+    #: simulated second (defaults: 160/s — a 10k backfill drains in ~63 s).
+    pump_interval: float = 0.25
+    pump_items: int = 40
+    #: Simulated seconds of service time charged per queued item, so queue
+    #: wait and login latency are measurable in virtual time.
+    queue_service_cost: float = 0.0005
+    #: Distinct static-code accounts a backfill cycles through.  Static
+    #: tokens have no replay nullification, so re-validating the same code
+    #: thousands of times cannot trip failcounts or lockouts.
+    backfill_users: int = 16
 
     def __post_init__(self) -> None:
         if self.logins < 1 or self.users < 1:
@@ -81,6 +100,12 @@ class WorkloadConfig:
             raise ValueError("wrong_every must be >= 0")
         if self.replicas < 0:
             raise ValueError("replicas must be >= 0")
+        if self.ingest_depth < 1 or self.backfill_users < 1:
+            raise ValueError("ingest_depth and backfill_users must be >= 1")
+        if self.pump_interval <= 0 or self.pump_items < 1:
+            raise ValueError("need pump_interval > 0 and pump_items >= 1")
+        if self.queue_service_cost < 0:
+            raise ValueError("queue_service_cost must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -93,6 +118,9 @@ class AttemptRecord:
     healthy: bool  # >= 1 RADIUS server free of deterministic blocking
     success: bool
     reasons: Tuple[str, ...]  # user-visible messages beyond the banner
+    #: Simulated seconds the login took end to end.  Kept out of the
+    #: event log so pre-ingest plans keep their historical digests.
+    latency: float = 0.0
 
 
 @dataclass
@@ -139,6 +167,24 @@ class ChaosReport:
                     )
         return out
 
+    def backfill_violations(self) -> List[str]:
+        """Backfill windows that closed without fully draining.
+
+        The SLA contract is two-sided: interactive latency stays flat
+        *and* the batch work actually completes.  A ``backfill_drain``
+        event with items remaining means the queue (or its pump rate)
+        could not absorb the storm inside the window.
+        """
+        out = []
+        for line in self.event_lines:
+            event = json.loads(line)
+            if event.get("kind") == "backfill_drain" and event.get("remaining", 0):
+                out.append(
+                    f"backfill window closed at t={event.get('t')} with "
+                    f"{event['remaining']} item(s) still queued"
+                )
+        return out
+
     def availability(self) -> float:
         """Success rate over honest logins attempted while >= 1 server
         was free of deterministic blocking."""
@@ -146,6 +192,18 @@ class ChaosReport:
         if not eligible:
             return 1.0
         return sum(1 for a in eligible if a.success) / len(eligible)
+
+    def interactive_latencies(self) -> List[float]:
+        """Honest interactive logins' end-to-end simulated latencies."""
+        return [a.latency for a in self.attempts if a.expect_success]
+
+    def interactive_p99(self) -> float:
+        """The p99 of honest interactive login latency (simulated seconds)."""
+        samples = sorted(self.interactive_latencies())
+        if not samples:
+            return 0.0
+        index = max(0, int(len(samples) * 0.99 + 0.5) - 1)
+        return samples[min(index, len(samples) - 1)]
 
     def digest(self) -> str:
         """SHA-256 of the canonical event log — the determinism witness."""
@@ -175,6 +233,7 @@ class ChaosReport:
                 f"{[a.index for a in silent]}"
             )
         violations.extend(self.storage_violations())
+        violations.extend(self.backfill_violations())
         return violations
 
     def summary(self) -> dict:
@@ -189,6 +248,8 @@ class ChaosReport:
             "false_accepts": len(self.false_accepts()),
             "reasonless_denials": len(self.reasonless_denials()),
             "storage_violations": len(self.storage_violations()),
+            "backfill_violations": len(self.backfill_violations()),
+            "interactive_p99_seconds": round(self.interactive_p99(), 6),
             "events": len(self.event_lines),
             "digest": self.digest(),
             "violations": self.invariant_violations(),
@@ -211,6 +272,20 @@ def run_chaos(
         # A shard-crash plan needs something to promote; give the default
         # workload a replicated stack without touching any other plan's.
         replicas = 2
+    # A backfill plan needs the admission queue; enable it automatically so
+    # resync-storm runs out of the box while every other plan keeps its
+    # historical direct validate path (and event-log digest).
+    use_ingest = config.ingest or any(
+        isinstance(f, BatchBackfill) for f in plan.faults
+    )
+    ingest_config = None
+    if use_ingest:
+        from repro.ingest import IngestConfig
+
+        ingest_config = IngestConfig(
+            max_depth=config.ingest_depth,
+            service_cost_seconds=config.queue_service_cost,
+        )
     center = MFACenter(
         clock=clock,
         rng=random.Random(config.seed),
@@ -222,6 +297,7 @@ def run_chaos(
         ),
         radius_policy=FailoverPolicy(deadline_budget=config.deadline_budget),
         radius_wait_clock=clock,
+        ingest=ingest_config,
     )
     system = center.add_system("chaos-rig", login_nodes=1)
     node = system.login_node()
@@ -233,6 +309,27 @@ def run_chaos(
         _, secret = center.pair_soft(username)
         users.append(username)
         devices[username] = TOTPGenerator(secret=secret, clock=clock)
+    backfill = None
+    if use_ingest:
+        from repro.ingest import PriorityClass
+
+        # Static-code accounts for the backfill: static tokens have no
+        # replay nullification, so the same code can validate thousands of
+        # times without tripping failcounts (which would corrupt the
+        # lockout/availability invariants with self-inflicted denials).
+        resync_creds: List[Tuple[str, str]] = []
+        for i in range(config.backfill_users):
+            username = f"resync{i + 1}"
+            center.create_user(username, password=f"pw-{username}")
+            code = center.pair_training(username)
+            resync_creds.append((username, code))
+
+        def backfill(items: int) -> None:
+            requests = [
+                resync_creds[i % len(resync_creds)] for i in range(items)
+            ]
+            center.ingest_queue.submit_many(requests, priority=PriorityClass.BATCH)
+
     engine = ChaosEngine(
         plan,
         clock,
@@ -242,6 +339,8 @@ def run_chaos(
         storage=center.otp.db.engine,
         devices=devices,
         telemetry=center.telemetry,
+        ingest=center.ingest_queue,
+        backfill=backfill,
     )
     client = SSHClient(source_ip="198.51.100.9")
     farm = [server.address for server in center.radius_servers]
@@ -262,9 +361,11 @@ def run_chaos(
         healthy = any(
             not center.fabric.is_down(a) and not engine.impaired(a) for a in farm
         )
+        started = clock.now()
         result, conversation = client.connect(
             node, username, password=f"pw-{username}", token=token
         )
+        latency = clock.now() - started
         reasons = tuple(
             line for line in conversation.displayed if line != node.banner
         )
@@ -278,7 +379,13 @@ def run_chaos(
         )
         report.attempts.append(
             AttemptRecord(
-                index, username, expect_success, healthy, result.success, reasons
+                index,
+                username,
+                expect_success,
+                healthy,
+                result.success,
+                reasons,
+                latency=latency,
             )
         )
 
@@ -291,12 +398,23 @@ def run_chaos(
     scheduler = EventScheduler(clock=clock, seed=config.seed)
     engine.schedule_ticks(scheduler)
     base = clock.now()
+    pump_handle = None
+    if use_ingest:
+        # The queue's virtual-time drive: a repeating pump event draining
+        # at pump_items / pump_interval items per simulated second.
+        pump_handle = center.ingest_queue.attach(
+            scheduler,
+            interval=config.pump_interval,
+            items_per_pump=config.pump_items,
+        )
     for index in range(config.logins):
         scheduler.schedule_at(base + index * config.step_seconds, _login, index)
     try:
         scheduler.run_until(base + config.logins * config.step_seconds)
         engine.tick()  # close any windows that ended exactly at the horizon
     finally:
+        if pump_handle is not None:
+            pump_handle.cancel()
         engine.detach()
     report.event_lines = engine.event_log_lines()
     return report

@@ -37,3 +37,13 @@ class NotFoundError(ReproError):
 
 class ProtocolError(ReproError):
     """A wire-format or protocol-state violation (RADIUS, digest auth)."""
+
+
+class TransientBackendError(ReproError):
+    """A stage failure that is expected to clear on its own (a slow shard
+    coming back, a replica mid-promotion, a carrier hiccup).
+
+    The ingestion queue (:mod:`repro.ingest`) treats this — and only
+    this — as retryable: the work item is re-queued with exponential
+    backoff instead of failing the caller's ticket.
+    """

@@ -25,6 +25,8 @@ from repro.otpserver import (
     OTPServer,
     OTPServerConfig,
     SMSGateway,
+    SubmitAPI,
+    Ticket,
     TokenBackend,
     ValidateResult,
     ValidateStatus,
@@ -70,14 +72,18 @@ class UsernameResolvingBackend:
             return ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
         return self._otp.validate(uid, code)
 
-    def validate_many(self, requests: Sequence[Tuple]) -> List[ValidateResult]:
-        """Batch counterpart of :meth:`validate`, order-preserving.
+    def submit(self, request: Tuple) -> Ticket:
+        """One request as a ticket (resolved synchronously here)."""
+        return Ticket.completed(self.validate(*request))
+
+    def submit_many(self, requests: Sequence[Tuple]) -> List[Ticket]:
+        """Batch counterpart of :meth:`validate`, order-preserving tickets.
 
         Usernames resolve through LDAP up front; unknown ones answer "no
         token" without occupying a slot in the OTP server's batch, and
-        the rest ride its concurrent ``validate_many``.
+        the rest ride its concurrent :class:`~repro.otpserver.SubmitAPI`.
         """
-        results: List[Optional[ValidateResult]] = [None] * len(requests)
+        tickets: List[Optional[Ticket]] = [None] * len(requests)
         resolved_idx: List[int] = []
         resolved: List[Tuple] = []
         for i, request in enumerate(requests):
@@ -85,19 +91,32 @@ class UsernameResolvingBackend:
             try:
                 uid = self._identity.get(username).uid
             except NotFoundError:
-                results[i] = ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
+                tickets[i] = Ticket.completed(
+                    ValidateResult(ValidateStatus.NO_TOKEN, "unknown user")
+                )
                 continue
             resolved_idx.append(i)
             resolved.append((uid, *rest))
         if resolved:
-            batch = getattr(self._otp, "validate_many", None)
-            if callable(batch):
-                answers = batch(resolved)
+            if isinstance(self._otp, SubmitAPI):
+                answers = self._otp.submit_many(resolved)
             else:
-                answers = [self._otp.validate(*r) for r in resolved]
+                answers = [Ticket.completed(self._otp.validate(*r)) for r in resolved]
             for i, answer in zip(resolved_idx, answers):
-                results[i] = answer
-        return results
+                tickets[i] = answer
+        return tickets
+
+    def validate_many(self, requests: Sequence[Tuple]) -> List[ValidateResult]:
+        """Deprecated alias for :meth:`submit_many` + ``result()``."""
+        import warnings
+
+        warnings.warn(
+            "UsernameResolvingBackend.validate_many is deprecated; use "
+            "submit_many and Ticket.result() (the SubmitAPI protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [ticket.result() for ticket in self.submit_many(requests)]
 
 
 class HPCSystem:
@@ -250,6 +269,7 @@ class MFACenter:
         storage=None,
         radius_policy=None,
         radius_wait_clock: Optional[Clock] = None,
+        ingest=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
@@ -289,6 +309,23 @@ class MFACenter:
         self.radius_backend: TokenBackend = UsernameResolvingBackend(
             self.identity, self.otp
         )
+        # Optional admission control: ``ingest`` is None (off), True (queue
+        # with defaults), or a repro.ingest.IngestConfig.  When enabled the
+        # RADIUS farm talks to a QueuedBackend, so every validation goes
+        # through priority classes, backpressure, and SLA accounting.
+        self.ingest_queue = None
+        if ingest:
+            from repro.ingest import IngestConfig, IngestQueue, QueuedBackend
+
+            config = ingest if isinstance(ingest, IngestConfig) else None
+            self.ingest_queue = IngestQueue(
+                runner=self.radius_backend.validate,
+                config=config,
+                clock=self.clock,
+                telemetry=self.telemetry,
+            )
+            self.radius_backend = QueuedBackend(self.radius_backend, self.ingest_queue)
+            self.otp.attach_ingest(self.ingest_queue)
         self.radius_servers: List[RADIUSServer] = []
         for i in range(num_radius_servers):
             server = RADIUSServer(

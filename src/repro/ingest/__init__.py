@@ -1,0 +1,53 @@
+"""Priority-queued admission control in front of the authflow pipeline.
+
+The serving path used to admit all work — interactive logins, SMS
+dispatch, batch resyncs, admin sweeps — in arrival order.  This package
+adds the admission layer (ROADMAP item 2):
+
+* :mod:`repro.ingest.priority` — the five priority classes
+  (``critical``/``interactive``/``sms``/``admin``/``batch``), per-class
+  SLA windows, and the anti-starvation heap (age-based promotion capped
+  below ``interactive`` so backfills can never starve humans);
+* :mod:`repro.ingest.queue` — :class:`IngestQueue`, the bounded queue
+  with backpressure shedding, token-bucket throttle shedding (batch dies
+  before critical), retry-with-backoff on
+  :class:`~repro.common.errors.TransientBackendError`, and
+  depth/age/shed/SLA telemetry; plus :class:`QueuedBackend`, which
+  fronts any :class:`~repro.otpserver.results.TokenBackend` with a
+  queue.
+
+The same queue runs on real daemon threads (``start()``), on
+:class:`~repro.simcore.EventScheduler` virtual time (``attach()``), or
+inline (``Ticket.result()`` pumps), so live deployments and
+million-user simulations exercise identical admission logic.
+"""
+
+from repro.ingest.priority import (
+    CLASS_RANK,
+    DEFAULT_POLICIES,
+    SHED_ORDER,
+    ClassPolicy,
+    PriorityClass,
+    PriorityHeap,
+    WorkItem,
+)
+from repro.ingest.queue import (
+    IngestConfig,
+    IngestQueue,
+    QueuedBackend,
+    classify_request,
+)
+
+__all__ = [
+    "CLASS_RANK",
+    "DEFAULT_POLICIES",
+    "SHED_ORDER",
+    "ClassPolicy",
+    "PriorityClass",
+    "PriorityHeap",
+    "WorkItem",
+    "IngestConfig",
+    "IngestQueue",
+    "QueuedBackend",
+    "classify_request",
+]

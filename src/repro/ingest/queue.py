@@ -1,0 +1,610 @@
+"""The priority ingestion queue fronting the authflow pipeline.
+
+:class:`IngestQueue` sits between submitters (RADIUS batch drains, the
+SMS dispatcher, resync backfills, admin sweeps) and a runner — any
+``fn(*request) -> ValidateResult``, typically
+``UsernameResolvingBackend.validate`` or ``AuthPipeline.run``.  It
+implements the :class:`~repro.otpserver.results.SubmitAPI` protocol:
+``submit`` returns a live :class:`~repro.otpserver.results.Ticket` that
+resolves when the item is serviced.
+
+Admission, in order:
+
+1. **Throttle shed** — when a :class:`~repro.policy.TokenBucketLimiter`
+   is attached, every submission drains the shared bucket; once it runs
+   dry, sheddable classes (``batch``, ``admin`` by default) are rejected
+   on the spot while ``critical``/``interactive``/``sms`` still enter.
+   That is the "overload sheds batch before critical" contract.
+2. **Backpressure shed** — at ``max_depth``, an arrival outranking the
+   worst queued class evicts one item from that class (its ticket
+   resolves REJECT with a ``shed:`` reason); otherwise the arrival
+   itself is rejected.
+
+Service can be driven three ways, all sharing the same admission logic:
+
+* ``start(workers=n)`` — real daemon threads, for live deployments;
+* ``attach(scheduler)`` — a repeating pump event on a
+  :class:`~repro.simcore.EventScheduler`, for virtual-time simulation
+  (drain rate = ``items_per_pump / interval``);
+* inline — ``Ticket.result()`` pumps the queue itself when no workers
+  are running, so single-call sites need no ceremony.
+
+Transient failures (:class:`~repro.common.errors.TransientBackendError`)
+requeue with exponential backoff up to the class's ``max_retries``; any
+other exception resolves the ticket REJECT rather than killing a worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.clock import Clock, WallClock
+from repro.common.errors import TransientBackendError
+from repro.ingest.priority import (
+    CLASS_RANK,
+    ClassPolicy,
+    PriorityClass,
+    PriorityHeap,
+    WorkItem,
+)
+from repro.otpserver.results import Ticket, ValidateResult, ValidateStatus
+
+__all__ = ["IngestConfig", "IngestQueue", "QueuedBackend", "classify_request"]
+
+
+def classify_request(request: Sequence) -> PriorityClass:
+    """Default classifier: a null code is the SMS challenge trigger,
+    anything else is a human waiting at a prompt."""
+    code = request[1] if len(request) > 1 else None
+    return PriorityClass.SMS if not code else PriorityClass.INTERACTIVE
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Shape of one admission queue.
+
+    ``admission_rate``/``admission_burst`` build a private
+    :class:`~repro.policy.TokenBucketLimiter` on the queue's clock when no
+    limiter is injected (``None`` = no throttle shedding).
+    ``service_cost_seconds`` charges the clock per serviced item — zero
+    for live threads (the runner's real work is the cost), a small value
+    under virtual time so queue delay becomes measurable in simulated
+    seconds.  ``retry_base_delay`` doubles per attempt up to
+    ``retry_max_delay``.
+    """
+
+    max_depth: int = 1024
+    shed_classes: Tuple[PriorityClass, ...] = (
+        PriorityClass.BATCH,
+        PriorityClass.ADMIN,
+    )
+    admission_rate: Optional[float] = None
+    admission_burst: float = 100.0
+    retry_base_delay: float = 0.5
+    retry_max_delay: float = 30.0
+    service_cost_seconds: float = 0.0
+    policies: Optional[Mapping[PriorityClass, ClassPolicy]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise ValueError("admission_rate must be > 0 when set")
+        if self.retry_base_delay <= 0 or self.retry_max_delay < self.retry_base_delay:
+            raise ValueError("need 0 < retry_base_delay <= retry_max_delay")
+        if self.service_cost_seconds < 0:
+            raise ValueError("service_cost_seconds must be >= 0")
+
+
+@dataclass
+class _ClassStats:
+    """Mutable per-class counters, guarded by the queue lock."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    retries: int = 0
+    errors: int = 0
+    sla_hits: int = 0
+    sla_misses: int = 0
+    wait_total: float = 0.0
+    wait_max: float = 0.0
+
+    def observe_wait(self, waited: float, sla: float) -> None:
+        self.wait_total += waited
+        self.wait_max = max(self.wait_max, waited)
+        if waited <= sla:
+            self.sla_hits += 1
+        else:
+            self.sla_misses += 1
+
+
+class IngestQueue:
+    """Priority-queued admission control in front of a validation runner."""
+
+    def __init__(
+        self,
+        runner: Callable[..., ValidateResult],
+        config: Optional[IngestConfig] = None,
+        clock: Optional[Clock] = None,
+        limiter=None,
+        telemetry=None,
+    ) -> None:
+        self._runner = runner
+        self.config = config or IngestConfig()
+        self._clock = clock or WallClock()
+        if limiter is None and self.config.admission_rate is not None:
+            from repro.policy import RateLimitConfig, TokenBucketLimiter
+
+            limiter = TokenBucketLimiter(
+                RateLimitConfig(
+                    rate=self.config.admission_rate,
+                    burst=self.config.admission_burst,
+                ),
+                clock=self._clock,
+            )
+        self._limiter = limiter
+        self._shed_ranks = {CLASS_RANK[cls] for cls in self.config.shed_classes}
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._heap = PriorityHeap(self.config.policies)
+        self._seq = 0
+        self._stats: Dict[PriorityClass, _ClassStats] = {
+            cls: _ClassStats() for cls in PriorityClass
+        }
+        self._workers: List[threading.Thread] = []
+        self._running = False
+        self._pumping = False
+        self._closed = False
+
+        from repro.telemetry import NOOP_REGISTRY
+
+        if telemetry is None:
+            telemetry = NOOP_REGISTRY
+        # The admission path runs per datagram; skip even no-op metric
+        # dispatch when nobody is collecting.
+        self._metered = telemetry is not NOOP_REGISTRY
+        self._g_depth = telemetry.gauge(
+            "ingest_depth", "queued items by priority class"
+        )
+        self._m_submitted = telemetry.counter(
+            "ingest_submitted_total", "admitted submissions by class"
+        )
+        self._m_shed = telemetry.counter(
+            "ingest_shed_total", "items shed by class and cause"
+        )
+        self._m_retries = telemetry.counter(
+            "ingest_retries_total", "transient-failure requeues by class"
+        )
+        self._m_completed = telemetry.counter(
+            "ingest_completed_total", "serviced items by class"
+        )
+        self._m_wait = telemetry.histogram(
+            "ingest_wait_seconds", "queue wait from admission to service"
+        )
+        self._m_sla = telemetry.counter(
+            "ingest_sla_total", "SLA window hits/misses by class"
+        )
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, request: Sequence) -> Ticket:
+        """SubmitAPI entry point: classify and enqueue one request."""
+        return self.submit_item(request)
+
+    def submit_many(
+        self,
+        requests: Sequence[Sequence],
+        priority: Optional[PriorityClass] = None,
+    ) -> List[Ticket]:
+        """One live ticket per request, input order preserved."""
+        return [self.submit_item(tuple(r), priority) for r in requests]
+
+    def validate_many(self, requests: Sequence[Sequence]) -> List[ValidateResult]:
+        """Deprecated alias for :meth:`submit_many` + ``result()``."""
+        import warnings
+
+        warnings.warn(
+            "IngestQueue.validate_many is deprecated; use submit_many and "
+            "Ticket.result() (the SubmitAPI protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [ticket.result() for ticket in self.submit_many(requests)]
+
+    def submit_item(
+        self, request: Tuple, priority: Optional[PriorityClass] = None
+    ) -> Ticket:
+        """Enqueue with an explicit class (``None`` = classify by shape)."""
+        if type(request) is not tuple:
+            request = tuple(request)
+        cls = priority or classify_request(request)
+        ticket = Ticket(drain=self._drain_for_ticket)
+        with self._lock:
+            if self._closed:
+                self._resolve_shed(ticket, cls, "queue closed", "closed", arrival=True)
+                return ticket
+            now = self._clock.now()
+            if not self._admit_throttle(cls, now):
+                self._resolve_shed(
+                    ticket, cls, f"admission throttled ({cls.value})", "throttle",
+                    arrival=True,
+                )
+                return ticket
+            if len(self._heap) >= self.config.max_depth and not self._evict_for(cls):
+                self._resolve_shed(
+                    ticket, cls, f"queue full ({cls.value} rejected)", "backpressure",
+                    arrival=True,
+                )
+                return ticket
+            self._seq += 1
+            item = WorkItem(
+                seq=self._seq,
+                priority=cls,
+                request=request,
+                ticket=ticket,
+                enqueued_at=now,
+            )
+            self._heap.push(item)
+            self._stats[cls].submitted += 1
+            if self._metered:
+                self._m_submitted.inc(priority=cls.value)
+                self._g_depth.set(self._heap.depth(cls), priority=cls.value)
+            if self._running:
+                self._work.notify()
+        return ticket
+
+    def _admit_throttle(self, cls: PriorityClass, now: float) -> bool:
+        """Drain the shared bucket; refuse only sheddable classes on empty."""
+        if self._limiter is None:
+            return True
+        allowed = self._limiter.allow("ingest", now=now)
+        return allowed or CLASS_RANK[cls] not in self._shed_ranks
+
+    def _evict_for(self, incoming: PriorityClass) -> bool:
+        """Backpressure: make room by shedding strictly worse-ranked work."""
+        victim_cls = self._heap.shed_candidate()
+        if victim_cls is None or CLASS_RANK[victim_cls] <= CLASS_RANK[incoming]:
+            return False
+        victim = self._heap.shed()
+        assert victim is not None
+        self._resolve_shed(
+            victim.ticket,
+            victim.priority,
+            f"evicted for {incoming.value} under backpressure",
+            "backpressure",
+        )
+        if self._metered:
+            self._g_depth.set(
+                self._heap.depth(victim.priority), priority=victim.priority.value
+            )
+        return True
+
+    def _resolve_shed(
+        self,
+        ticket: Ticket,
+        cls: PriorityClass,
+        detail: str,
+        cause: str,
+        arrival: bool = False,
+    ) -> None:
+        """Fail one ticket with a shed reason.  ``arrival`` marks items
+        refused at the door (they still count as submitted traffic so
+        shed-rate math has a denominator); evicted items were already
+        counted when admitted."""
+        stats = self._stats[cls]
+        stats.shed += 1
+        if arrival:
+            stats.submitted += 1
+            if cause == "backpressure":
+                stats.rejected += 1
+        if self._metered:
+            self._m_shed.inc(priority=cls.value, cause=cause)
+        ticket.resolve(ValidateResult(ValidateStatus.REJECT, reason=f"shed: {detail}"))
+
+    # -- service -------------------------------------------------------------
+
+    def _service(self, item: WorkItem) -> None:
+        """Run one item to resolution (or back into the queue on backoff).
+
+        Called outside the lock — the runner does real validation work.
+        """
+        now = self._clock.now()
+        policy = self._heap.policy_for(item.priority)
+        waited = max(0.0, now - item.enqueued_at)
+        stats = self._stats[item.priority]
+        if self._metered:
+            self._m_wait.observe(waited, priority=item.priority.value)
+            self._m_sla.inc(
+                priority=item.priority.value,
+                outcome="hit" if waited <= policy.sla_seconds else "miss",
+            )
+        if self.config.service_cost_seconds > 0:
+            self._clock.sleep(self.config.service_cost_seconds)
+        errored = False
+        try:
+            result = self._runner(*item.request)
+        except TransientBackendError as exc:
+            item.attempts += 1
+            if item.attempts <= policy.max_retries:
+                delay = min(
+                    self.config.retry_max_delay,
+                    self.config.retry_base_delay * (2 ** (item.attempts - 1)),
+                )
+                with self._lock:
+                    stats.observe_wait(waited, policy.sla_seconds)
+                    item.ready_at = self._clock.now() + delay
+                    self._heap.push(item)
+                    stats.retries += 1
+                    if self._metered:
+                        self._m_retries.inc(priority=item.priority.value)
+                        self._g_depth.set(
+                            self._heap.depth(item.priority),
+                            priority=item.priority.value,
+                        )
+                    self._work.notify()
+                return
+            result = ValidateResult(
+                ValidateStatus.REJECT,
+                reason=(
+                    f"backend unavailable after {item.attempts} attempts: {exc}"
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 — a worker must survive runner bugs
+            errored = True
+            result = ValidateResult(
+                ValidateStatus.REJECT, reason=f"backend error: {exc}"
+            )
+        with self._lock:
+            stats.observe_wait(waited, policy.sla_seconds)
+            stats.completed += 1
+            if errored:
+                stats.errors += 1
+        if self._metered:
+            self._m_completed.inc(priority=item.priority.value)
+        item.ticket.resolve(result)
+
+    def _pop(self) -> Optional[WorkItem]:
+        with self._lock:
+            item = self._heap.pop(self._clock.now())
+            if item is not None and self._metered:
+                self._g_depth.set(
+                    self._heap.depth(item.priority), priority=item.priority.value
+                )
+            return item
+
+    def pump(self, max_items: Optional[int] = None) -> int:
+        """Service ready items inline on the caller's thread.
+
+        The virtual-time drive: a scheduler event (or a test) calls this;
+        ``max_items`` bounds one pump so a scheduled drain has a rate
+        (``items_per_pump / interval``) instead of finishing a 10k
+        backfill in zero simulated seconds.
+        """
+        serviced = 0
+        while max_items is None or serviced < max_items:
+            item = self._pop()
+            if item is None:
+                break
+            self._service(item)
+            serviced += 1
+        return serviced
+
+    def _drain_for_ticket(self, ticket: Ticket) -> None:
+        """Inline drive for ``Ticket.result()`` when nothing else drains.
+
+        Pumps until the ticket resolves, advancing past retry backoffs on
+        the queue's own clock (virtual clocks jump; a wall clock really
+        waits, which is what a backoff means in live mode).  With workers
+        or an attached scheduler the ticket resolves without help, so
+        this stays a no-op.
+        """
+        with self._lock:
+            if self._running or self._pumping:
+                return
+            self._pumping = True
+        try:
+            while not ticket.done():
+                item = self._pop()
+                if item is not None:
+                    self._service(item)
+                    continue
+                with self._lock:
+                    next_ready = self._heap.next_ready()
+                if next_ready is None:
+                    break  # ticket must already be resolved (shed) or lost
+                delay = next_ready - self._clock.now()
+                if delay > 0:
+                    self._clock.sleep(delay)
+        finally:
+            with self._lock:
+                self._pumping = False
+
+    # -- drives --------------------------------------------------------------
+
+    def start(self, workers: int = 2) -> None:
+        """Spawn daemon worker threads (live mode).  Idempotent."""
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+        for i in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"ingest-{i}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                if not self._running:
+                    return
+                item = self._heap.pop(self._clock.now())
+                if item is None:
+                    next_ready = self._heap.next_ready()
+                    timeout = 0.05
+                    if next_ready is not None:
+                        timeout = min(
+                            timeout, max(0.0, next_ready - self._clock.now())
+                        )
+                    self._work.wait(timeout=max(timeout, 0.001))
+                    continue
+                if self._metered:
+                    self._g_depth.set(
+                        self._heap.depth(item.priority), priority=item.priority.value
+                    )
+            self._service(item)
+
+    def stop(self) -> None:
+        """Stop worker threads; queued items stay queued."""
+        with self._lock:
+            self._running = False
+            self._work.notify_all()
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        self._workers.clear()
+
+    def attach(self, scheduler, interval: float = 0.5, items_per_pump: int = 50):
+        """Drive the queue from a :class:`~repro.simcore.EventScheduler`.
+
+        Returns the repeating event's handle so callers can cancel.  The
+        drain rate is deliberate — ``items_per_pump / interval`` items per
+        simulated second — because a backfill that drains in zero virtual
+        time proves nothing about SLA isolation.
+        """
+        if interval <= 0 or items_per_pump < 1:
+            raise ValueError("need interval > 0 and items_per_pump >= 1")
+        return scheduler.schedule_repeating(
+            interval, lambda: self.pump(max_items=items_per_pump)
+        )
+
+    def close(self) -> None:
+        """Stop workers and fail everything still queued (shed: closed)."""
+        self.stop()
+        with self._lock:
+            self._closed = True
+            leftovers = self._heap.drain()
+            for item in leftovers:
+                self._stats[item.priority].shed += 1
+                self._m_shed.inc(priority=item.priority.value, cause="closed")
+        for item in leftovers:
+            item.ticket.resolve(
+                ValidateResult(ValidateStatus.REJECT, reason="shed: queue closed")
+            )
+
+    # -- observability -------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Operator view: per-class depth/age/SLA plus queue-wide totals.
+
+        Shape mirrors ``/admin/policy`` and ``/admin/storage``: plain
+        JSON-serializable scalars, stable keys.
+        """
+        with self._lock:
+            now = self._clock.now()
+            classes: Dict[str, object] = {}
+            totals = _ClassStats()
+            for cls in self._heap.classes():
+                s = self._stats[cls]
+                serviced = s.sla_hits + s.sla_misses
+                classes[cls.value] = {
+                    "rank": CLASS_RANK[cls],
+                    "depth": self._heap.depth(cls),
+                    "oldest_age_seconds": round(self._heap.oldest_age(cls, now), 6),
+                    "sla_seconds": self._heap.policy_for(cls).sla_seconds,
+                    "submitted": s.submitted,
+                    "completed": s.completed,
+                    "shed": s.shed,
+                    "rejected": s.rejected,
+                    "retries": s.retries,
+                    "errors": s.errors,
+                    "sla_hit_rate": (
+                        round(s.sla_hits / serviced, 6) if serviced else None
+                    ),
+                    "mean_wait_seconds": (
+                        round(s.wait_total / serviced, 6) if serviced else None
+                    ),
+                    "max_wait_seconds": round(s.wait_max, 6),
+                }
+                totals.submitted += s.submitted
+                totals.completed += s.completed
+                totals.shed += s.shed
+                totals.rejected += s.rejected
+                totals.retries += s.retries
+                totals.errors += s.errors
+                totals.sla_hits += s.sla_hits
+                totals.sla_misses += s.sla_misses
+            serviced = totals.sla_hits + totals.sla_misses
+            snap: Dict[str, object] = {
+                "configured": True,
+                "running_workers": len(self._workers) if self._running else 0,
+                "max_depth": self.config.max_depth,
+                "depth": len(self._heap),
+                "shed_classes": [cls.value for cls in self.config.shed_classes],
+                "classes": classes,
+                "submitted_total": totals.submitted,
+                "completed_total": totals.completed,
+                "shed_total": totals.shed,
+                "rejected_total": totals.rejected,
+                "retry_total": totals.retries,
+                "error_total": totals.errors,
+                "sla_hit_rate": (
+                    round(totals.sla_hits / serviced, 6) if serviced else None
+                ),
+            }
+            if self._limiter is not None:
+                snap["admission"] = {
+                    "tokens_available": round(
+                        self._limiter.tokens_available("ingest", now=now), 3
+                    ),
+                    "rate": self._limiter.config.rate,
+                    "burst": self._limiter.config.burst,
+                }
+            return snap
+
+
+class QueuedBackend:
+    """A :class:`TokenBackend` + :class:`SubmitAPI` that fronts another
+    backend with an :class:`IngestQueue`.
+
+    ``validate`` (the synchronous seam RADIUS servers call per datagram)
+    submits and waits — under virtual time the ticket's inline pump
+    drains the queue, so single logins still resolve in the same event.
+    """
+
+    def __init__(self, inner, queue: IngestQueue) -> None:
+        self._inner = inner
+        self.queue = queue
+
+    def validate(self, user_id, code, source=None) -> ValidateResult:
+        request = (user_id, code) if source is None else (user_id, code, source)
+        return self.submit(request).result()
+
+    def submit(self, request: Sequence) -> Ticket:
+        return self.queue.submit(request)
+
+    def submit_many(
+        self,
+        requests: Sequence[Sequence],
+        priority: Optional[PriorityClass] = None,
+    ) -> List[Ticket]:
+        return self.queue.submit_many(requests, priority)
+
+    def validate_many(self, requests: Sequence[Sequence]) -> List[ValidateResult]:
+        return self.queue.validate_many(requests)
+
+    def __getattr__(self, name):
+        # Administrative surface (enroll, pairing queries, audit) passes
+        # through to the wrapped backend untouched.
+        return getattr(self._inner, name)

@@ -19,7 +19,13 @@ Subsystems:
 """
 
 from repro.otpserver.database import Database, Table
-from repro.otpserver.results import TokenBackend, ValidateResult, ValidateStatus
+from repro.otpserver.results import (
+    SubmitAPI,
+    Ticket,
+    TokenBackend,
+    ValidateResult,
+    ValidateStatus,
+)
 from repro.otpserver.server import OTPServer, OTPServerConfig
 from repro.otpserver.sms_gateway import SMSGateway, SMSPricing
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
@@ -29,6 +35,8 @@ __all__ = [
     "Table",
     "OTPServer",
     "OTPServerConfig",
+    "SubmitAPI",
+    "Ticket",
     "TokenBackend",
     "ValidateResult",
     "ValidateStatus",

@@ -53,6 +53,7 @@ class AdminAPI:
             ("GET", "/admin/show"): self._handle_show,
             ("GET", "/admin/storage"): self._handle_storage,
             ("GET", "/admin/policy"): self._handle_policy,
+            ("GET", "/admin/queue"): self._handle_queue,
             ("POST", "/validate/check"): self._handle_validate,
         }
         self.request_count = 0
@@ -141,6 +142,11 @@ class AdminAPI:
     def _handle_policy(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """The active policy: ladder mode, exemptions, lockout, rate limits."""
         return self.server.policy_snapshot()
+
+    def _handle_queue(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Admission-queue stats: per-class depth/age, shed/retry counters,
+        SLA hit-rates (``{"configured": false}`` without an ingest queue)."""
+        return self.server.queue_snapshot()
 
     def _handle_validate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         result = self.server.validate(

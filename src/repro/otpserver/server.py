@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -41,7 +42,7 @@ from repro.crypto.secrets import SecretSealer, generate_secret
 from repro.crypto.totp import TOTPValidator
 from repro.otpserver.audit import AuditLog
 from repro.otpserver.database import Database
-from repro.otpserver.results import TokenBackend, ValidateResult, ValidateStatus
+from repro.otpserver.results import Ticket, TokenBackend, ValidateResult, ValidateStatus
 from repro.otpserver.sms_gateway import SMSGateway
 from repro.otpserver.tokens import HardTokenBatch, TokenRecord, TokenType
 from repro.policy import LockoutPolicy, PolicyEngine
@@ -386,17 +387,36 @@ class OTPServer:
             self._g_audit_size.set(len(self.audit))
             return result
 
-    def validate_many(self, requests: Sequence[Tuple]) -> List[ValidateResult]:
-        """Batch ``validate``: one result per request, in input order.
+    # -- SubmitAPI -----------------------------------------------------------
+
+    def submit(self, request: Tuple) -> Ticket:
+        """One validation as a :class:`Ticket` (already resolved — the
+        server itself is synchronous; front it with an ingestion queue for
+        deferred admission)."""
+        return Ticket.completed(self.validate(*request))
+
+    def submit_many(self, requests: Sequence[Tuple]) -> List[Ticket]:
+        """Batch ``validate``: one ticket per request, in input order.
 
         Each request is ``(user_id, code)`` or ``(user_id, code, source)``.
         Distinct users run concurrently on the pipeline's worker pool
         (per-user striped locks keep same-user attempts serialized), so a
         RADIUS server draining a burst overlaps the storage round trips.
         """
-        return self._pipeline.map_batch(
+        results = self._pipeline.map_batch(
             lambda request: self.validate(*request), list(requests)
         )
+        return [Ticket.completed(result) for result in results]
+
+    def validate_many(self, requests: Sequence[Tuple]) -> List[ValidateResult]:
+        """Deprecated alias for :meth:`submit_many` + ``result()``."""
+        warnings.warn(
+            "OTPServer.validate_many is deprecated; use submit_many and "
+            "Ticket.result() (the SubmitAPI protocol)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [ticket.result() for ticket in self.submit_many(requests)]
 
     def policy_snapshot(self) -> Dict[str, object]:
         """The active policy plus pipeline concurrency, for operators."""
@@ -406,6 +426,21 @@ class OTPServer:
             "batch_workers": self._pipeline.concurrency.batch_workers,
         }
         return snap
+
+    # -- ingestion queue (admission control) ---------------------------------
+
+    def attach_ingest(self, queue) -> None:
+        """Register the deployment's ingestion queue so the admin surface
+        (``GET /admin/queue``, ``python -m repro queue``) can report it."""
+        self._ingest = queue
+
+    def queue_snapshot(self) -> Dict[str, object]:
+        """Admission-queue stats for operators, or a stub when no queue
+        fronts this deployment (mirrors ``policy_snapshot`` conventions)."""
+        queue = getattr(self, "_ingest", None)
+        if queue is None:
+            return {"configured": False}
+        return queue.snapshot()
 
     # -- admin operations (the built-in web UI, Section 3.1) -----------------
 

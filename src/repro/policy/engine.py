@@ -229,6 +229,14 @@ class PolicyEngine:
         self.lockout = lockout or LockoutPolicy()
         if isinstance(rate_limit, RateLimitConfig):
             rate_limit = TokenBucketLimiter(rate_limit, clock=self.clock)
+        elif (
+            isinstance(rate_limit, TokenBucketLimiter)
+            and not rate_limit.clock_injected
+        ):
+            # A ready limiter left on the implicit wall clock would refill
+            # against real time while the engine evaluates in virtual
+            # time; adopt it onto the engine's clock so both tick together.
+            rate_limit.bind_clock(self.clock)
         self.admission: Optional[TokenBucketLimiter] = rate_limit
         if telemetry is None:
             from repro.telemetry import NOOP_REGISTRY
@@ -240,11 +248,16 @@ class PolicyEngine:
 
     # -- individual rule surfaces -------------------------------------------
 
-    def admit(self, source: str) -> bool:
-        """Admission control: may ``source`` spend a validation attempt?"""
+    def admit(self, source: str, now: Optional[float] = None) -> bool:
+        """Admission control: may ``source`` spend a validation attempt?
+
+        ``now`` keeps the bucket refill on the same timestamp the caller
+        is evaluating at (``evaluate`` threads its own reading through),
+        so virtual-time runs never fall back to a second clock read.
+        """
         if self.admission is None or not source:
             return True
-        return self.admission.allow(source)
+        return self.admission.allow(source, now=now)
 
     def is_exempt(self, username: str, source_ip: str) -> bool:
         """Figure 1's "MFA Exemption Granted?" (default deny)."""
@@ -265,12 +278,14 @@ class PolicyEngine:
         """
         timestamp = self.clock.now() if now is None else now
         moment = datetime.fromtimestamp(timestamp, tz=timezone.utc)
-        decision = self._evaluate(request, moment)
+        decision = self._evaluate(request, moment, timestamp)
         self._m_decisions.inc(action=decision.action.value)
         return decision
 
-    def _evaluate(self, request: AuthRequest, moment: datetime) -> Decision:
-        if not self.admit(request.source_ip):
+    def _evaluate(
+        self, request: AuthRequest, moment: datetime, timestamp: float
+    ) -> Decision:
+        if not self.admit(request.source_ip, now=timestamp):
             return Decision(
                 PolicyAction.THROTTLE,
                 f"rate limit exceeded for source {request.source_ip}",

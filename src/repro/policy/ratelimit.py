@@ -46,11 +46,28 @@ class TokenBucketLimiter:
         clock: Optional[Clock] = None,
     ) -> None:
         self.config = config or RateLimitConfig()
+        #: True when the caller injected a clock; a limiter left on the
+        #: implicit wall clock gets rebound by any PolicyEngine that
+        #: adopts it, so engine and limiter can never time-travel apart.
+        self.clock_injected = clock is not None
         self._clock = clock or SystemClock()
         # source -> (tokens, last refill timestamp)
         self._buckets: Dict[str, Tuple[float, float]] = {}
         self._lock = threading.Lock()
         self.throttled_total = 0
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Adopt ``clock`` as the refill time source.
+
+        Only meaningful before traffic flows: buckets already refilled
+        against the old clock keep their ``last`` timestamps, so rebinding
+        across epochs (wall time → a virtual 2016 epoch) should happen at
+        construction/wiring time, which is when
+        :class:`~repro.policy.PolicyEngine` calls this.
+        """
+        with self._lock:
+            self._clock = clock
+            self.clock_injected = True
 
     def _refilled(self, source: str, now: float) -> float:
         tokens, last = self._buckets.get(source, (self.config.burst, now))
@@ -58,13 +75,17 @@ class TokenBucketLimiter:
             tokens = min(self.config.burst, tokens + (now - last) * self.config.rate)
         return tokens
 
-    def allow(self, source: str, cost: float = 1.0) -> bool:
+    def allow(self, source: str, cost: float = 1.0, now: Optional[float] = None) -> bool:
         """Admit one request from ``source``, draining ``cost`` tokens.
 
         Refusals do not drain the bucket: a throttled source recovers at
-        the refill rate, not slower the harder it hammers.
+        the refill rate, not slower the harder it hammers.  ``now`` lets a
+        caller that already read its clock (the policy engine's
+        ``evaluate(..., now=)`` path) keep refill accounting on that same
+        timestamp instead of a second — possibly different — clock read.
         """
-        now = self._clock.now()
+        if now is None:
+            now = self._clock.now()
         with self._lock:
             tokens = self._refilled(source, now)
             if tokens < cost:
@@ -74,10 +95,10 @@ class TokenBucketLimiter:
             self._buckets[source] = (tokens - cost, now)
             return True
 
-    def tokens_available(self, source: str) -> float:
+    def tokens_available(self, source: str, now: Optional[float] = None) -> float:
         """Current bucket level for ``source`` (full for unseen sources)."""
         with self._lock:
-            return self._refilled(source, self._clock.now())
+            return self._refilled(source, self._clock.now() if now is None else now)
 
     def snapshot(self) -> dict:
         """Operator view: configuration plus aggregate counters."""

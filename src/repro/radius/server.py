@@ -14,7 +14,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
-from repro.otpserver import TokenBackend, ValidateStatus
+from repro.otpserver import SubmitAPI, TokenBackend, ValidateStatus
 from repro.radius.dictionary import Attr, PacketCode
 from repro.radius.packet import (
     RADIUSPacket,
@@ -141,11 +141,12 @@ class RADIUSServer:
 
         Each datagram goes through the same gauntlet as
         :meth:`handle_datagram` — secret check, decode, dup cache — but the
-        surviving Access-Requests are validated together through the back
-        end's ``validate_many`` (when it offers one), so a burst of logins
-        rides the OTP pipeline's striped locks instead of serialising.
-        Responses come back positionally: ``None`` where the datagram was
-        silently dropped.
+        surviving Access-Requests are submitted together through the back
+        end's :class:`~repro.otpserver.SubmitAPI` (when it implements the
+        protocol), so a burst of logins rides the OTP pipeline's striped
+        locks — or the ingestion queue's admission ordering — instead of
+        serialising.  Responses come back positionally: ``None`` where
+        the datagram was silently dropped.
         """
         with self._tracer.span(
             "radius.server.batch", server=self.name, size=len(datagrams)
@@ -203,9 +204,9 @@ class RADIUSServer:
                 pending.append((i, request, secret, cache_key))
                 to_validate.append((username, code if code else None))
             if pending:
-                batch = getattr(self._backend, "validate_many", None)
-                if callable(batch) and len(to_validate) > 1:
-                    results = list(batch(to_validate))
+                if isinstance(self._backend, SubmitAPI) and len(to_validate) > 1:
+                    tickets = self._backend.submit_many(to_validate)
+                    results = [ticket.result() for ticket in tickets]
                 else:
                     results = [
                         self._backend.validate(user, code)

@@ -112,7 +112,12 @@ class TestStageTelemetry:
         assert counter.value(action="challenge") == 1
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestValidateMany:
+    """The deprecated wrapper must keep its exact legacy behaviour
+    (ordering, threading, telemetry) while it delegates to submit_many;
+    tests/ingest/test_submit_api.py covers the replacement surface."""
+
     def test_results_positional_and_correct(self, clock):
         server = make_server(clock)
         for i in range(6):

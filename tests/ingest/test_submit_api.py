@@ -1,0 +1,179 @@
+"""SubmitAPI conformance: every batch-capable seam speaks the protocol.
+
+The redesign replaced ``getattr(backend, "validate_many", None)`` duck
+typing with one formal contract (``submit``/``submit_many`` returning
+:class:`Ticket`).  These tests pin the protocol surface: conformance by
+``isinstance``, ticket semantics, and the deprecation path for the old
+``validate_many`` spelling.
+"""
+
+import random
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.core import MFACenter
+from repro.ingest import IngestQueue, QueuedBackend
+from repro.otpserver import OTPServer, SubmitAPI, Ticket
+from repro.otpserver.results import ValidateResult, ValidateStatus
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock.at("2016-10-05T09:00:00")
+
+
+@pytest.fixture
+def otp(clock):
+    server = OTPServer(clock=clock, rng=random.Random(1))
+    for i in range(3):
+        server.enroll_static(f"user{i}", "424242")
+    return server
+
+
+@pytest.fixture
+def center(clock):
+    center = MFACenter(clock=clock, rng=random.Random(2))
+    center.add_system("stampede", mode="full")
+    return center
+
+
+class TestTicket:
+    def test_completed_is_done_immediately(self):
+        ticket = Ticket.completed("value")
+        assert ticket.done()
+        assert ticket.result() == "value"
+        assert ticket.result(timeout=0.0) == "value"  # idempotent
+
+    def test_resolve_then_result(self):
+        ticket = Ticket()
+        assert not ticket.done()
+        ticket.resolve(41 + 1)
+        assert ticket.result() == 42
+
+    def test_unresolved_result_times_out(self):
+        with pytest.raises(TimeoutError):
+            Ticket().result(timeout=0.01)
+
+    def test_drain_hook_pumps_on_result(self):
+        ticket = Ticket(drain=lambda t: t.resolve("pumped"))
+        assert ticket.result(timeout=0.1) == "pumped"
+
+
+class TestConformance:
+    def test_all_batch_seams_satisfy_protocol(self, clock, otp, center):
+        queue = IngestQueue(otp.validate, clock=clock)
+        implementations = {
+            "OTPServer": otp,
+            "AuthPipeline": otp.pipeline,
+            "UsernameResolvingBackend": center.radius_backend,
+            "IngestQueue": queue,
+            "QueuedBackend": QueuedBackend(otp, queue),
+        }
+        for name, impl in implementations.items():
+            assert isinstance(impl, SubmitAPI), f"{name} lost SubmitAPI"
+
+    def test_plain_validate_only_backend_is_not_submitapi(self):
+        class Legacy:
+            def validate(self, user, code):
+                return ValidateResult(ValidateStatus.OK)
+
+        assert not isinstance(Legacy(), SubmitAPI)
+
+
+class TestOTPServer:
+    def test_submit_returns_resolved_ticket(self, otp):
+        ticket = otp.submit(("user0", "424242"))
+        assert ticket.done()
+        assert ticket.result().ok
+
+    def test_submit_many_order_and_results(self, otp):
+        tickets = otp.submit_many(
+            [("user0", "424242"), ("user1", "000000"), ("user2", "424242")]
+        )
+        outcomes = [t.result().ok for t in tickets]
+        assert outcomes == [True, False, True]
+
+    def test_validate_many_warns_but_matches(self, otp):
+        requests = [("user0", "424242"), ("user1", "424242")]
+        with pytest.deprecated_call():
+            old = otp.validate_many(requests)
+        new = [t.result() for t in otp.submit_many(requests)]
+        assert [r.status for r in old] == [r.status for r in new]
+
+
+class TestAuthPipeline:
+    def test_submit_matches_run(self, otp):
+        pipeline = otp.pipeline
+        via_run = pipeline.run("user0", "424242")
+        via_submit = pipeline.submit(("user0", "424242")).result()
+        assert via_submit.status == via_run.status
+
+    def test_validate_many_deprecated(self, otp):
+        with pytest.deprecated_call():
+            results = otp.pipeline.validate_many([("user0", "424242")])
+        assert results[0].ok
+
+
+class TestUsernameResolvingBackend:
+    def enroll(self, center, username):
+        center.create_user(username, password="pw")
+        return center.pair_training(username)
+
+    def test_submit_many_resolves_usernames(self, center):
+        code = self.enroll(center, "alice")
+        tickets = center.radius_backend.submit_many(
+            [("alice", code), ("alice", "999999")]
+        )
+        assert tickets[0].result().ok
+        assert not tickets[1].result().ok
+
+    def test_unknown_user_rejected_without_backend_call(self, center):
+        (ticket,) = center.radius_backend.submit_many([("ghost", "424242")])
+        assert ticket.done()
+        assert not ticket.result().ok
+
+    def test_validate_many_deprecated(self, center):
+        code = self.enroll(center, "bob")
+        with pytest.deprecated_call():
+            results = center.radius_backend.validate_many([("bob", code)])
+        assert results[0].ok
+
+
+class TestIngestDeployment:
+    def test_center_with_ingest_wraps_backend(self, clock):
+        center = MFACenter(clock=clock, rng=random.Random(3), ingest=True)
+        center.add_system("stampede", mode="full")
+        assert center.ingest_queue is not None
+        assert isinstance(center.radius_backend, QueuedBackend)
+        center.create_user("alice", password="pw")
+        code = center.pair_training("alice")
+        assert center.radius_backend.validate("alice", code).ok
+        assert center.ingest_queue.snapshot()["completed_total"] == 1
+
+    def test_center_without_ingest_has_no_queue(self, center):
+        assert center.ingest_queue is None
+
+    def test_admin_queue_route(self, clock):
+        from repro.otpserver.admin_api import AdminAPI, AdminAPIClient
+
+        center = MFACenter(clock=clock, rng=random.Random(4), ingest=True)
+        center.add_system("stampede", mode="full")
+        api = AdminAPI(center.otp, rng=random.Random(5))
+        api.add_admin("portal", "portal-secret")
+        client = AdminAPIClient(api, "portal", "portal-secret", rng=random.Random(6))
+        center.create_user("alice", password="pw")
+        code = center.pair_training("alice")
+        center.radius_backend.validate("alice", code)
+        body = client.call("GET", "/admin/queue")
+        assert body["configured"] is True
+        assert body["completed_total"] == 1
+        assert set(body["classes"]) >= {"critical", "interactive", "batch"}
+
+    def test_admin_queue_route_unconfigured(self, otp):
+        from repro.otpserver.admin_api import AdminAPI, AdminAPIClient
+
+        api = AdminAPI(otp, rng=random.Random(7))
+        api.add_admin("portal", "portal-secret")
+        client = AdminAPIClient(api, "portal", "portal-secret", rng=random.Random(8))
+        assert client.call("GET", "/admin/queue") == {"configured": False}

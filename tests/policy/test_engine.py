@@ -172,6 +172,63 @@ class TestEvaluate:
         assert counter.value(action="challenge") == 2
 
 
+class TestVirtualClockAdmission:
+    """Regression: the engine must never let its limiter refill on a
+    different clock than the one driving evaluation."""
+
+    def test_ready_limiter_rebound_onto_engine_clock(self):
+        from repro.policy import TokenBucketLimiter
+
+        clock = SimulatedClock.at("2016-10-05T09:00:00")
+        # A limiter built without a clock silently sat on wall time; the
+        # engine must adopt it onto its own (virtual) clock at wiring.
+        limiter = TokenBucketLimiter(RateLimitConfig(rate=1.0, burst=2.0))
+        engine = PolicyEngine(rate_limit=limiter, clock=clock)
+        assert limiter.clock_injected
+        request = AuthRequest("alice", "198.51.100.9", pairing="soft")
+        assert engine.evaluate(request).action is PolicyAction.CHALLENGE
+        assert engine.evaluate(request).action is PolicyAction.CHALLENGE
+        assert engine.evaluate(request).action is PolicyAction.THROTTLE
+        clock.advance(1.0)  # virtual second -> one token; wall time is free
+        assert engine.evaluate(request).action is PolicyAction.CHALLENGE
+        assert engine.evaluate(request).action is PolicyAction.THROTTLE
+
+    def test_explicitly_clocked_limiter_left_alone(self):
+        from repro.common.clock import SystemClock
+        from repro.policy import TokenBucketLimiter
+
+        wall = SystemClock()
+        limiter = TokenBucketLimiter(RateLimitConfig(rate=1.0, burst=2.0), clock=wall)
+        PolicyEngine(
+            rate_limit=limiter, clock=SimulatedClock.at("2016-10-05T09:00:00")
+        )
+        assert limiter._clock is wall  # the caller's choice is respected
+
+    def test_evaluate_now_threads_into_admission(self):
+        clock = SimulatedClock.at("2016-10-05T09:00:00")
+        engine = PolicyEngine(
+            rate_limit=RateLimitConfig(rate=1.0, burst=1.0), clock=clock
+        )
+        request = AuthRequest("alice", "198.51.100.9", pairing="soft")
+        start = clock.now()
+        assert engine.evaluate(request, now=start).action is PolicyAction.CHALLENGE
+        assert engine.evaluate(request, now=start).action is PolicyAction.THROTTLE
+        # The caller's timestamp alone drives the refill — the engine's
+        # clock has not moved, yet admission follows the handed-in time.
+        later = engine.evaluate(request, now=start + 1.0)
+        assert later.action is PolicyAction.CHALLENGE
+
+    def test_admit_accepts_explicit_now(self):
+        clock = SimulatedClock.at("2016-10-05T09:00:00")
+        engine = PolicyEngine(
+            rate_limit=RateLimitConfig(rate=1.0, burst=1.0), clock=clock
+        )
+        start = clock.now()
+        assert engine.admit("198.51.100.9", now=start)
+        assert not engine.admit("198.51.100.9", now=start)
+        assert engine.admit("198.51.100.9", now=start + 1.0)
+
+
 class TestLiveReconfiguration:
     def test_set_ladder_switches_phase(self):
         engine = PolicyEngine(clock=SimulatedClock.at("2016-10-05T09:00:00"))

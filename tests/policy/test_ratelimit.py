@@ -78,3 +78,49 @@ class TestBucket:
             "sources_tracked": 2,
             "throttled_total": 1,
         }
+
+
+class TestVirtualClockConsistency:
+    """Regression: a limiter must refill on the clock its deployment runs
+    on, never fall back to a second wall-clock read mid-simulation."""
+
+    def test_clock_injected_flag(self, clock):
+        assert TokenBucketLimiter(RateLimitConfig(), clock=clock).clock_injected
+        assert not TokenBucketLimiter(RateLimitConfig()).clock_injected
+
+    def test_bind_clock_adopts_virtual_time(self, clock):
+        limiter = TokenBucketLimiter(RateLimitConfig(rate=1.0, burst=2.0))
+        limiter.bind_clock(clock)
+        assert limiter.clock_injected
+        source = "198.51.100.7"
+        assert limiter.allow(source)
+        assert limiter.allow(source)
+        assert not limiter.allow(source)
+        # The wall clock barely moved; only virtual time may refill.
+        clock.advance(1.0)
+        assert limiter.allow(source)
+        assert not limiter.allow(source)
+
+    def test_explicit_now_overrides_clock_read(self, clock):
+        limiter = TokenBucketLimiter(RateLimitConfig(rate=1.0, burst=1.0), clock=clock)
+        start = clock.now()
+        assert limiter.allow("s", now=start)
+        assert not limiter.allow("s", now=start)
+        # The caller's timestamp drives refill, not a fresh clock read.
+        assert limiter.allow("s", now=start + 1.0)
+        assert limiter.tokens_available("s", now=start + 1.0) == 0.0
+        assert limiter.tokens_available("s", now=start + 2.0) == 1.0
+
+    def test_cost_parameter_drains_multiple_tokens(self, clock):
+        limiter = TokenBucketLimiter(RateLimitConfig(rate=1.0, burst=4.0), clock=clock)
+        assert limiter.allow("s", cost=3.0)
+        assert not limiter.allow("s", cost=3.0)
+        assert limiter.allow("s", cost=1.0)
+
+    def test_stale_now_never_refunds(self, clock):
+        # A caller handing in an older timestamp (clock already advanced by
+        # a parallel path) must not make tokens reappear.
+        limiter = TokenBucketLimiter(RateLimitConfig(rate=1.0, burst=1.0), clock=clock)
+        start = clock.now()
+        assert limiter.allow("s", now=start + 10.0)
+        assert not limiter.allow("s", now=start)

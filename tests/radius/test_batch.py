@@ -131,7 +131,9 @@ class TestHandleBatch:
         assert server.handle_datagram(wire, NAS) == response
         assert server.duplicates_replayed == 1
 
-    def test_uses_backend_validate_many_when_offered(self, clock):
+    def test_uses_submit_api_when_offered(self, clock):
+        from repro.otpserver.results import Ticket
+
         class BatchingBackend:
             def __init__(self):
                 self.batch_calls = 0
@@ -141,9 +143,16 @@ class TestHandleBatch:
                 self.single_calls += 1
                 return ValidateResult(ValidateStatus.OK)
 
-            def validate_many(self, requests):
+            def submit(self, request):
+                self.single_calls += 1
+                return Ticket.completed(ValidateResult(ValidateStatus.OK))
+
+            def submit_many(self, requests):
                 self.batch_calls += 1
-                return [ValidateResult(ValidateStatus.OK) for _ in requests]
+                return [
+                    Ticket.completed(ValidateResult(ValidateStatus.OK))
+                    for _ in requests
+                ]
 
         backend = BatchingBackend()
         fabric = UDPFabric(rng=random.Random(3))
@@ -158,6 +167,33 @@ class TestHandleBatch:
         server.handle_batch([(make_request(9, "user9", "424242"), NAS)])
         assert backend.batch_calls == 1
         assert backend.single_calls == 1
+
+    def test_legacy_validate_many_backend_falls_back_to_singles(self, clock):
+        # Duck-typed validate_many discovery is gone: a backend that never
+        # adopted SubmitAPI still works, one validate() per request.
+        class LegacyBackend:
+            def __init__(self):
+                self.batch_calls = 0
+                self.single_calls = 0
+
+            def validate(self, user, code):
+                self.single_calls += 1
+                return ValidateResult(ValidateStatus.OK)
+
+            def validate_many(self, requests):
+                self.batch_calls += 1
+                return [ValidateResult(ValidateStatus.OK) for _ in requests]
+
+        backend = LegacyBackend()
+        fabric = UDPFabric(rng=random.Random(4))
+        server = RADIUSServer("10.0.1.3:1812", fabric, backend, name="rad-c")
+        server.add_client("129.114.", SECRET)
+        responses = server.handle_batch(
+            [(make_request(i + 1, f"user{i}", "424242"), NAS) for i in range(3)]
+        )
+        assert len(responses) == 3
+        assert backend.batch_calls == 0
+        assert backend.single_calls == 3
 
     def test_empty_batch(self, server):
         assert server.handle_batch([]) == []
