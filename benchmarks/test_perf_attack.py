@@ -1,0 +1,171 @@
+"""PERF — the risk stage's toll on the hot path, and campaign throughput.
+
+Risk-based step-up only earns its keep if the per-login cost is noise:
+every ``validate()`` now runs an extra assessment (failure window scan,
+origin lookup, watchlist match, threshold map) before dispatch.  Two
+claims, asserted:
+
+* **Risk assessment adds at most 10% to validate latency.**  The same
+  soft-token (TOTP) workload — the deployment's dominant login type —
+  runs with the risk stage toggled off and on, and the staged rig must
+  keep >= 90% of the plain rig's throughput.
+* **Adversarial campaigns are fast enough to gate CI.**  A 20k-account
+  stuffing campaign (hundreds of full-pipeline attacks plus the legit
+  warm-up traffic, all on virtual time) must finish at a rate that keeps
+  the attack-smoke job in seconds, not minutes.
+
+Measuring a single-digit-percent effect on a shared CI box takes care:
+throughput drifts more between two back-to-back trials than the risk
+stage costs.  So the gate interleaves short plain/staged segments on
+*one* rig (``set_risk(None)`` / ``set_risk(stage)``, so the two
+configurations share every byte of state except the risk code itself),
+takes the **minimum** segment time per configuration — noise on this
+box is strictly additive (CPU steal, GC, cache eviction), so the min
+converges on the true cost from above — and retries the whole
+measurement a couple of times, keeping the cleanest reading.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchlib import emit_bench
+
+from repro.common.clock import SimulatedClock
+from repro.crypto.totp import totp_at
+from repro.extensions.risk import RiskEngine
+from repro.otpserver import OTPServer
+from repro.policy import PolicyEngine, RiskStage
+from repro.sim.attackers import AttackConfig, run_attack
+
+N_USERS = 64
+ROUNDS_PER_SEGMENT = 4
+SEGMENT_PAIRS = 8
+#: Re-measure up to this many times; the gate takes the cleanest reading
+#: and stops early once one lands at or under half the budget.
+MEASUREMENTS = 3
+OVERHEAD_BUDGET = 0.10
+
+
+def _rig():
+    """The deployment's dominant login: a soft-token (TOTP) validate.
+
+    Each user logs in once per 30-second TOTP step (the clock advances a
+    step per round of users), so every submission is a fresh code and
+    the replay floor never trips.
+    """
+    clock = SimulatedClock.at("2016-10-05T09:00:00")
+    stage = RiskStage(RiskEngine(clock=clock))
+    stage.add_watchlist("203.0.113.0/24")
+    policy = PolicyEngine(clock=clock)
+    server = OTPServer(clock=clock, rng=random.Random(1), policy=policy)
+    users = []
+    for i in range(N_USERS):
+        user = f"user{i:03d}"
+        _, secret = server.enroll_soft(user)
+        users.append((user, secret))
+    return server, clock, users, stage
+
+
+def _one_round(server, clock, users) -> float:
+    """One login per user on a fresh TOTP step; returns elapsed seconds."""
+    clock.advance(30.0)
+    start = time.perf_counter()
+    for user, secret in users:
+        result = server.validate(user, totp_at(secret, clock.now()), source="10.0.0.5")
+        assert result.ok
+    return time.perf_counter() - start
+
+
+def _segment(server, clock, users) -> float:
+    # First round after a set_risk toggle repopulates the version-keyed
+    # row cache; it warms, the rest are timed.
+    _one_round(server, clock, users)
+    return sum(_one_round(server, clock, users) for _ in range(ROUNDS_PER_SEGMENT))
+
+
+def _interleaved_best(server, clock, users, stage):
+    """Best (minimum) segment time per configuration, interleaved.
+
+    Alternating plain/staged segments means both configurations sample
+    the same CPU weather; the min segment per side is the cleanest
+    window either saw.
+    """
+    best_plain = best_staged = float("inf")
+    for _ in range(SEGMENT_PAIRS):
+        server.policy.set_risk(None)
+        best_plain = min(best_plain, _segment(server, clock, users))
+        server.policy.set_risk(stage)
+        best_staged = min(best_staged, _segment(server, clock, users))
+    return best_plain, best_staged
+
+
+class TestRiskStageOverhead:
+    def test_risk_assessment_within_ten_percent(self):
+        rig = _rig()
+        ops = N_USERS * ROUNDS_PER_SEGMENT
+        readings = []
+        for _ in range(MEASUREMENTS):
+            plain_s, staged_s = _interleaved_best(*rig)
+            readings.append((staged_s / plain_s - 1.0, plain_s, staged_s))
+            if readings[-1][0] <= OVERHEAD_BUDGET / 2:
+                break
+        overhead, plain_s, staged_s = min(readings)
+        plain = ops / plain_s
+        staged = ops / staged_s
+        print(
+            f"\n=== validate throughput, {len(readings)} measurement(s) of "
+            f"{SEGMENT_PAIRS} interleaved segment pairs ===\n"
+            f"    plain engine: {plain:8.0f} logins/s (best segment)\n"
+            f"    risk-staged : {staged:8.0f} logins/s (best segment)"
+            f"   (overhead {overhead * 100:+.1f}%)"
+        )
+        emit_bench(
+            "attack",
+            {
+                "risk_overhead": {
+                    "users": N_USERS,
+                    "segment_ops": ops,
+                    "plain_ops_per_sec": round(plain, 1),
+                    "risk_staged_ops_per_sec": round(staged, 1),
+                    "overhead_pct": round(overhead * 100, 2),
+                }
+            },
+        )
+        assert overhead <= OVERHEAD_BUDGET, (
+            f"risk stage costs {overhead * 100:.1f}% of validate throughput "
+            f"(cleanest of {len(readings)} interleaved measurements); "
+            f"budget is {OVERHEAD_BUDGET:.0%}"
+        )
+
+
+class TestCampaignThroughput:
+    def test_stuffing_campaign_rate(self):
+        config = AttackConfig(scenario="stuffing", seed=101, accounts=20_000)
+        start = time.perf_counter()
+        report = run_attack(config)
+        elapsed = time.perf_counter() - start
+        summary = report.summary()
+        assert summary["violations"] == []
+        events_per_sec = summary["events"] / elapsed
+        print(
+            f"\n=== stuffing campaign, {config.accounts:,} accounts ===\n"
+            f"    {summary['attempts']} attacks + {summary['legit']['logins']} "
+            f"legit logins in {elapsed:.2f}s wall "
+            f"({events_per_sec:,.0f} events/s)"
+        )
+        emit_bench(
+            "attack",
+            {
+                "campaign": {
+                    "accounts": config.accounts,
+                    "attempts": summary["attempts"],
+                    "events": summary["events"],
+                    "campaign_events_ops_per_sec": round(events_per_sec, 1),
+                    "wall_seconds": round(elapsed, 3),
+                }
+            },
+        )
+        # A 6h virtual campaign must not dominate the smoke job.
+        assert elapsed < 60.0, f"campaign took {elapsed:.1f}s wall"

@@ -22,6 +22,13 @@ Commands:
   run the vectorised scaled rollout (defaults: 100k users, 14 virtual
   days) on the discrete-event core and print the summary, including the
   SHA-256 determinism digest; ``--csv`` also writes the daily series.
+* ``attack [--scenario NAME] [--seed N] [--accounts N] [--json]`` — run a
+  seeded adversarial campaign (credential stuffing, real-time phishing,
+  SIM-swap interception, or mixed) against a simulated deployment and
+  print the blocked-attack rates by token type, the honeytoken alarm
+  tally, the risk-stage counters and the determinism digest; exits
+  non-zero if either adversarial invariant was violated.  Output is
+  byte-identical across runs with the same arguments.
 * ``policy [--mode MODE]`` — print the active policy snapshot (enforcement
   ladder, exemptions, lockout threshold, rate limits, lock striping) of a
   demo deployment as JSON.
@@ -258,6 +265,65 @@ def _cmd_simulate(args: list) -> int:
     return 0
 
 
+def _cmd_attack(args: list) -> int:
+    import json
+
+    from repro.sim.attackers import SCENARIOS, AttackConfig, run_attack
+
+    scenario = "stuffing"
+    if "--scenario" in args:
+        index = args.index("--scenario")
+        if index + 1 >= len(args):
+            raise SystemExit("--scenario requires a value")
+        scenario = args[index + 1]
+    if scenario not in SCENARIOS:
+        print(
+            f"unknown scenario {scenario!r}; expected one of {', '.join(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = AttackConfig(
+        scenario=scenario,
+        seed=_flag_value(args, "--seed", 101),
+        accounts=_flag_value(args, "--accounts", 100_000),
+    )
+    summary = run_attack(config).summary()
+    if "--json" in args:
+        print(json.dumps(summary, indent=2))
+        return 1 if summary["violations"] else 0
+    print(
+        f"attack campaign: {summary['scenario']} (seed {summary['seed']}, "
+        f"{summary['accounts']:,} accounts, {summary['targets']:,} compromised)"
+    )
+    print(f"attempts: {summary['attempts']}")
+    print("blocked-attack rate by token type:")
+    for group, row in summary["by_token_type"].items():
+        print(
+            f"  {group:10s} {row['blocked_rate']:8.1%}  "
+            f"({row['blocked']}/{row['attempts']} blocked, "
+            f"{row['targets']} targets)"
+        )
+    blocked = ", ".join(f"{k}={v}" for k, v in summary["blocked_by"].items())
+    print(f"blocked by: {blocked or 'nothing'}")
+    succ = ", ".join(f"{k}={v}" for k, v in summary["success_channels"].items())
+    print(f"successes: {succ or 'none'}")
+    honey = summary["honeytoken"]
+    print(f"honeytoken: {honey['uses']} uses, {honey['alarms']} alarms")
+    risk = summary["risk"]
+    print(
+        f"risk stage: {risk['assessed']} assessed, {risk['step_ups']} step-ups, "
+        f"{risk['denies']} denies, {risk['flagged_users']} flagged users"
+    )
+    print(
+        f"legit traffic: {summary['legit']['succeeded']}/"
+        f"{summary['legit']['logins']} logins succeeded"
+    )
+    print(f"events: {summary['events']}  digest: {summary['digest']}")
+    for violation in summary["violations"]:
+        print(f"INVARIANT VIOLATED: {violation}")
+    return 1 if summary["violations"] else 0
+
+
 def _cmd_policy(args: list) -> int:
     import json
     import random
@@ -434,6 +500,7 @@ def main(argv: list) -> int:
         "qr": _cmd_qr,
         "chaos": _cmd_chaos,
         "simulate": _cmd_simulate,
+        "attack": _cmd_attack,
         "policy": _cmd_policy,
         "queue": _cmd_queue,
         "storage": _cmd_storage,

@@ -104,6 +104,7 @@ class EvaluatePolicy:
         ctx.decision = decision
         if decision.action is PolicyAction.THROTTLE:
             ctx.audit("validate", success=False, detail="rate limited")
+            self._alarm_if_decoy(ctx, "throttled")
             ctx.finish(
                 ValidateResult(ValidateStatus.REJECT, decision.reason),
                 outcome_applies=False,
@@ -120,6 +121,7 @@ class EvaluatePolicy:
             return
         if decision.action is PolicyAction.DENY:
             ctx.audit("validate", success=False, detail=decision.reason)
+            self._alarm_if_decoy(ctx, "risk-denied")
             ctx.finish(
                 ValidateResult(ValidateStatus.REJECT, decision.reason),
                 outcome_applies=False,
@@ -128,6 +130,7 @@ class EvaluatePolicy:
         active = [r for r in ctx.rows if r["active"]]
         if not active:
             ctx.audit("validate", success=False, detail="locked")
+            self._alarm_if_decoy(ctx, "locked")
             ctx.finish(
                 ValidateResult(ValidateStatus.LOCKED, "account temporarily deactivated"),
                 outcome_applies=False,
@@ -135,6 +138,27 @@ class EvaluatePolicy:
             return
         ctx.row = active[0]
         ctx.token_type = TokenType(ctx.row["token_type"])
+
+    def _alarm_if_decoy(self, ctx: PipelineContext, why: str) -> None:
+        """A code submitted against a honeytoken pairing must alarm even
+        when policy rejects the attempt before the dispatch stage ever
+        sees it — otherwise a risk-denied probe would be the one decoy
+        use that goes unrecorded.  Null requests touch no credential and
+        do not count as a use."""
+        if not ctx.code or not ctx.rows:
+            return
+        row = ctx.rows[0]
+        if TokenType(row["token_type"]) is not TokenType.HONEY:
+            return
+        self.server.raise_honeytoken_alarm(
+            ctx.user_id, row["serial"], False, ctx.source
+        )
+        ctx.audit(
+            "honeytoken_alarm",
+            serial=row["serial"],
+            success=False,
+            detail=f"honeytoken probed ({why}) from {ctx.source or 'unknown'}",
+        )
 
 
 class ReplayGuard:
@@ -250,6 +274,7 @@ class DispatchByTokenType:
             TokenType.STATIC: self._check_static,
             TokenType.SOFT: self._check_totp,
             TokenType.HARD: self._check_totp,
+            TokenType.HONEY: self._check_honeytoken,
         }
 
     def run(self, ctx: PipelineContext) -> None:
@@ -308,6 +333,24 @@ class DispatchByTokenType:
             serial=row["serial"],
         )
 
+    def _check_honeytoken(self, ctx: PipelineContext) -> ValidateResult:
+        # Validate exactly like a soft token — nothing in the response may
+        # let the attacker holding the stolen seed distinguish the decoy —
+        # then alarm on the server side whichever way the check went.
+        result = self._check_totp(ctx)
+        serial = ctx.row["serial"]
+        self.server.raise_honeytoken_alarm(ctx.user_id, serial, result.ok, ctx.source)
+        ctx.audit(
+            "honeytoken_alarm",
+            serial=serial,
+            success=False,
+            detail=(
+                f"honeytoken {'accepted' if result.ok else 'probed'} "
+                f"from {ctx.source or 'unknown'}"
+            ),
+        )
+        return result
+
 
 class ApplyOutcome:
     """Failure counters, the lockout rule, and success-side resets."""
@@ -328,6 +371,12 @@ class ApplyOutcome:
         if ctx.result.ok:
             tokens.update(row["serial"], {"failcount": 0, "pairing_confirmed": True})
             ctx.audit("validate", serial=row["serial"], success=True)
+            # Feed the shared risk stage: the origin becomes known-good and
+            # the account's failure burst resets.  A sourceless call (the
+            # RADIUS backend chain drops the client address) still counts
+            # as a success but must not teach the engine an empty origin.
+            if self.policy.risk is not None and ctx.source:
+                self.policy.risk.record_success(ctx.user_id, ctx.source)
             return
         failcount = row["failcount"] + 1
         changes: dict = {"failcount": failcount}
@@ -344,6 +393,8 @@ class ApplyOutcome:
                 detail=f"{failcount} consecutive failures",
             )
         tokens.update(row["serial"], changes)
+        if self.policy.risk is not None:
+            self.policy.risk.record_failure(ctx.user_id)
 
 
 class Audit:

@@ -90,6 +90,18 @@ class WorkloadConfig:
     #: tokens have no replay nullification, so re-validating the same code
     #: thousands of times cannot trip failcounts or lockouts.
     backfill_users: int = 16
+    #: Run an attacker alongside the legitimate workload: the deployment
+    #: gets a shared risk stage with the attacker's network watchlisted,
+    #: ``honeytokens`` decoy accounts are planted, and an SSH attacker
+    #: alternates correct-code decoy logins with wrong-code stuffing of
+    #: the legitimate users.  Off by default so every historical plan
+    #: keeps its event-log digest.
+    adversarial: bool = False
+    honeytokens: int = 2
+    attacker_attempts: int = 12
+    attacker_step_seconds: float = 23.0
+    attacker_ip: str = "203.0.113.66"
+    attacker_subnet: str = "203.0.113.0/24"
 
     def __post_init__(self) -> None:
         if self.logins < 1 or self.users < 1:
@@ -106,6 +118,10 @@ class WorkloadConfig:
             raise ValueError("need pump_interval > 0 and pump_items >= 1")
         if self.queue_service_cost < 0:
             raise ValueError("queue_service_cost must be >= 0")
+        if self.honeytokens < 0 or self.attacker_attempts < 0:
+            raise ValueError("honeytokens and attacker_attempts must be >= 0")
+        if self.attacker_step_seconds <= 0:
+            raise ValueError("attacker_step_seconds must be positive")
 
 
 @dataclass(frozen=True)
@@ -185,6 +201,33 @@ class ChaosReport:
                 )
         return out
 
+    def attacker_events(self) -> List[dict]:
+        """Every ``attacker_attempt`` event (empty for non-adversarial runs)."""
+        return [
+            event
+            for event in (json.loads(line) for line in self.event_lines)
+            if event.get("kind") == "attacker_attempt"
+        ]
+
+    def adversarial_violations(self) -> List[str]:
+        """The two adversarial invariants, judged per attacker attempt:
+
+        e. **No honeytoken use goes unalarmed** — every decoy login the
+           attacker drove through the stack raised a honeytoken alarm,
+           whatever the network was doing at the time.
+        f. **No attacker success goes unflagged** — any attacker attempt
+           that got in left a non-ALLOW entry in the risk stage's flag
+           log for that account.
+        """
+        out = []
+        for event in self.attacker_events():
+            where = f"t={event.get('t')} (user {event.get('user')})"
+            if event.get("decoy") and not event.get("alarmed"):
+                out.append(f"honeytoken use at {where} raised no alarm")
+            if event.get("ok") and not event.get("flagged"):
+                out.append(f"attacker success at {where} left no risk flag")
+        return out
+
     def availability(self) -> float:
         """Success rate over honest logins attempted while >= 1 server
         was free of deterministic blocking."""
@@ -234,6 +277,7 @@ class ChaosReport:
             )
         violations.extend(self.storage_violations())
         violations.extend(self.backfill_violations())
+        violations.extend(self.adversarial_violations())
         return violations
 
     def summary(self) -> dict:
@@ -249,6 +293,8 @@ class ChaosReport:
             "reasonless_denials": len(self.reasonless_denials()),
             "storage_violations": len(self.storage_violations()),
             "backfill_violations": len(self.backfill_violations()),
+            "attacker_attempts": len(self.attacker_events()),
+            "adversarial_violations": len(self.adversarial_violations()),
             "interactive_p99_seconds": round(self.interactive_p99(), 6),
             "events": len(self.event_lines),
             "digest": self.digest(),
@@ -298,6 +344,7 @@ def run_chaos(
         radius_policy=FailoverPolicy(deadline_budget=config.deadline_budget),
         radius_wait_clock=clock,
         ingest=ingest_config,
+        risk=config.adversarial or None,
     )
     system = center.add_system("chaos-rig", login_nodes=1)
     node = system.login_node()
@@ -342,6 +389,19 @@ def run_chaos(
         ingest=center.ingest_queue,
         backfill=backfill,
     )
+    # The adversarial workload: watchlist the attacker's network, plant
+    # decoy accounts whose full credentials (password *and* seed) sit in
+    # the dump the attacker bought, and let the attacker run alongside
+    # the legitimate login train.
+    decoys: List[Tuple[str, TOTPGenerator]] = []
+    if config.adversarial:
+        center.risk_stage.add_watchlist(config.attacker_subnet)
+        for i in range(config.honeytokens):
+            username = f"decoy{i + 1}"
+            center.create_user(username, password=f"pw-{username}")
+            _, secret = center.pair_honeytoken(username)
+            decoys.append((username, TOTPGenerator(secret=secret, clock=clock)))
+
     client = SSHClient(source_ip="198.51.100.9")
     farm = [server.address for server in center.radius_servers]
     report = ChaosReport(plan=plan, config=config)
@@ -389,6 +449,36 @@ def run_chaos(
             )
         )
 
+    attacker = SSHClient(source_ip=config.attacker_ip)
+
+    def _attacker_attempt(k: int) -> None:
+        # Odd attempts spend the stolen decoy credentials (correct code —
+        # indistinguishability is the decoy's job); even attempts stuff a
+        # legitimate account's compromised password with a guessed code.
+        decoy = bool(decoys) and k % 2 == 1
+        if decoy:
+            username, device = decoys[(k // 2) % len(decoys)]
+            token = device.current_code
+        else:
+            username = users[k % len(users)]
+            device = devices[username]
+            token = lambda d=device: wrong_code(d.current_code())
+        stage = center.risk_stage
+        flags_before = stage.flags_for(username)
+        alarms_before = len(center.otp.honeytoken_alarms)
+        result, _ = attacker.connect(
+            node, username, password=f"pw-{username}", token=token
+        )
+        engine.record(
+            "attacker_attempt",
+            index=k,
+            user=username,
+            decoy=decoy,
+            ok=result.success,
+            flagged=stage.flags_for(username) > flags_before,
+            alarmed=len(center.otp.honeytoken_alarms) > alarms_before,
+        )
+
     # Everything is events on one heap: fault-window boundary ticks first
     # (exact activation instants, no polling drift), then the login train
     # at fixed offsets — same-instant ties resolve tick-before-login by
@@ -409,6 +499,13 @@ def run_chaos(
         )
     for index in range(config.logins):
         scheduler.schedule_at(base + index * config.step_seconds, _login, index)
+    if config.adversarial:
+        # Offset so attacker attempts interleave with (never tie against)
+        # the legitimate train's slots.
+        for k in range(config.attacker_attempts):
+            scheduler.schedule_at(
+                base + 5.0 + k * config.attacker_step_seconds, _attacker_attempt, k
+            )
     try:
         scheduler.run_until(base + config.logins * config.step_seconds)
         engine.tick()  # close any windows that ended exactly at the horizon

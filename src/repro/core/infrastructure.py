@@ -38,7 +38,8 @@ from repro.pam.modules.exemption import MFAExemptionModule
 from repro.pam.modules.pubkey import PublicKeySuccessModule
 from repro.pam.modules.token import MFATokenModule
 from repro.pam.modules.unix_password import UnixPasswordModule
-from repro.policy import EnforcementLadder, PolicyEngine
+from repro.extensions.risk import RiskEngine
+from repro.policy import EnforcementLadder, PolicyEngine, RiskStage
 from repro.radius.client import RADIUSClient
 from repro.radius.server import RADIUSServer
 from repro.radius.transport import UDPFabric
@@ -188,12 +189,16 @@ class HPCSystem:
     # -- policy / PAM stack construction (the Figure-1 configuration) -----------
 
     def _build_policy(self) -> PolicyEngine:
+        # ``risk`` is the *deployment's* stage, shared with the OTP
+        # server's pipeline engine: PAM and the back end see one verdict,
+        # one flag log, one set of counters per attempt stream.
         return PolicyEngine(
             ladder=EnforcementLadder(self.mode, self.deadline),
             exemptions=self.acl,
             lockout=self.center.otp.policy.lockout,
             clock=self.center.clock,
             telemetry=self.center.telemetry,
+            risk=self.center.risk_stage,
         )
 
     def _build_stack(self) -> PAMStack:
@@ -270,6 +275,7 @@ class MFACenter:
         radius_policy=None,
         radius_wait_clock: Optional[Clock] = None,
         ingest=None,
+        risk=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
@@ -294,6 +300,23 @@ class MFACenter:
             telemetry=self.telemetry,
             storage=storage,
         )
+        # Optional risk-based authentication: ``risk`` is None (off), True
+        # (a default stage on the deployment clock), or a ready
+        # RiskStage/RiskEngine.  The one stage is wired into the OTP
+        # server's policy *and* every system's per-system engine, so the
+        # layers share a single risk verdict per attempt stream.
+        self.risk_stage: Optional[RiskStage] = None
+        if risk:
+            if isinstance(risk, RiskStage):
+                stage = risk
+            elif isinstance(risk, RiskEngine):
+                stage = RiskStage(risk)
+            else:
+                stage = RiskStage(clock=self.clock)
+            if not stage.clock_injected:
+                stage.bind_clock(self.clock)
+            self.risk_stage = stage
+            self.otp.policy.set_risk(stage)
         self.fabric = UDPFabric(
             loss_rate=fabric_loss_rate, rng=self.rng, telemetry=self.telemetry
         )
@@ -432,6 +455,18 @@ class MFACenter:
         self.otp.assign_hard(self.identity.get(username).uid, serial)
         self.identity.notify_pairing(username, PairingStatus.HARD)
         return serial
+
+    def pair_honeytoken(self, username: str) -> Tuple[str, bytes]:
+        """Plant a decoy credential on a trap account.
+
+        The identity side records an ordinary soft pairing: to LDAP — and
+        to an attacker who dumps it — the decoy must be indistinguishable
+        from a real user.  Only the OTP server knows the token type, and
+        it alarms on any use.
+        """
+        serial, secret = self.otp.enroll_honeytoken(self.identity.get(username).uid)
+        self.identity.notify_pairing(username, PairingStatus.SOFT)
+        return serial, secret
 
     def pair_training(self, username: str, code: Optional[str] = None) -> str:
         code = code or random_static_code(self.rng)

@@ -24,14 +24,22 @@ from repro.extensions.geolocation import (
     GeoVelocityMonitor,
     PamGeoCheckModule,
 )
-from repro.extensions.risk import PamRiskGateModule, RiskDecision, RiskEngine
+from repro.extensions.risk import (
+    PamRiskGateModule,
+    RiskAction,
+    RiskDecision,
+    RiskEngine,
+    RiskWeights,
+)
 
 __all__ = [
     "GeoDatabase",
     "GeoPoint",
     "GeoVelocityMonitor",
     "PamGeoCheckModule",
+    "RiskAction",
     "RiskEngine",
     "RiskDecision",
+    "RiskWeights",
     "PamRiskGateModule",
 ]

@@ -100,9 +100,23 @@ class GeoVelocityMonitor:
         max_speed_kmh: float = 950.0,  # airliner cruise: anything above is fake
     ) -> None:
         self._geo = geo
+        #: True when the caller supplied a clock; engines that adopt the
+        #: monitor check this before rebinding it onto their own clock.
+        self.clock_injected = clock is not None
         self._clock = clock or SystemClock()
         self.max_speed_kmh = max_speed_kmh
         self._last_seen: Dict[str, Tuple[float, GeoPoint]] = {}
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Adopt ``clock`` as the monitor's time source.
+
+        Mirrors :meth:`repro.policy.TokenBucketLimiter.bind_clock`: a
+        monitor left on the implicit wall clock would judge travel speed
+        against real time while the rest of a simulation runs in virtual
+        time, making every virtual-hours-apart login look instantaneous.
+        """
+        self._clock = clock
+        self.clock_injected = True
 
     def observe(self, username: str, ip: str) -> TravelVerdict:
         """Record a login and judge the travel it implies."""

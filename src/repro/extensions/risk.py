@@ -29,6 +29,7 @@ measured threat, not a fixed ACL.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set
@@ -45,7 +46,7 @@ class RiskAction(str, Enum):
     DENY = "deny"
 
 
-@dataclass
+@dataclass(**({"slots": True} if sys.version_info >= (3, 10) else {}))
 class RiskDecision:
     """Score, action, and the named signals that fired."""
 
@@ -63,6 +64,13 @@ class RiskWeights:
     watchlisted_network: float = 0.35
 
 
+#: The shared nothing-fired verdict.  Treated as immutable by every
+#: consumer (the stage copies signal lists before storing them), and
+#: exported so hot-path callers can recognise the quiet case by
+#: *identity* and skip flag/step-up bookkeeping entirely.
+QUIET_ALLOW = RiskDecision(0.0, RiskAction.ALLOW, [])
+
+
 class RiskEngine:
     """Scores logins and remembers per-user history."""
 
@@ -78,6 +86,9 @@ class RiskEngine:
     ) -> None:
         if not 0 <= step_up_threshold <= deny_threshold <= 1.0:
             raise ValueError("thresholds must satisfy 0 <= step_up <= deny <= 1")
+        #: True when the caller supplied a clock; :class:`PolicyEngine`
+        #: checks this before adopting the engine onto its own clock.
+        self.clock_injected = clock is not None
         self._clock = clock or SystemClock()
         self.weights = weights or RiskWeights()
         self._geo = geo_monitor
@@ -88,63 +99,160 @@ class RiskEngine:
         self._known_origins: Dict[str, Set[str]] = {}
         self._failures: Dict[str, List[float]] = {}
         self._watchlist: List[OriginMatcher] = []
+        #: Memoized per-IP watchlist verdicts.  ``assess`` sits on every
+        #: login's hot path and re-parsing the dotted quad against each
+        #: matcher dominated its cost; the verdict for a given address
+        #: only changes when the watchlist itself does.
+        self._watchlist_verdicts: Dict[str, bool] = {}
+        #: Memoized per-(user, ip) decisions.  A verdict is a pure
+        #: function of the engine's state and the hour bucket, so it can
+        #: be replayed until something it depends on changes: the global
+        #: epoch covers watchlist edits, the per-user epoch covers
+        #: failure/origin feeds, and entries are only written when the
+        #: account has no live failures (a burst ages out with *time*,
+        #: which no epoch can see).  Geo-monitored engines never cache:
+        #: ``observe`` itself advances per-user travel state.
+        self._verdict_cache: Dict[tuple, tuple] = {}
+        self._epoch = 0
+        self._user_epochs: Dict[str, int] = {}
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Adopt ``clock`` as the engine's time source.
+
+        Mirrors :meth:`repro.policy.TokenBucketLimiter.bind_clock`: an
+        engine left on the implicit wall clock would prune failure bursts
+        and compute the login hour against real time while the policy it
+        serves evaluates in virtual time.  An adopted geo monitor that was
+        not explicitly clock-injected follows along, so both pieces tick
+        together.
+        """
+        self._clock = clock
+        self.clock_injected = True
+        if self._geo is not None and not self._geo.clock_injected:
+            self._geo.bind_clock(clock)
 
     # -- signal feeds ------------------------------------------------------------
+
+    def _bump(self, username: str) -> None:
+        self._user_epochs[username] = self._user_epochs.get(username, 0) + 1
 
     def record_failure(self, username: str) -> None:
         """Feed from the authlog: a failed login for this account."""
         self._failures.setdefault(username, []).append(self._clock.now())
+        self._bump(username)
 
     def record_success(self, username: str, ip: str) -> None:
         """Feed on successful entry: the origin becomes known-good and the
-        failure burst resets (the legitimate user is clearly present)."""
-        self._known_origins.setdefault(username, set()).add(ip)
-        self._failures.pop(username, None)
+        failure burst resets (the legitimate user is clearly present).
+
+        Only a *change* bumps the user's epoch: the steady state — a
+        known origin logging in with no failures on the books — leaves
+        cached verdicts valid, which is what makes the cache worth
+        having.
+        """
+        known = self._known_origins.get(username)
+        if known is None:
+            known = self._known_origins[username] = set()
+        if ip not in known:
+            known.add(ip)
+            self._bump(username)
+        if self._failures.pop(username, None):
+            self._bump(username)
 
     def add_watchlist(self, cidr: str) -> None:
         """Operator action: flag a hostile network range."""
         self._watchlist.append(OriginMatcher.parse(cidr))
+        self._watchlist_verdicts.clear()
+        self._epoch += 1
 
     # -- scoring --------------------------------------------------------------------
 
-    def _recent_failures(self, username: str) -> int:
-        cutoff = self._clock.now() - self._failure_window
-        timestamps = self._failures.get(username, [])
+    def _recent_failures(self, username: str, now: float) -> int:
+        timestamps = self._failures.get(username)
+        if not timestamps:
+            return 0
+        cutoff = now - self._failure_window
+        if timestamps[0] >= cutoff:
+            # Append-only and time-ordered: nothing aged out, skip the copy.
+            return len(timestamps)
         live = [t for t in timestamps if t >= cutoff]
         self._failures[username] = live
         return len(live)
 
+    def _watchlisted(self, ip: str) -> bool:
+        if not self._watchlist:
+            return False
+        verdict = self._watchlist_verdicts.get(ip)
+        if verdict is None:
+            verdict = any(m.matches(ip) for m in self._watchlist)
+            if len(self._watchlist_verdicts) >= 65536:
+                self._watchlist_verdicts.clear()
+            self._watchlist_verdicts[ip] = verdict
+        return verdict
+
     def assess(self, username: str, ip: str) -> RiskDecision:
         """Score one attempt (before the credentials are even checked)."""
+        now = self._clock.now()
+        hour = int(now // 3600)
+        cacheable = self._geo is None and not self._failures.get(username)
+        if cacheable:
+            key = (username, ip)
+            entry = self._verdict_cache.get(key)
+            if (
+                entry is not None
+                and entry[0] == self._epoch
+                and entry[1] == self._user_epochs.get(username, 0)
+                and entry[2] == hour
+            ):
+                return entry[3]
+        weights = self.weights
         score = 0.0
         signals: List[str] = []
-        if self._recent_failures(username) >= self._failure_burst_size:
-            score += self.weights.failure_burst
+        if self._failures and self._recent_failures(
+            username, now
+        ) >= self._failure_burst_size:
+            score += weights.failure_burst
             signals.append("failure_burst")
-        known = self._known_origins.get(username, set())
+        known = self._known_origins.get(username)
         if known and ip not in known:
-            score += self.weights.novel_origin
+            score += weights.novel_origin
             signals.append("novel_origin")
-        hour = int(self._clock.now() // 3600) % 24
-        if hour < 5:
-            score += self.weights.unusual_hour
+        if hour % 24 < 5:
+            score += weights.unusual_hour
             signals.append("unusual_hour")
-        if any(m.matches(ip) for m in self._watchlist):
-            score += self.weights.watchlisted_network
+        if self._watchlist and self._watchlisted(ip):
+            score += weights.watchlisted_network
             signals.append("watchlisted_network")
         if self._geo is not None:
             verdict = self._geo.observe(username, ip)
             if not verdict.plausible:
-                score += self.weights.impossible_travel
+                score += weights.impossible_travel
                 signals.append("impossible_travel")
-        score = min(score, 1.0)
-        if score >= self.deny_threshold:
-            action = RiskAction.DENY
-        elif score >= self.step_up_threshold:
-            action = RiskAction.STEP_UP
+        if not signals and score < self.step_up_threshold:
+            # The overwhelmingly common quiet verdict, allocation-free:
+            # every login pays for `assess`, so the nothing-fired path
+            # reuses one immutable decision (guarded against a zero
+            # step-up threshold, where even a 0.0 score must step up).
+            decision = QUIET_ALLOW
         else:
-            action = RiskAction.ALLOW
-        return RiskDecision(score, action, signals)
+            score = min(score, 1.0)
+            if score >= self.deny_threshold:
+                action = RiskAction.DENY
+            elif score >= self.step_up_threshold:
+                action = RiskAction.STEP_UP
+            else:
+                action = RiskAction.ALLOW
+            decision = RiskDecision(score, action, signals)
+        if cacheable:
+            if len(self._verdict_cache) >= 65536:
+                self._verdict_cache.clear()
+            self._verdict_cache[key] = (
+                self._epoch,
+                self._user_epochs.get(username, 0),
+                hour,
+                decision,
+            )
+        return decision
 
 
 class PamRiskGateModule:

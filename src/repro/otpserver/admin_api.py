@@ -103,6 +103,9 @@ class AdminAPI:
         if token_type == "static":
             serial = self.server.enroll_static(user, _require(params, "otpkey"))
             return {"serial": serial}
+        if token_type == "honey":
+            serial, secret = self.server.enroll_honeytoken(user)
+            return {"serial": serial, "otpkey": secret.hex()}
         raise ValidationError(f"unknown token type {token_type!r}")
 
     def _handle_remove(self, params: Dict[str, Any]) -> Dict[str, Any]:

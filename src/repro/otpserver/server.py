@@ -134,6 +134,10 @@ class OTPServer:
         self._m_sms_challenges = self.telemetry.counter(
             "otp_sms_challenges_total", "SMS challenge starts by result"
         )
+        self._m_honeytoken = self.telemetry.counter(
+            "otp_honeytoken_alarms_total",
+            "honeytoken uses, by whether the submitted code verified",
+        )
         self._m_audit_lag = self.telemetry.histogram(
             "otp_audit_lag_seconds",
             "age of the newest audit record when a validate call lands",
@@ -173,6 +177,10 @@ class OTPServer:
         self._hard_inventory: Dict[str, bytes] = {}
         self.validate_requests = 0
         self._stats_lock = threading.Lock()
+        #: Every honeytoken use, in arrival order.  Alarms also flow into
+        #: the audit log and telemetry; this list is the cheap queryable
+        #: record the adversarial invariants check against.
+        self.honeytoken_alarms: List[Dict[str, object]] = []
         # The policy engine every validate consults.  The default engine
         # (full ladder, no exemptions, no admission control) reproduces
         # the paper's always-challenge server; the lockout threshold comes
@@ -255,6 +263,49 @@ class OTPServer:
         self._insert_token(record, None)
         self.audit.record("enroll", user_id, serial, detail="soft")
         return serial, secret
+
+    def enroll_honeytoken(self, user_id: str) -> Tuple[str, bytes]:
+        """Plant a decoy credential on an account nobody should use.
+
+        The token is indistinguishable from a soft token at validation
+        time — same TOTP algorithm, same serial shape as a pairing, codes
+        verify and consume normally — so an attacker who lifts the seed
+        from a seeded credential dump learns nothing from the server's
+        responses.  What differs is the server side: *any* validate
+        against it raises an alarm through telemetry, the audit stage,
+        and the shared risk stage (arXiv 2112.08431).
+        """
+        self._ensure_unpaired(user_id)
+        secret = generate_secret(rng=self._rng)
+        serial = self._ids.next("LSHY")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.HONEY,
+            sealed_secret=self._sealer.seal(secret),
+        )
+        self._insert_token(record, None)
+        self.audit.record("enroll", user_id, serial, detail="honey")
+        return serial, secret
+
+    def raise_honeytoken_alarm(
+        self, user_id: str, serial: str, accepted: bool, source: Optional[str]
+    ) -> None:
+        """Record one honeytoken use (called by the dispatch stage)."""
+        self.honeytoken_alarms.append(
+            {
+                "user_id": user_id,
+                "serial": serial,
+                "accepted": accepted,
+                "source": source or "",
+                "t": self.clock.now(),
+            }
+        )
+        self._m_honeytoken.inc(result="accepted" if accepted else "probed")
+        if self.policy.risk is not None:
+            self.policy.risk.raise_alarm(
+                user_id, source or "", serial=serial, accepted=accepted
+            )
 
     def enroll_sms(self, user_id: str, phone_number: str) -> str:
         """Create an SMS token bound to a phone number."""

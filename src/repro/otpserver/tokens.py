@@ -33,6 +33,10 @@ class TokenType(str, Enum):
     HARD = "hard"
     STATIC = "static"
     HOTP = "hotp"  # event-based fob (c100-class); not offered publicly
+    #: Decoy credential (arXiv 2112.08431): enrolled on accounts that should
+    #: never log in, validated exactly like a soft token so an attacker who
+    #: stole the seed cannot tell it apart — but any use raises an alarm.
+    HONEY = "honey"
 
 
 @dataclass

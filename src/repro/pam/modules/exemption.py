@@ -38,6 +38,12 @@ class MFAExemptionModule:
 
     def authenticate(self, session: PAMSession) -> PAMResult:
         if self._policy.is_exempt(session.username, session.remote_ip):
+            if self._policy.step_up_required(session.username, session.remote_ip):
+                # Risk withholds the waiver: being `sufficient`, a SUCCESS
+                # here would skip the token module entirely, so the grant
+                # must be refused at this point for a step-up to bite.
+                session.items["risk_step_up"] = True
+                return PAMResult.AUTH_ERR
             session.items["mfa_exempt"] = True
             return PAMResult.SUCCESS
         return PAMResult.AUTH_ERR

@@ -13,6 +13,7 @@ from repro.policy.engine import (
     PolicyEngine,
 )
 from repro.policy.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.policy.risk import RiskStage
 
 __all__ = [
     "AuthRequest",
@@ -23,5 +24,6 @@ __all__ = [
     "PolicyAction",
     "PolicyEngine",
     "RateLimitConfig",
+    "RiskStage",
     "TokenBucketLimiter",
 ]

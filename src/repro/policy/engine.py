@@ -34,7 +34,9 @@ from math import ceil
 from typing import Callable, Optional
 
 from repro.common.clock import Clock, SystemClock, parse_date
+from repro.extensions.risk import QUIET_ALLOW, RiskAction, RiskDecision, RiskEngine
 from repro.policy.ratelimit import RateLimitConfig, TokenBucketLimiter
+from repro.policy.risk import RiskStage
 
 
 class EnforcementMode(str, Enum):
@@ -64,10 +66,35 @@ _PASSIVE_ACTIONS = frozenset(
 )
 
 
+def _stamp_risk(decision: "Decision", risk: Optional["RiskDecision"]) -> "Decision":
+    """Carry the risk verdict on the decision so callers can audit it."""
+    if risk is None:
+        return decision
+    if risk is QUIET_ALLOW:
+        decision.risk_score = 0.0
+        decision.risk_action = "allow"
+        decision.risk_signals = []
+    else:
+        decision.risk_score = risk.score
+        decision.risk_action = risk.action.value
+        decision.risk_signals = list(risk.signals)
+    return decision
+
+
 class Decision:
     """The engine's answer for one request."""
 
-    __slots__ = ("action", "reason", "mode", "pairing", "pairing_resolved", "countdown_days")
+    __slots__ = (
+        "action",
+        "reason",
+        "mode",
+        "pairing",
+        "pairing_resolved",
+        "countdown_days",
+        "risk_score",
+        "risk_action",
+        "risk_signals",
+    )
 
     def __init__(
         self,
@@ -77,6 +104,9 @@ class Decision:
         pairing: Optional[str] = None,
         pairing_resolved: bool = False,
         countdown_days: int = 0,
+        risk_score: Optional[float] = None,
+        risk_action: Optional[str] = None,
+        risk_signals: Optional[list] = None,
     ) -> None:
         self.action = action
         self.reason = reason
@@ -84,6 +114,11 @@ class Decision:
         self.pairing = pairing
         self.pairing_resolved = pairing_resolved
         self.countdown_days = countdown_days
+        # Risk-stage verdict, stamped when the engine has a RiskStage:
+        # score in [0, 1], action "allow"/"step_up"/"deny", fired signals.
+        self.risk_score = risk_score
+        self.risk_action = risk_action
+        self.risk_signals = risk_signals
 
     @property
     def allows_entry(self) -> bool:
@@ -218,6 +253,7 @@ class PolicyEngine:
         rate_limit=None,
         clock: Optional[Clock] = None,
         telemetry=None,
+        risk=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.ladder = ladder or EnforcementLadder("full")
@@ -238,6 +274,11 @@ class PolicyEngine:
             # time; adopt it onto the engine's clock so both tick together.
             rate_limit.bind_clock(self.clock)
         self.admission: Optional[TokenBucketLimiter] = rate_limit
+        #: The risk stage (``None`` = risk scoring disabled).  Accepts a
+        #: ready :class:`RiskStage`, a bare :class:`RiskEngine` (wrapped),
+        #: or ``None``; engines left on the implicit wall clock are
+        #: adopted onto the engine's clock, like the limiter above.
+        self.risk: Optional[RiskStage] = self._adopt_risk(risk)
         if telemetry is None:
             from repro.telemetry import NOOP_REGISTRY
 
@@ -245,6 +286,16 @@ class PolicyEngine:
         self._m_decisions = telemetry.counter(
             "policy_decisions_total", "policy engine decisions by action"
         )
+        self._m_risk = telemetry.counter(
+            "policy_risk_assessments_total", "risk stage verdicts by action"
+        )
+
+    def _adopt_risk(self, risk) -> Optional[RiskStage]:
+        if isinstance(risk, RiskEngine):
+            risk = RiskStage(risk)
+        if isinstance(risk, RiskStage) and not risk.clock_injected:
+            risk.bind_clock(self.clock)
+        return risk
 
     # -- individual rule surfaces -------------------------------------------
 
@@ -265,16 +316,39 @@ class PolicyEngine:
             username, source_ip
         )
 
+    def step_up_required(self, username: str, source_ip: str) -> bool:
+        """Does risk demand the second factor for this attempt?
+
+        The ``sufficient`` exemption module consults this before granting
+        an ACL waiver: it short-circuits past the token module, so a
+        step-up verdict must withhold the grant *there* — by the time
+        ``evaluate`` runs inside the token module, the stack has already
+        let the exempt user through.  Without a risk stage the answer is
+        always ``False`` and the ACL behaves exactly as before.
+        """
+        if self.risk is None:
+            return False
+        decision = self.risk.evaluate(username, source_ip)
+        if decision is QUIET_ALLOW:
+            self._m_risk.inc(action="allow")
+            return False
+        self._m_risk.inc(action=decision.action.value)
+        return decision.action is not RiskAction.ALLOW
+
     # -- the one call every layer makes -------------------------------------
 
     def evaluate(self, request: AuthRequest, now: Optional[float] = None) -> Decision:
         """Fold every rule family into one :class:`Decision`.
 
         Order matters: admission control runs first (an abusive source
-        never reaches the ACL or directory), then exemptions (a granted
-        exemption requires "no further action by the user", including for
-        locked accounts — matching the PAM stack, where the sufficient
-        exemption module precedes the token module), then the ladder.
+        never reaches the ACL or directory), then the risk stage (a DENY
+        verdict refuses outright, before lockout counters or storage are
+        touched; a STEP_UP verdict withholds the exemption grant and
+        upgrades passive ladder outcomes to a challenge), then exemptions
+        (a granted exemption requires "no further action by the user",
+        including for locked accounts — matching the PAM stack, where the
+        sufficient exemption module precedes the token module), then the
+        ladder.
         """
         timestamp = self.clock.now() if now is None else now
         moment = datetime.fromtimestamp(timestamp, tz=timezone.utc)
@@ -290,34 +364,81 @@ class PolicyEngine:
                 PolicyAction.THROTTLE,
                 f"rate limit exceeded for source {request.source_ip}",
             )
-        if self.is_exempt(request.username, request.source_ip):
-            return Decision(PolicyAction.EXEMPT, "exemption ACL grant")
+        risk: Optional[RiskDecision] = None
+        step_up = False
+        if self.risk is not None:
+            risk = self.risk.evaluate(request.username, request.source_ip)
+            if risk is QUIET_ALLOW:
+                # Identity check for the common quiet verdict skips the
+                # enum ``.value`` walk and the DENY/STEP_UP comparisons.
+                self._m_risk.inc(action="allow")
+            else:
+                self._m_risk.inc(action=risk.action.value)
+                if risk.action is RiskAction.DENY:
+                    return _stamp_risk(
+                        Decision(
+                            PolicyAction.DENY,
+                            f"risk score {risk.score:.2f} at or above deny "
+                            f"threshold ({', '.join(risk.signals)})",
+                        ),
+                        risk,
+                    )
+                step_up = risk.action is RiskAction.STEP_UP
+        if not step_up and self.is_exempt(request.username, request.source_ip):
+            return _stamp_risk(
+                Decision(PolicyAction.EXEMPT, "exemption ACL grant"), risk
+            )
         mode = self.ladder.effective_mode(moment)
-        if mode is EnforcementMode.OFF:
+        if mode is EnforcementMode.OFF and not step_up:
             # Single-factor phase: no pairing lookup, no challenge.
-            return Decision(PolicyAction.ALLOW, "enforcement off", mode=mode)
+            return _stamp_risk(
+                Decision(PolicyAction.ALLOW, "enforcement off", mode=mode), risk
+            )
         pairing = request.resolve_pairing()
         if pairing is None:
+            # Nothing to step up to: an unpaired account has no second
+            # factor.  The verdict stays flagged in the risk stage's log,
+            # but the ladder outcome stands.
+            if mode is EnforcementMode.OFF:
+                return _stamp_risk(
+                    Decision(
+                        PolicyAction.ALLOW,
+                        "enforcement off",
+                        mode=mode,
+                        pairing_resolved=True,
+                    ),
+                    risk,
+                )
             if mode is EnforcementMode.PAIRED:
-                return Decision(
-                    PolicyAction.ALLOW,
-                    "unpaired user during opt-in phase",
-                    mode=mode,
-                    pairing_resolved=True,
+                return _stamp_risk(
+                    Decision(
+                        PolicyAction.ALLOW,
+                        "unpaired user during opt-in phase",
+                        mode=mode,
+                        pairing_resolved=True,
+                    ),
+                    risk,
                 )
             if mode is EnforcementMode.COUNTDOWN:
-                return Decision(
-                    PolicyAction.NOTIFY,
-                    "unpaired user in countdown phase",
-                    mode=mode,
-                    pairing_resolved=True,
-                    countdown_days=self.ladder.days_left(moment),
+                return _stamp_risk(
+                    Decision(
+                        PolicyAction.NOTIFY,
+                        "unpaired user in countdown phase",
+                        mode=mode,
+                        pairing_resolved=True,
+                        countdown_days=self.ladder.days_left(moment),
+                    ),
+                    risk,
                 )
-        return Decision(
-            PolicyAction.CHALLENGE,
-            mode=mode,
-            pairing=pairing,
-            pairing_resolved=True,
+        return _stamp_risk(
+            Decision(
+                PolicyAction.CHALLENGE,
+                "risk step-up forces the second factor" if step_up else "",
+                mode=mode,
+                pairing=pairing,
+                pairing_resolved=True,
+            ),
+            risk,
         )
 
     # -- live reconfiguration ------------------------------------------------
@@ -326,6 +447,15 @@ class PolicyEngine:
         """Switch enforcement phase live ("any of these modes may be set
         during production operation")."""
         self.ladder = EnforcementLadder(mode, deadline)
+        self.version += 1
+
+    def set_risk(self, risk) -> None:
+        """Attach, replace, or (with ``None``) remove the risk stage live.
+
+        Bumps :attr:`version` like every other reconfiguration, so cached
+        decisions made under the old scoring rules become unreachable.
+        """
+        self.risk = self._adopt_risk(risk)
         self.version += 1
 
     # -- operator view -------------------------------------------------------
@@ -343,6 +473,11 @@ class PolicyEngine:
             "rate_limit": (
                 {"configured": True, **self.admission.snapshot()}
                 if self.admission is not None
+                else {"configured": False}
+            ),
+            "risk": (
+                {"configured": True, **self.risk.snapshot()}
+                if self.risk is not None
                 else {"configured": False}
             ),
         }

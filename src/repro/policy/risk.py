@@ -1,0 +1,165 @@
+"""Risk scoring as a first-class policy stage (ROADMAP item 5).
+
+:class:`RiskStage` wraps a clock-injected
+:class:`~repro.extensions.risk.RiskEngine` so :class:`PolicyEngine`
+can fold a per-request risk verdict (ALLOW / STEP_UP / DENY) into its
+single ``evaluate()`` surface — the shape of the OpenStack RBA
+implementation (PAPERS.md, arXiv 2303.12361): risk *tightens* the
+static policy, never loosens it.
+
+Beyond delegating to the engine, the stage keeps what the engine alone
+cannot answer after the fact:
+
+* counters (``assessed`` / ``step_ups`` / ``denies`` /
+  ``honeytoken_alarms``) surfaced through ``GET /admin/policy``;
+* a bounded log of **flagged** verdicts — every STEP_UP, DENY, and
+  honeytoken alarm — plus a per-user flag count that survives log
+  eviction.  The chaos invariant "no attacker success without a flagged
+  risk event" is checked against exactly this record.
+
+Honeytoken alarms (arXiv 2112.08431) enter here too: a decoy credential
+being *used* is the highest-confidence compromise signal there is, so
+the dispatch stage reports it to the shared stage and the verdict is
+visible to PAM and the OTP server alike.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.clock import Clock
+from repro.extensions.risk import QUIET_ALLOW, RiskAction, RiskDecision, RiskEngine
+
+
+class RiskStage:
+    """One risk verdict per request, shared by every policy consumer."""
+
+    def __init__(
+        self,
+        engine: Optional[RiskEngine] = None,
+        clock: Optional[Clock] = None,
+        flag_log_limit: int = 512,
+    ) -> None:
+        self.engine = engine or RiskEngine(clock=clock)
+        if clock is not None and not self.engine.clock_injected:
+            self.engine.bind_clock(clock)
+        self.assessed = 0
+        self.step_ups = 0
+        self.denies = 0
+        self.honeytoken_alarms = 0
+        self._flag_log: Deque[dict] = deque(maxlen=flag_log_limit)
+        self._flag_counts: Dict[str, int] = {}
+
+    # -- clock plumbing ------------------------------------------------------
+
+    @property
+    def clock_injected(self) -> bool:
+        return self.engine.clock_injected
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Rebind the wrapped engine (and its geo monitor) onto ``clock``."""
+        self.engine.bind_clock(clock)
+
+    # -- the verdict ---------------------------------------------------------
+
+    def evaluate(self, username: str, source_ip: str) -> RiskDecision:
+        """Score one attempt; STEP_UP and DENY verdicts are flagged."""
+        decision = self.engine.assess(username, source_ip or "")
+        self.assessed += 1
+        if decision is QUIET_ALLOW:
+            # The overwhelmingly common verdict, recognised by identity:
+            # nothing fired, nothing to flag, no enum comparisons needed.
+            return decision
+        if decision.action is RiskAction.STEP_UP:
+            self.step_ups += 1
+        elif decision.action is RiskAction.DENY:
+            self.denies += 1
+        if decision.action is not RiskAction.ALLOW:
+            self._flag(
+                username,
+                source_ip,
+                decision.score,
+                decision.action.value,
+                decision.signals,
+            )
+        return decision
+
+    def raise_alarm(
+        self,
+        username: str,
+        source_ip: str,
+        serial: str = "",
+        accepted: bool = False,
+    ) -> None:
+        """A honeytoken was used: flag the account at maximal score.
+
+        The decoy's secret only exists to be stolen, so *any* use —
+        whether the submitted code verified (``accepted``) or not — means
+        an attacker holds the user's credential material.
+        """
+        self.honeytoken_alarms += 1
+        self._flag(
+            username,
+            source_ip,
+            1.0,
+            "honeytoken",
+            ["honeytoken_use"],
+            serial=serial,
+            accepted=accepted,
+        )
+
+    def _flag(
+        self,
+        username: str,
+        source_ip: str,
+        score: float,
+        action: str,
+        signals: List[str],
+        **extra,
+    ) -> None:
+        entry = {
+            "user": username,
+            "ip": source_ip or "",
+            "score": round(score, 4),
+            "action": action,
+            "signals": list(signals),
+        }
+        entry.update(extra)
+        self._flag_log.append(entry)
+        self._flag_counts[username] = self._flag_counts.get(username, 0) + 1
+
+    # -- the record ----------------------------------------------------------
+
+    def flags_for(self, username: str) -> int:
+        """Flagged-verdict count for one account (survives log eviction)."""
+        return self._flag_counts.get(username, 0)
+
+    def flagged(self) -> List[dict]:
+        """The most recent flagged verdicts, oldest first."""
+        return list(self._flag_log)
+
+    # -- signal feeds (delegated) --------------------------------------------
+
+    def record_failure(self, username: str) -> None:
+        self.engine.record_failure(username)
+
+    def record_success(self, username: str, ip: str) -> None:
+        self.engine.record_success(username, ip)
+
+    def add_watchlist(self, cidr: str) -> None:
+        self.engine.add_watchlist(cidr)
+
+    # -- operator view -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The stage's state, shaped for ``GET /admin/policy``."""
+        return {
+            "step_up_threshold": self.engine.step_up_threshold,
+            "deny_threshold": self.engine.deny_threshold,
+            "assessed": self.assessed,
+            "step_ups": self.step_ups,
+            "denies": self.denies,
+            "honeytoken_alarms": self.honeytoken_alarms,
+            "flagged_users": len(self._flag_counts),
+        }

@@ -22,14 +22,22 @@ Modules:
 * :mod:`repro.sim.tickets` — the support-ticket load model (Figure 5).
 * :mod:`repro.sim.metrics` — per-day aggregation and the figure-shaped
   series/rankings the benchmarks print.
+* :mod:`repro.sim.attackers` — seeded adversarial workloads (credential
+  stuffing, phishing relay, SIM swap) against the real validate path,
+  with blocked-attack rates by token type.
 """
 
+from repro.sim.attackers import AttackConfig, AttackReport, AttackSimulation, run_attack
 from repro.sim.events import EventQueue
 from repro.sim.metrics import DailyMetrics
 from repro.sim.population import Population, UserProfile
 from repro.sim.rollout import RolloutConfig, RolloutSimulation
 
 __all__ = [
+    "AttackConfig",
+    "AttackReport",
+    "AttackSimulation",
+    "run_attack",
     "EventQueue",
     "Population",
     "UserProfile",
