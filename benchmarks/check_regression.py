@@ -10,7 +10,13 @@ example durable storage accidentally enabled on the default stack.
 
 Usage::
 
-    python benchmarks/check_regression.py CURRENT BASELINE [--tolerance 0.30]
+    python benchmarks/check_regression.py CURRENT BASELINE
+        [--tolerance 0.30] [--history BENCH_HISTORY.jsonl]
+
+``--history PATH`` appends one JSON line per invocation — the measured
+series, the verdict, and the commit under test (``$GITHUB_SHA`` when CI
+exports it) — so CI can upload a growing ``BENCH_HISTORY.jsonl`` artifact
+and throughput can be plotted across runs instead of eyeballed per-PR.
 
 Exit status 0 when every series passes, 1 on any regression, 2 on missing
 or key-incompatible files (a changed benchmark should update the committed
@@ -20,7 +26,9 @@ baseline in the same PR).
 from __future__ import annotations
 
 import json
+import os
 import sys
+import time
 from pathlib import Path
 
 
@@ -66,14 +74,44 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list:
     return problems
 
 
+def append_history(
+    path: Path, current: dict, baseline_path: Path, problems: list
+) -> None:
+    """One JSONL line per gate invocation: the run's series + verdict."""
+    entry = {
+        "unix_time": int(time.time()),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "baseline": str(baseline_path),
+        "passed": not problems,
+        "series": {
+            key: round(value, 3)
+            for key, value in sorted(throughput_series(current).items())
+        },
+    }
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"appended run to {path}")
+
+
 def main(argv: list) -> int:
-    args = [a for a in argv if not a.startswith("--")]
+    tolerance = 0.30
+    history_path = None
+    args: list = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--tolerance":
+            tolerance = float(argv[i + 1])
+            i += 2
+        elif arg == "--history":
+            history_path = Path(argv[i + 1])
+            i += 2
+        else:
+            args.append(arg)
+            i += 1
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    tolerance = 0.30
-    if "--tolerance" in argv:
-        tolerance = float(argv[argv.index("--tolerance") + 1])
     current_path, baseline_path = Path(args[0]), Path(args[1])
     for path in (current_path, baseline_path):
         if not path.exists():
@@ -88,6 +126,8 @@ def main(argv: list) -> int:
         print(f"REGRESSION: {problem}", file=sys.stderr)
     if not problems:
         print("hot-path throughput within tolerance of the baseline")
+    if history_path is not None:
+        append_history(history_path, current, baseline_path, problems)
     return 1 if problems else 0
 
 

@@ -14,6 +14,9 @@ and a threaded ``validate_many`` batch entry point.  Two claims, asserted:
 * **``validate_many`` parallelises a burst.**  Draining a multi-user batch
   through the pipeline's worker pool must beat a sequential validate loop
   on the same server by at least 2x.
+* **The resolver chain is ~free for repeat users.**  Routing every login
+  through the identity-resolver chain's warm TTL cache must cost at most
+  5% of direct-lookup throughput on the same rig.
 """
 
 from __future__ import annotations
@@ -158,4 +161,69 @@ class TestValidateManyBatching:
         assert speedup >= 2.0, (
             f"batch speedup only x{speedup:.2f} "
             f"({seq_elapsed * 1e3:.1f}ms -> {batch_elapsed * 1e3:.1f}ms)"
+        )
+
+
+class TestResolverChainOverhead:
+    """The ISSUE's warm-cache gate: once the chain's TTL cache holds the
+    population, repeat-user resolution must cost <= 5% of direct lookup."""
+
+    ROUNDS = 12
+
+    def _loop_throughput(self, server, users) -> float:
+        start = time.perf_counter()
+        total = 0
+        for _ in range(self.ROUNDS):
+            for user in users:
+                assert server.validate(user, "424242").ok
+                total += 1
+        return total / (time.perf_counter() - start)
+
+    def test_warm_chain_within_5pct_of_direct_lookup(self):
+        from repro.resolvers import FlatFileResolver, ResolverChain
+
+        direct, users = _pipeline_rig(stripes=64)
+        chained, _ = _pipeline_rig(stripes=64)
+        chain = ResolverChain(clock=chained.clock)
+        flat = FlatFileResolver(name="flatfile")
+        for user in users:
+            flat.add(user, user)  # uid == username on this rig
+        chain.register(flat)
+        chained.attach_resolvers(chain)
+
+        # Warm both rigs (JIT-free Python, but storage caches settle) and
+        # fill the chain's positive cache before the measured passes.
+        for user in users:
+            assert direct.validate(user, "424242").ok
+            assert chained.validate(user, "424242").ok
+
+        tput_direct = self._loop_throughput(direct, users)
+        tput_chained = self._loop_throughput(chained, users)
+        overhead = max(0.0, 1.0 - tput_chained / tput_direct)
+        snap = chain.snapshot()
+        print(
+            f"\n=== resolver chain overhead ({len(users)} users x "
+            f"{self.ROUNDS} warm rounds) ===\n"
+            f"    direct lookup : {tput_direct:8.0f} logins/s\n"
+            f"    chained (warm): {tput_chained:8.0f} logins/s"
+            f"   (+{overhead * 100:.1f}% overhead, "
+            f"{snap['cache']['hits']} cache hits)"
+        )
+        emit_bench(
+            "pipeline",
+            {
+                "resolver": {
+                    "users": len(users),
+                    "rounds": self.ROUNDS,
+                    "direct_ops_per_sec": round(tput_direct, 1),
+                    "chained_warm_ops_per_sec": round(tput_chained, 1),
+                    "overhead_pct": round(overhead * 100, 2),
+                    "cache_hits": snap["cache"]["hits"],
+                }
+            },
+        )
+        assert snap["cache"]["hits"] >= len(users) * self.ROUNDS
+        assert overhead <= 0.05, (
+            f"warm resolver chain costs {overhead * 100:.1f}% "
+            f"({tput_direct:.0f} -> {tput_chained:.0f} logins/s; gate is 5%)"
         )

@@ -32,6 +32,12 @@ Commands:
 * ``policy [--mode MODE]`` — print the active policy snapshot (enforcement
   ladder, exemptions, lockout threshold, rate limits, lock striping) of a
   demo deployment as JSON.
+* ``resolvers [--outage] [--json]`` — run a resolver-chain deployment
+  (LDAP primary, directory fallback) through a cached repeat login and a
+  federated home-site login, then print the chain snapshot: realm routes,
+  per-resolver circuit state and EWMA score, cache hit counters;
+  ``--outage`` additionally takes the LDAP resolver down mid-run and
+  shows the per-request failover keeping logins green.
 * ``queue [--stats] [--json] [--interactive N] [--batch N]`` — run a
   mixed-priority workload (N interactive soft-token logins alongside an
   N-item batch backfill) through the ingestion queue of an
@@ -324,6 +330,74 @@ def _cmd_attack(args: list) -> int:
     return 1 if summary["violations"] else 0
 
 
+def _cmd_resolvers(args: list) -> int:
+    import json
+    import random
+
+    from repro.common.clock import SimulatedClock
+    from repro.core import MFACenter
+    from repro.crypto.totp import TOTPGenerator
+    from repro.resolvers import ResolverConfig
+
+    clock = SimulatedClock.at("2016-10-05T09:00:00")
+    center = MFACenter(
+        clock=clock,
+        rng=random.Random(42),
+        resolvers=ResolverConfig(use_ldap=True),
+    )
+    center.add_system("stampede", mode="full")
+    # A local user logging in twice: the second resolution is a cache hit.
+    center.create_user("demo", password="pw-demo")
+    _, secret = center.pair_soft("demo")
+    device = TOTPGenerator(secret=secret, clock=clock)
+    center.otp.validate("demo", device.current_code())
+    clock.advance(31)
+    center.otp.validate("demo", device.current_code())
+    # A federated visitor: home-site assertion through the same pipeline.
+    center.create_user("visitor", password="pw-visitor")
+    issuer = center.pair_federated("visitor", "alice@partner")
+    federated = center.otp.validate("alice@partner", issuer.issue("alice"))
+    failover = None
+    if "--outage" in args:
+        # Take the primary (LDAP) resolver down and log in again: the
+        # chain fails over to the directory resolver per-request.
+        chain = center.resolver_chain
+        chain.resolver("ldap").set_outage(True)
+        chain.invalidate()
+        clock.advance(31)
+        failover = center.otp.validate("demo", device.current_code())
+    snapshot = center.otp.resolver_snapshot()
+    if "--json" in args:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    print("realm routes:")
+    for realm, names in snapshot["realms"].items():
+        print(f"  {realm:12s} -> {' -> '.join(names)}")
+    print("resolvers:")
+    for name, info in snapshot["resolvers"].items():
+        stats = info["stats"]
+        print(
+            f"  {name:12s} {info['state']:9s} score {info['score']:.3f}  "
+            f"{stats['lookups']} lookups ({stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['errors']} errors)"
+        )
+    cache = snapshot["cache"]
+    print(
+        f"cache: {cache['entries']} entries, {cache['hits']} hits "
+        f"({cache['negative_hits']} negative), ttl {cache['ttl_seconds']:g}s/"
+        f"{cache['negative_ttl_seconds']:g}s"
+    )
+    print(f"lookups: {snapshot['lookups']}  failovers: {snapshot['failovers']}")
+    print(f"federated login: {'GRANTED' if federated.ok else 'DENIED'}")
+    if failover is not None:
+        print(
+            f"login during ldap outage: "
+            f"{'GRANTED (failed over)' if failover.ok else 'DENIED'}"
+        )
+        return 0 if failover.ok else 1
+    return 0 if federated.ok else 1
+
+
 def _cmd_policy(args: list) -> int:
     import json
     import random
@@ -502,6 +576,7 @@ def main(argv: list) -> int:
         "simulate": _cmd_simulate,
         "attack": _cmd_attack,
         "policy": _cmd_policy,
+        "resolvers": _cmd_resolvers,
         "queue": _cmd_queue,
         "storage": _cmd_storage,
     }

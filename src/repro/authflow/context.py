@@ -40,6 +40,10 @@ class PipelineContext:
     source: Optional[str] = None
 
     # -- resolved by the stages ---------------------------------------------
+    #: The resolver chain's answer when one is attached (maps the submitted
+    #: username — possibly ``user@realm`` — onto the local account); ``None``
+    #: on the legacy direct-lookup path.
+    identity: object = None
     rows: List[dict] = field(default_factory=list)  # all token rows
     row: Optional[dict] = None  # the active row being validated
     token_type: Optional[TokenType] = None

@@ -54,7 +54,20 @@ class Stage(Protocol):
 
 
 class ResolveIdentity:
-    """Load the user's token rows; unpaired users finish immediately."""
+    """Map the submitted username to an account, then load its token rows.
+
+    Two resolution modes:
+
+    * **legacy direct lookup** (no chain attached) — the submitted name
+      *is* the token database's user id, exactly the seed behavior;
+    * **resolver chain** (``server.attach_resolvers``) — the name (which
+      may carry a ``@realm`` suffix) goes through the
+      :class:`~repro.resolvers.chain.ResolverChain` first; the token
+      lookup then uses the resolved unique user id.  An unresolved name
+      is NO_TOKEN; a chain where every candidate resolver is down is an
+      explicit (audited) REJECT — unavailability must never read as
+      "this user does not exist".
+    """
 
     name = "resolve_identity"
     terminal = False
@@ -66,7 +79,32 @@ class ResolveIdentity:
         server = self.server
         with server._stats_lock:
             server.validate_requests += 1
-        ctx.rows = server._user_tokens(ctx.user_id)
+        lookup_id = ctx.user_id
+        chain = getattr(server, "resolvers", None)
+        if chain is not None:
+            from repro.resolvers.base import ResolverUnavailableError
+
+            try:
+                identity = chain.resolve(ctx.user_id)
+            except ResolverUnavailableError as exc:
+                ctx.audit("validate", success=False, detail=str(exc))
+                ctx.finish(
+                    ValidateResult(
+                        ValidateStatus.REJECT, "identity resolvers unavailable"
+                    ),
+                    outcome_applies=False,
+                )
+                return
+            if identity is None:
+                ctx.audit("validate", success=False, detail="unresolved user")
+                ctx.finish(
+                    ValidateResult(ValidateStatus.NO_TOKEN, "unknown user"),
+                    outcome_applies=False,
+                )
+                return
+            ctx.identity = identity
+            lookup_id = identity.uid
+        ctx.rows = server._user_tokens(lookup_id)
         if not ctx.rows:
             ctx.audit("validate", success=False, detail="no token")
             ctx.finish(
@@ -275,6 +313,7 @@ class DispatchByTokenType:
             TokenType.SOFT: self._check_totp,
             TokenType.HARD: self._check_totp,
             TokenType.HONEY: self._check_honeytoken,
+            TokenType.FEDERATED: self._check_federated,
         }
 
     def run(self, ctx: PipelineContext) -> None:
@@ -332,6 +371,54 @@ class DispatchByTokenType:
             outcome.reason,
             serial=row["serial"],
         )
+
+    def _check_federated(self, ctx: PipelineContext) -> ValidateResult:
+        """Verify a home-site bearer assertion as the second factor.
+
+        The submitted "code" is the assertion (``FED1.payload.sig``),
+        optionally carrying a local step-up PIN as a fourth dot-part.
+        Verification failures are ordinary counted failures — a replayed
+        or forged assertion walks through ApplyOutcome like a wrong TOTP
+        code, feeding failcount, lockout and the risk stage.  When the
+        risk stage answered STEP_UP, a valid assertion alone is not
+        enough: the sealed local PIN must accompany it.
+        """
+        from repro.resolvers.federation import AssertionInvalid, split_assertion_code
+
+        server = self.server
+        row = ctx.row
+        serial = row["serial"]
+        verifier = getattr(server, "federation", None)
+        if verifier is None:
+            return ValidateResult(
+                ValidateStatus.REJECT, "federation not configured", serial=serial
+            )
+        assertion, step_up_code = split_assertion_code(ctx.code)
+        try:
+            payload = verifier.verify(assertion)
+        except AssertionInvalid as exc:
+            return ValidateResult(ValidateStatus.REJECT, str(exc), serial=serial)
+        principal = f"{payload['sub']}@{payload['site']}"
+        if principal != row.get("federated_principal"):
+            return ValidateResult(
+                ValidateStatus.REJECT, "assertion subject mismatch", serial=serial
+            )
+        if ctx.decision is not None and ctx.decision.risk_action == "step_up":
+            sealed = row.get("static_code_sealed")
+            if sealed is None:
+                return ValidateResult(
+                    ValidateStatus.REJECT,
+                    "risk step-up: no local second factor enrolled",
+                    serial=serial,
+                )
+            stored = server._sealer.unseal(sealed).decode()
+            if step_up_code != stored:
+                return ValidateResult(
+                    ValidateStatus.REJECT,
+                    "risk step-up: local second factor required",
+                    serial=serial,
+                )
+        return ValidateResult(ValidateStatus.OK, serial=serial)
 
     def _check_honeytoken(self, ctx: PipelineContext) -> ValidateResult:
         # Validate exactly like a soft token — nothing in the response may

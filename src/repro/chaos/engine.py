@@ -32,6 +32,7 @@ from repro.chaos.faults import (
     LatencyFault,
     LossBurst,
     Partition,
+    ResolverOutage,
     ServerFlap,
     ShardCrash,
     SlowShard,
@@ -60,6 +61,7 @@ class ChaosEngine:
         telemetry=None,
         ingest=None,
         backfill=None,
+        resolvers=None,
     ) -> None:
         self.plan = plan
         self.seed = seed
@@ -90,6 +92,10 @@ class ChaosEngine:
         # engine reads back at window close to judge the drain.
         self._ingest = ingest
         self._backfill = backfill
+        # Resolver-outage faults toggle a named resolver's outage knob on
+        # ``resolvers`` (a ResolverChain); the lookup cache is flushed on
+        # both edges so the chain actually exercises failover/recovery.
+        self._resolvers = resolvers
         self._open: set = set()  # indices of currently-active fault windows
 
     # -- time ---------------------------------------------------------------
@@ -235,6 +241,8 @@ class ChaosEngine:
             self._crash_shard(fault.shard, entering)
         elif isinstance(fault, BatchBackfill):
             self._run_backfill(fault, entering)
+        elif isinstance(fault, ResolverOutage):
+            self._resolver_outage(fault, entering)
         elif isinstance(fault, ClockSkew):
             for username, device in self._devices.items():
                 if fault.user and username != fault.user:
@@ -266,6 +274,42 @@ class ChaosEngine:
                 shed=batch["shed"],
                 retries=batch["retries"],
             )
+
+    def _resolver_outage(self, fault: ResolverOutage, entering: bool) -> None:
+        """Down (or restore) one named resolver on the attached chain.
+
+        The event carries the chain's failover counter so the report can
+        assert the outage actually forced traffic onto the fallback, and
+        the downed resolver's EWMA score so recovery is visible.
+        """
+        if self._resolvers is None:
+            raise TypeError(
+                "plan has a resolver-outage fault but no resolver chain "
+                "attached (need a resolver-enabled deployment)"
+            )
+        try:
+            target = self._resolvers.resolver(fault.resolver)
+        except KeyError:
+            raise TypeError(
+                f"plan downs resolver {fault.resolver!r} but the chain has "
+                f"no resolver by that name"
+            ) from None
+        if not hasattr(target, "set_outage"):
+            raise TypeError(
+                f"resolver {fault.resolver!r} ({type(target).__name__}) has "
+                f"no outage knob"
+            )
+        target.set_outage(entering)
+        # Flush the lookup cache on both edges: entering, so cached hits
+        # don't mask the outage; leaving, so recovery probes actually fire.
+        self._resolvers.invalidate()
+        snap = self._resolvers.snapshot()
+        self.record(
+            "resolver_outage" if entering else "resolver_restore",
+            resolver=fault.resolver,
+            state=snap["resolvers"][fault.resolver]["state"],
+            failovers=snap["failovers"],
+        )
 
     def _crash_shard(self, shard: int, entering: bool) -> None:
         """Kill (or rejoin) one shard's primary on a replicated stack.

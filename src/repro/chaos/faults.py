@@ -224,6 +224,29 @@ class BatchBackfill(Fault):
 
 
 @dataclass(frozen=True)
+class ResolverOutage(Fault):
+    """A named identity resolver goes dark: every lookup it is asked to
+    serve raises until the window closes.
+
+    Exists to prove the resolver chain's failover contract — logins must
+    keep succeeding through the remaining resolvers (zero invariant
+    violations) while the downed resolver's EWMA score is demoted, and
+    must recover once the window closes.  Requires a resolver-enabled
+    deployment; the runner upgrades the default workload automatically
+    when a plan schedules one.
+    """
+
+    resolver: str = ""
+
+    kind = "resolver_outage"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.resolver:
+            raise ValueError("resolver outage needs a resolver name")
+
+
+@dataclass(frozen=True)
 class ClockSkew(Fault):
     """A device clock drifts by ``skew`` seconds relative to the server.
 

@@ -24,6 +24,7 @@ from repro.chaos.faults import (
     LatencyFault,
     LossBurst,
     Partition,
+    ResolverOutage,
     ServerFlap,
     ShardCrash,
     SlowShard,
@@ -123,6 +124,13 @@ def shipped_plans() -> Dict[str, FaultPlan]:
             "queue mid-run: it must fully drain before the window closes "
             "while interactive login latency stays flat",
             (BatchBackfill(start=200, duration=1500, items=10_000),),
+        ),
+        FaultPlan(
+            "resolver-outage",
+            "the primary (LDAP) identity resolver goes dark for ten "
+            "minutes mid-run: the chain must fail every lookup over to "
+            "the directory resolver with no login impact, then recover",
+            (ResolverOutage(start=300, duration=600, resolver="ldap"),),
         ),
         FaultPlan(
             "sms-brownout",

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.engine import ChaosEngine
-from repro.chaos.faults import BatchBackfill, ShardCrash
+from repro.chaos.faults import BatchBackfill, ResolverOutage, ShardCrash
 from repro.chaos.plan import FaultPlan
 from repro.common.clock import SimulatedClock
 from repro.core import MFACenter
@@ -332,6 +332,15 @@ def run_chaos(
             max_depth=config.ingest_depth,
             service_cost_seconds=config.queue_service_cost,
         )
+    # A resolver-outage plan needs the identity-resolver chain (LDAP
+    # primary, directory fallback); enable it automatically so the shipped
+    # resolver-outage plan runs out of the box while every other plan
+    # keeps its historical direct identity path (and event-log digest).
+    resolver_config = None
+    if any(isinstance(f, ResolverOutage) for f in plan.faults):
+        from repro.resolvers import ResolverConfig
+
+        resolver_config = ResolverConfig(use_ldap=True)
     center = MFACenter(
         clock=clock,
         rng=random.Random(config.seed),
@@ -345,6 +354,7 @@ def run_chaos(
         radius_wait_clock=clock,
         ingest=ingest_config,
         risk=config.adversarial or None,
+        resolvers=resolver_config,
     )
     system = center.add_system("chaos-rig", login_nodes=1)
     node = system.login_node()
@@ -388,6 +398,7 @@ def run_chaos(
         telemetry=center.telemetry,
         ingest=center.ingest_queue,
         backfill=backfill,
+        resolvers=center.resolver_chain,
     )
     # The adversarial workload: watchlist the attacker's network, plant
     # decoy accounts whose full credentials (password *and* seed) sit in

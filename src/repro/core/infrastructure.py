@@ -67,6 +67,13 @@ class UsernameResolvingBackend:
         self._otp = otp
 
     def validate(self, username: str, code: Optional[str]) -> ValidateResult:
+        # With a resolver chain attached, the OTP pipeline's own
+        # ResolveIdentity stage performs the username→uid mapping (with
+        # realm routing, caching and failover); pass the name through so
+        # federated ``user@homesite`` logins and per-resolver telemetry
+        # work.  Without one, do the legacy LDAP-side join here.
+        if getattr(self._otp, "resolvers", None) is not None:
+            return self._otp.validate(username, code)
         try:
             uid = self._identity.get(username).uid
         except NotFoundError:
@@ -84,6 +91,11 @@ class UsernameResolvingBackend:
         token" without occupying a slot in the OTP server's batch, and
         the rest ride its concurrent :class:`~repro.otpserver.SubmitAPI`.
         """
+        if getattr(self._otp, "resolvers", None) is not None:
+            # Resolver chain attached: the pipeline resolves names itself.
+            if isinstance(self._otp, SubmitAPI):
+                return self._otp.submit_many(list(requests))
+            return [Ticket.completed(self._otp.validate(*r)) for r in requests]
         tickets: List[Optional[Ticket]] = [None] * len(requests)
         resolved_idx: List[int] = []
         resolved: List[Tuple] = []
@@ -276,6 +288,7 @@ class MFACenter:
         radius_wait_clock: Optional[Clock] = None,
         ingest=None,
         risk=None,
+        resolvers=None,
     ) -> None:
         self.clock = clock or SystemClock()
         self.rng = rng or random.Random()
@@ -317,6 +330,35 @@ class MFACenter:
                 stage.bind_clock(self.clock)
             self.risk_stage = stage
             self.otp.policy.set_risk(stage)
+        # Optional identity-resolver chain: ``resolvers`` is None (the
+        # legacy direct username→uid join), True (a default chain over the
+        # identity back end), or a repro.resolvers.ResolverConfig.  When
+        # enabled, the OTP pipeline resolves submitted names through the
+        # chain (realm routing, health-aware failover, TTL caching), and a
+        # federation verifier is stood up so ``pair_federated`` can admit
+        # partner-site users through the same policy engine.
+        self.resolver_chain = None
+        self.federation_verifier = None
+        self._federated_resolver = None
+        self._federation_issuers: Dict[str, object] = {}
+        if resolvers:
+            from repro.resolvers import (
+                AttestationVerifier,
+                ResolverConfig,
+                build_chain,
+            )
+
+            config = (
+                resolvers
+                if isinstance(resolvers, ResolverConfig)
+                else ResolverConfig()
+            )
+            self.resolver_chain = build_chain(
+                config, self.identity, self.clock, self.telemetry
+            )
+            self.otp.attach_resolvers(self.resolver_chain)
+            self.federation_verifier = AttestationVerifier(clock=self.clock)
+            self.otp.attach_federation(self.federation_verifier)
         self.fabric = UDPFabric(
             loss_rate=fabric_loss_rate, rng=self.rng, telemetry=self.telemetry
         )
@@ -467,6 +509,65 @@ class MFACenter:
         serial, secret = self.otp.enroll_honeytoken(self.identity.get(username).uid)
         self.identity.notify_pairing(username, PairingStatus.SOFT)
         return serial, secret
+
+    def federation_issuer(self, site: str, key: Optional[bytes] = None):
+        """The attestation issuer for a partner home site.
+
+        First use mints (or accepts) the site's shared HMAC key and
+        registers it with the deployment's verifier; later calls return
+        the same issuer.  In production the key exchange happens out of
+        band — here the center plays both sides so tests and simulations
+        can mint assertions.
+        """
+        if self.federation_verifier is None:
+            raise ValidationError(
+                "federation requires resolvers= to be enabled on MFACenter"
+            )
+        from repro.resolvers import AttestationIssuer
+
+        issuer = self._federation_issuers.get(site)
+        if issuer is None:
+            if key is None:
+                key = bytes(self.rng.getrandbits(8) for _ in range(32))
+            issuer = AttestationIssuer(site, key, clock=self.clock, rng=self.rng)
+            self.federation_verifier.trust(site, key)
+            self._federation_issuers[site] = issuer
+        return issuer
+
+    def pair_federated(
+        self,
+        username: str,
+        principal: str,
+        step_up_code: Optional[str] = None,
+        home_site_key: Optional[bytes] = None,
+    ):
+        """Admit a partner-site user: map ``principal`` (``user@homesite``)
+        onto the local ``username`` and enroll a FEDERATED pairing.
+
+        Returns the home site's :class:`AttestationIssuer` so callers can
+        mint login assertions.  ``step_up_code`` arms the local second
+        factor that risk-driven STEP_UP demands.
+        """
+        if self.resolver_chain is None:
+            raise ValidationError(
+                "federated pairing requires resolvers= to be enabled on MFACenter"
+            )
+        account = self.identity.get(username)
+        _, _, site = principal.rpartition("@")
+        if not site:
+            raise ValidationError(
+                f"federated principal needs a home-site realm: {principal!r}"
+            )
+        self.otp.enroll_federated(account.uid, principal, step_up_code=step_up_code)
+        if self._federated_resolver is None:
+            from repro.resolvers import FederatedResolver
+
+            self._federated_resolver = FederatedResolver()
+        self._federated_resolver.map(principal, account.uid)
+        self.resolver_chain.add_route(site, self._federated_resolver)
+        issuer = self.federation_issuer(site, key=home_site_key)
+        self.identity.notify_pairing(username, PairingStatus.FEDERATED)
+        return issuer
 
     def pair_training(self, username: str, code: Optional[str] = None) -> str:
         code = code or random_static_code(self.rng)

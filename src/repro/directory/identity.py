@@ -39,6 +39,7 @@ class PairingStatus(str, Enum):
     SMS = "sms"
     HARD = "hard"
     TRAINING = "training"
+    FEDERATED = "federated"
 
 
 def _hash_password(username: str, password: str) -> str:

@@ -10,11 +10,15 @@ resolves when the item is serviced.
 
 Admission, in order:
 
-1. **Throttle shed** — when a :class:`~repro.policy.TokenBucketLimiter`
-   is attached, every submission drains the shared bucket; once it runs
-   dry, sheddable classes (``batch``, ``admin`` by default) are rejected
-   on the spot while ``critical``/``interactive``/``sms`` still enter.
-   That is the "overload sheds batch before critical" contract.
+1. **Throttle shed** — with ``admission_rate`` configured, every class
+   gets its *own* :class:`~repro.policy.TokenBucketLimiter`: a batch
+   backfill can only drain the batch bucket, so refill pressure from one
+   class can never starve another's admission.  Sheddable classes
+   (``batch``, ``admin`` by default) are rejected when their bucket runs
+   dry while ``critical``/``interactive``/``sms`` still enter — the
+   "overload sheds batch before critical" contract.  An *injected*
+   ``limiter`` keeps the historical single-shared-bucket semantics
+   (every submission drains one pool).
 2. **Backpressure shed** — at ``max_depth``, an arrival outranking the
    worst queued class evicts one item from that class (its ticket
    resolves REJECT with a ``shed:`` reason); otherwise the arrival
@@ -65,9 +69,10 @@ def classify_request(request: Sequence) -> PriorityClass:
 class IngestConfig:
     """Shape of one admission queue.
 
-    ``admission_rate``/``admission_burst`` build a private
-    :class:`~repro.policy.TokenBucketLimiter` on the queue's clock when no
-    limiter is injected (``None`` = no throttle shedding).
+    ``admission_rate``/``admission_burst`` build one private
+    :class:`~repro.policy.TokenBucketLimiter` *per priority class* on the
+    queue's clock when no limiter is injected (``None`` = no throttle
+    shedding); each class refills independently at the same rate.
     ``service_cost_seconds`` charges the clock per serviced item — zero
     for live threads (the runner's real work is the cost), a small value
     under virtual time so queue delay becomes measurable in simulated
@@ -136,16 +141,21 @@ class IngestQueue:
         self._runner = runner
         self.config = config or IngestConfig()
         self._clock = clock or WallClock()
+        self._class_limiters: Optional[Dict[PriorityClass, object]] = None
         if limiter is None and self.config.admission_rate is not None:
             from repro.policy import RateLimitConfig, TokenBucketLimiter
 
-            limiter = TokenBucketLimiter(
-                RateLimitConfig(
-                    rate=self.config.admission_rate,
-                    burst=self.config.admission_burst,
-                ),
-                clock=self._clock,
+            bucket = RateLimitConfig(
+                rate=self.config.admission_rate,
+                burst=self.config.admission_burst,
             )
+            # One bucket per class: refill pressure from one class (a
+            # batch backfill hammering admission) cannot drain another
+            # class's tokens, so critical admission never starves.
+            self._class_limiters = {
+                cls: TokenBucketLimiter(bucket, clock=self._clock)
+                for cls in PriorityClass
+            }
         self._limiter = limiter
         self._shed_ranks = {CLASS_RANK[cls] for cls in self.config.shed_classes}
 
@@ -259,10 +269,14 @@ class IngestQueue:
         return ticket
 
     def _admit_throttle(self, cls: PriorityClass, now: float) -> bool:
-        """Drain the shared bucket; refuse only sheddable classes on empty."""
-        if self._limiter is None:
+        """Drain the class's own bucket (or the injected shared one);
+        refuse only sheddable classes on empty."""
+        if self._class_limiters is not None:
+            allowed = self._class_limiters[cls].allow(cls.value, now=now)
+        elif self._limiter is not None:
+            allowed = self._limiter.allow("ingest", now=now)
+        else:
             return True
-        allowed = self._limiter.allow("ingest", now=now)
         return allowed or CLASS_RANK[cls] not in self._shed_ranks
 
     def _evict_for(self, incoming: PriorityClass) -> bool:
@@ -563,8 +577,21 @@ class IngestQueue:
                     round(totals.sla_hits / serviced, 6) if serviced else None
                 ),
             }
-            if self._limiter is not None:
+            if self._class_limiters is not None:
                 snap["admission"] = {
+                    "per_class": True,
+                    "rate": self.config.admission_rate,
+                    "burst": self.config.admission_burst,
+                    "tokens_available": {
+                        cls.value: round(
+                            lim.tokens_available(cls.value, now=now), 3
+                        )
+                        for cls, lim in self._class_limiters.items()
+                    },
+                }
+            elif self._limiter is not None:
+                snap["admission"] = {
+                    "per_class": False,
                     "tokens_available": round(
                         self._limiter.tokens_available("ingest", now=now), 3
                     ),

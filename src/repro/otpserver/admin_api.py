@@ -54,6 +54,7 @@ class AdminAPI:
             ("GET", "/admin/storage"): self._handle_storage,
             ("GET", "/admin/policy"): self._handle_policy,
             ("GET", "/admin/queue"): self._handle_queue,
+            ("GET", "/admin/resolvers"): self._handle_resolvers,
             ("POST", "/validate/check"): self._handle_validate,
         }
         self.request_count = 0
@@ -106,6 +107,12 @@ class AdminAPI:
         if token_type == "honey":
             serial, secret = self.server.enroll_honeytoken(user)
             return {"serial": serial, "otpkey": secret.hex()}
+        if token_type == "federated":
+            serial = self.server.enroll_federated(
+                user, _require(params, "principal"),
+                step_up_code=params.get("otpkey"),
+            )
+            return {"serial": serial}
         raise ValidationError(f"unknown token type {token_type!r}")
 
     def _handle_remove(self, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -150,6 +157,12 @@ class AdminAPI:
         """Admission-queue stats: per-class depth/age, shed/retry counters,
         SLA hit-rates (``{"configured": false}`` without an ingest queue)."""
         return self.server.queue_snapshot()
+
+    def _handle_resolvers(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Identity-resolver chain stats: realm routes, per-resolver circuit
+        state and EWMA score, cache hit counters (``{"configured": false}``
+        when the deployment resolves identities directly)."""
+        return self.server.resolver_snapshot()
 
     def _handle_validate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         result = self.server.validate(

@@ -92,6 +92,7 @@ _TOKEN_COLUMNS = (
     "static_code_sealed",
     "pairing_confirmed",
     "hotp_counter",  # event-based tokens only
+    "federated_principal",  # federated tokens only: the user@homesite mapping
 )
 
 _CHALLENGE_COLUMNS = ("user_id", "serial", "sealed_code", "sent_at", "expires_at")
@@ -225,6 +226,7 @@ class OTPServer:
                 ),
                 "pairing_confirmed": record.pairing_confirmed,
                 "hotp_counter": 0,
+                "federated_principal": record.federated_principal,
             }
         )
 
@@ -374,6 +376,42 @@ class OTPServer:
         self.audit.record("enroll", user_id, serial, detail="static")
         return serial
 
+    def enroll_federated(
+        self, user_id: str, principal: str, step_up_code: Optional[str] = None
+    ) -> str:
+        """Pair an account with a federated home-site identity.
+
+        ``principal`` is the ``user@homesite`` name a trusted issuer
+        attests; the submitted "code" at login time is the bearer
+        assertion itself (see :mod:`repro.resolvers.federation`).  An
+        optional ``step_up_code`` is sealed alongside the pairing and
+        demanded — appended to the assertion — whenever the risk stage
+        answers STEP_UP, so risky federated logins still cost a local
+        second factor.
+        """
+        self._ensure_unpaired(user_id)
+        if "@" not in principal:
+            raise ValidationError(
+                f"federated principal needs a home-site realm: {principal!r}"
+            )
+        if step_up_code is not None and (
+            len(step_up_code) != self.config.digits or not step_up_code.isdigit()
+        ):
+            raise ValidationError(
+                f"step-up code must be {self.config.digits} digits"
+            )
+        serial = self._ids.next("LSFD")
+        record = TokenRecord(
+            serial=serial,
+            user_id=user_id,
+            token_type=TokenType.FEDERATED,
+            sealed_secret=self._sealer.seal(b"\x00" * 20),
+            federated_principal=principal,
+        )
+        self._insert_token(record, step_up_code)
+        self.audit.record("enroll", user_id, serial, detail=f"federated {principal}")
+        return serial
+
     def _ensure_unpaired(self, user_id: str) -> None:
         # Device pairings are "mutually exclusive" (Section 1): one active
         # pairing per user.
@@ -399,6 +437,7 @@ class OTPServer:
                     failcount=row["failcount"],
                     phone_number=row["phone_number"],
                     pairing_confirmed=row["pairing_confirmed"],
+                    federated_principal=row.get("federated_principal"),
                 )
             )
         return out
@@ -492,6 +531,41 @@ class OTPServer:
         if queue is None:
             return {"configured": False}
         return queue.snapshot()
+
+    # -- identity resolvers & federation --------------------------------------
+
+    def attach_resolvers(self, chain) -> None:
+        """Swap identity resolution onto a :class:`ResolverChain`.
+
+        Once attached, the pipeline's ``ResolveIdentity`` stage maps
+        submitted usernames (including ``user@realm`` forms) through the
+        chain before the token lookup, and ``GET /admin/resolvers`` /
+        ``python -m repro resolvers`` report its health and cache state.
+        """
+        self._resolvers = chain
+
+    @property
+    def resolvers(self):
+        """The attached resolver chain, or ``None`` (legacy direct lookup)."""
+        return getattr(self, "_resolvers", None)
+
+    def resolver_snapshot(self) -> Dict[str, object]:
+        """Resolver-chain stats for operators, or a stub when this
+        deployment resolves identities directly (mirrors ``queue_snapshot``
+        conventions)."""
+        chain = self.resolvers
+        if chain is None:
+            return {"configured": False}
+        return chain.snapshot()
+
+    def attach_federation(self, verifier) -> None:
+        """Register the attestation verifier federated dispatch consults."""
+        self._federation = verifier
+
+    @property
+    def federation(self):
+        """The attached :class:`AttestationVerifier`, or ``None``."""
+        return getattr(self, "_federation", None)
 
     # -- admin operations (the built-in web UI, Section 3.1) -----------------
 

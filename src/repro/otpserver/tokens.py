@@ -37,6 +37,11 @@ class TokenType(str, Enum):
     #: never log in, validated exactly like a soft token so an attacker who
     #: stole the seed cannot tell it apart — but any use raises an alarm.
     HONEY = "honey"
+    #: Federated bearer token (arXiv 1908.07573): the "code" is an
+    #: HMAC-signed attestation from a trusted home site; the record maps
+    #: the local account onto its ``user@homesite`` principal.  An optional
+    #: sealed step-up PIN satisfies risk-driven STEP_UP locally.
+    FEDERATED = "federated"
 
 
 @dataclass
@@ -57,6 +62,7 @@ class TokenRecord:
     phone_number: Optional[str] = None  # SMS tokens only
     static_code: Optional[str] = None  # training tokens only
     pairing_confirmed: bool = False
+    federated_principal: Optional[str] = None  # federated tokens only
 
     def describe(self) -> str:
         state = "active" if self.active else "disabled"

@@ -94,10 +94,27 @@ class ServerHealth:
 
 
 class HealthTracker:
-    """Health scores and circuit state for one client's server list."""
+    """Health scores and circuit state for one client's server list.
 
-    def __init__(self, servers: List[str], policy: FailoverPolicy, telemetry=None) -> None:
+    The tracker is subject-agnostic: the RADIUS client tracks servers (the
+    default metric names) and the identity-resolver chain reuses the same
+    machinery for resolver backends by overriding the metric names and
+    ``label`` — the EWMA/circuit semantics are identical either way.
+    """
+
+    def __init__(
+        self,
+        servers: List[str],
+        policy: FailoverPolicy,
+        telemetry=None,
+        health_metric: str = "radius_server_health",
+        circuit_metric: str = "radius_circuit_state",
+        transitions_metric: str = "radius_circuit_transitions_total",
+        subject: str = "RADIUS server",
+        label: str = "server",
+    ) -> None:
         self.policy = policy
+        self._label = label
         self._health: Dict[str, ServerHealth] = {
             s: ServerHealth(address=s) for s in servers
         }
@@ -106,17 +123,25 @@ class HealthTracker:
 
             telemetry = NOOP_REGISTRY
         self._g_health = telemetry.gauge(
-            "radius_server_health", "EWMA health score per RADIUS server (1 = healthy)"
+            health_metric, f"EWMA health score per {subject} (1 = healthy)"
         )
         self._g_circuit = telemetry.gauge(
-            "radius_circuit_state",
-            "circuit state per RADIUS server (0 closed, 1 half-open, 2 open)",
+            circuit_metric,
+            f"circuit state per {subject} (0 closed, 1 half-open, 2 open)",
         )
         self._c_transitions = telemetry.counter(
-            "radius_circuit_transitions_total", "circuit state changes by server"
+            transitions_metric, f"circuit state changes by {label}"
         )
         for health in self._health.values():
             self._publish(health)
+
+    def add(self, server: str) -> ServerHealth:
+        """Start tracking a subject registered after construction."""
+        health = self._health.get(server)
+        if health is None:
+            health = self._health[server] = ServerHealth(address=server)
+            self._publish(health)
+        return health
 
     # -- queries -----------------------------------------------------------
 
@@ -143,14 +168,17 @@ class HealthTracker:
     # -- transitions -------------------------------------------------------
 
     def _publish(self, health: ServerHealth) -> None:
-        self._g_health.set(round(health.score, 6), server=health.address)
-        self._g_circuit.set(CIRCUIT_GAUGE_VALUE[health.state], server=health.address)
+        labels = {self._label: health.address}
+        self._g_health.set(round(health.score, 6), **labels)
+        self._g_circuit.set(CIRCUIT_GAUGE_VALUE[health.state], **labels)
 
     def _transition(self, health: ServerHealth, state: CircuitState, now: float) -> None:
         if health.state is state:
             return
         self._c_transitions.inc(
-            server=health.address, from_state=health.state.value, to_state=state.value
+            from_state=health.state.value,
+            to_state=state.value,
+            **{self._label: health.address},
         )
         health.state = state
         if state is not CircuitState.CLOSED:

@@ -1,0 +1,210 @@
+"""Concrete identity resolvers: directory, LDAP, flat-file, cached-remote.
+
+Each backend answers the resolver protocol over a different account
+source — the shapes LinOTP's UserIdResolver supports:
+
+* :class:`DirectoryResolver` — today's in-process identity back end
+  (:mod:`repro.directory.identity`), the authoritative account database;
+* :class:`LDAPSimResolver` — an RFC 4515 search against the LDAP model
+  (:mod:`repro.directory.ldap`) with injectable latency and fault knobs,
+  so chaos plans and benchmarks can make the "remote" source slow or
+  dark on demand;
+* :class:`FlatFileResolver` — passwd-style ``username:uid`` lines, the
+  escape hatch every deployment keeps for service accounts;
+* :class:`CachedRemoteResolver` — a TTL'd read-through wrapper that makes
+  any slow resolver cheap on repeat lookups (the chain adds its own
+  cache on top; this one exists for composing remote sources directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.clock import Clock, WallClock
+from repro.resolvers.base import (
+    IdentityResolver,
+    ResolvedIdentity,
+    ResolverUnavailableError,
+    split_realm,
+)
+
+
+class DirectoryResolver(IdentityResolver):
+    """Resolve against the center's identity back end (authoritative)."""
+
+    def __init__(self, identity, name: str = "directory") -> None:
+        super().__init__(name)
+        self._identity = identity
+
+    def _lookup(self, username: str) -> Optional[ResolvedIdentity]:
+        from repro.common.errors import NotFoundError
+
+        local, realm = split_realm(username)
+        try:
+            account = self._identity.get(local)
+        except NotFoundError:
+            return None
+        return ResolvedIdentity(
+            username=username, uid=account.uid, realm=realm, resolver=self.name
+        )
+
+
+class LDAPSimResolver(IdentityResolver):
+    """Resolve via an LDAP subtree search, with latency/fault injection.
+
+    The knobs model the remote directory misbehaving:
+
+    * :meth:`set_latency` — every lookup costs that many (clock) seconds;
+    * :meth:`set_outage` — while on, every lookup raises
+      :class:`ResolverUnavailableError` (the ``ResolverOutage`` chaos
+      fault flips this);
+    * :meth:`inject_failures` — the next N lookups fail, then recover
+      (for exercising the circuit breaker's probe ladder).
+    """
+
+    def __init__(
+        self,
+        ldap,
+        name: str = "ldap",
+        clock: Optional[Clock] = None,
+        base: str = "ou=people,dc=center,dc=edu",
+        latency: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        self._ldap = ldap
+        self._clock = clock or WallClock()
+        self._base = base
+        self._latency = float(latency)
+        self._outage = False
+        self._failures_left = 0
+
+    # -- fault knobs -------------------------------------------------------
+
+    def set_latency(self, seconds: float) -> None:
+        self._latency = float(seconds)
+
+    def set_outage(self, down: bool) -> None:
+        self._outage = bool(down)
+
+    def inject_failures(self, count: int) -> None:
+        self._failures_left = int(count)
+
+    # -- protocol ----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return {"available": not self._outage, "latency_seconds": self._latency}
+
+    def _lookup(self, username: str) -> Optional[ResolvedIdentity]:
+        if self._outage:
+            raise ResolverUnavailableError(f"resolver {self.name!r} is down")
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise ResolverUnavailableError(f"resolver {self.name!r} timed out")
+        if self._latency > 0:
+            self._clock.sleep(self._latency)
+        local, realm = split_realm(username)
+        entries = self._ldap.search(
+            self._base, f"(&(objectclass=posixaccount)(uid={local}))"
+        )
+        if not entries:
+            return None
+        uid = entries[0].first("uidnumber")
+        if uid is None:
+            return None
+        return ResolvedIdentity(
+            username=username, uid=uid, realm=realm, resolver=self.name
+        )
+
+
+class FlatFileResolver(IdentityResolver):
+    """Resolve from passwd-style ``username:uid`` lines.
+
+    Blank lines and ``#`` comments are ignored, like every Unix table
+    file.  Extra colon-separated fields beyond the first two are allowed
+    and ignored, so a real ``/etc/passwd`` excerpt parses as-is.
+    """
+
+    def __init__(self, text: str = "", name: str = "flatfile") -> None:
+        super().__init__(name)
+        self._table: Dict[str, str] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":")
+            if len(parts) < 2 or not parts[0]:
+                raise ValueError(f"malformed flat-file line: {line!r}")
+            self._table[parts[0]] = parts[2] if parts[1] == "x" else parts[1]
+
+    def add(self, username: str, uid: str) -> None:
+        self._table[username] = str(uid)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def _lookup(self, username: str) -> Optional[ResolvedIdentity]:
+        local, realm = split_realm(username)
+        uid = self._table.get(local)
+        if uid is None:
+            return None
+        return ResolvedIdentity(
+            username=username, uid=uid, realm=realm, resolver=self.name
+        )
+
+
+class CachedRemoteResolver(IdentityResolver):
+    """A TTL'd read-through cache in front of another resolver.
+
+    Positive hits live for ``ttl`` seconds, authoritative misses for
+    ``negative_ttl`` (shorter, so a just-created account shows up fast).
+    Unavailability is never cached: if the inner resolver is down and the
+    cache is cold, the error propagates so the chain can fail over.
+    """
+
+    def __init__(
+        self,
+        inner: IdentityResolver,
+        clock: Optional[Clock] = None,
+        ttl: float = 300.0,
+        negative_ttl: float = 30.0,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"cached-{inner.name}")
+        if ttl <= 0 or negative_ttl <= 0:
+            raise ValueError("cache TTLs must be positive")
+        self.inner = inner
+        self._clock = clock or WallClock()
+        self._ttl = float(ttl)
+        self._negative_ttl = float(negative_ttl)
+        self._cache: Dict[str, tuple] = {}
+        self.cache_hits = 0
+
+    def invalidate(self, username: Optional[str] = None) -> None:
+        if username is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(username, None)
+
+    def health(self) -> Dict[str, object]:
+        return self.inner.health()
+
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats["cache_hits"] = self.cache_hits
+        stats["cache_entries"] = len(self._cache)
+        stats["inner"] = self.inner.stats()
+        return stats
+
+    def _lookup(self, username: str) -> Optional[ResolvedIdentity]:
+        now = self._clock.now()
+        cached = self._cache.get(username)
+        if cached is not None:
+            expires, identity = cached
+            if now < expires:
+                self.cache_hits += 1
+                return identity
+            del self._cache[username]
+        identity = self.inner.resolve(username)
+        ttl = self._ttl if identity is not None else self._negative_ttl
+        self._cache[username] = (now + ttl, identity)
+        return identity

@@ -1,0 +1,260 @@
+"""The resolver chain: realm routing, health-aware failover, TTL caching.
+
+This is the composition layer over :mod:`repro.resolvers.backends`.  One
+chain fronts every account source a deployment knows about:
+
+* **Realm routing** — ``alice`` takes the default (empty) realm's route,
+  ``alice@partner`` the route registered for ``partner``.  A realm with
+  no registered resolvers *fails closed*: the lookup misses (and the
+  miss is negative-cached) rather than falling through to some other
+  source — exactly one route answers for any username, or none does.
+* **Health-aware failover** — each resolver gets an EWMA health score
+  and a circuit breaker with the same CLOSED/HALF_OPEN/OPEN shape as
+  the RADIUS client (:mod:`repro.radius.health`, literally reused).
+  Healthy resolvers are tried best-score-first; open circuits are
+  skipped until their (exponentially backed-off) probe timer fires.
+  A resolver raising :class:`ResolverUnavailableError` fails the
+  request *over*, not *down*: the next candidate answers and the caller
+  never notices.  An authoritative miss, by contrast, is an answer —
+  it never triggers failover.
+* **TTL'd lookup cache** — positive and negative entries, so repeat-user
+  resolution costs a dict probe.  Negative entries expire faster
+  (``negative_ttl``) so freshly created accounts appear promptly.
+
+Everything is Clock-injected: virtual-time simulations drive cache
+expiry, probe timers and latency measurement without wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock, WallClock
+from repro.radius.health import CircuitState, FailoverPolicy, HealthTracker
+from repro.resolvers.base import (
+    IdentityResolver,
+    ResolvedIdentity,
+    ResolverUnavailableError,
+    split_realm,
+)
+
+#: Cache entries beyond this are evicted oldest-first (insertion order).
+DEFAULT_CACHE_CAPACITY = 4096
+
+
+class ResolverChain:
+    """Route usernames to resolvers; cache, score and fail over."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        telemetry=None,
+        policy: Optional[FailoverPolicy] = None,
+        cache_ttl: float = 300.0,
+        negative_ttl: float = 30.0,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        if cache_ttl <= 0 or negative_ttl <= 0:
+            raise ValueError("cache TTLs must be positive")
+        if cache_capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.clock = clock or WallClock()
+        self.policy = policy or FailoverPolicy()
+        self.cache_ttl = float(cache_ttl)
+        self.negative_ttl = float(negative_ttl)
+        self._cache_capacity = int(cache_capacity)
+        self._routes: Dict[str, List[IdentityResolver]] = {}
+        self._resolvers: Dict[str, IdentityResolver] = {}
+        self._order: Dict[str, int] = {}
+        # username -> (expires_at, identity-or-None)
+        self._cache: Dict[str, Tuple[float, Optional[ResolvedIdentity]]] = {}
+        self.lookups = 0
+        self.cache_hits = 0
+        self.negative_hits = 0
+        self.failovers = 0
+        self.unrouted = 0
+        if telemetry is None:
+            from repro.telemetry import NOOP_REGISTRY
+
+            telemetry = NOOP_REGISTRY
+        self._h_lookup = telemetry.histogram(
+            "resolver_lookup_seconds", "identity lookup latency by resolver"
+        )
+        self._c_lookups = telemetry.counter(
+            "resolver_lookups_total", "identity lookups by resolver and outcome"
+        )
+        self._tracker = HealthTracker(
+            [],
+            self.policy,
+            telemetry,
+            health_metric="resolver_health",
+            circuit_metric="resolver_circuit_state",
+            transitions_metric="resolver_circuit_transitions_total",
+            subject="identity resolver",
+            label="resolver",
+        )
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self, resolver: IdentityResolver, realms: Tuple[str, ...] = ("",)
+    ) -> IdentityResolver:
+        """Attach ``resolver`` to one or more realm routes.
+
+        The empty realm is the default route for bare usernames.  Within
+        a route, registration order is the tie-break when health scores
+        are equal, so register the preferred source first.
+        """
+        if resolver.name in self._resolvers:
+            raise ValueError(f"resolver {resolver.name!r} already registered")
+        self._resolvers[resolver.name] = resolver
+        self._order[resolver.name] = len(self._order)
+        self._tracker.add(resolver.name)
+        for realm in realms:
+            self._routes.setdefault(realm, []).append(resolver)
+        return resolver
+
+    def add_route(self, realm: str, resolver: IdentityResolver) -> None:
+        """Route another realm to ``resolver`` (registering it if new).
+
+        Used when federated home sites join after the chain is built:
+        each new site's realm routes to the shared federated resolver.
+        """
+        if resolver.name not in self._resolvers:
+            self.register(resolver, realms=(realm,))
+            return
+        route = self._routes.setdefault(realm, [])
+        if resolver not in route:
+            route.append(resolver)
+
+    def resolver(self, name: str) -> IdentityResolver:
+        return self._resolvers[name]
+
+    def realms(self) -> List[str]:
+        return sorted(self._routes)
+
+    # -- cache -------------------------------------------------------------
+
+    def invalidate(self, username: Optional[str] = None) -> None:
+        """Drop one cached lookup (or the whole cache)."""
+        if username is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(username, None)
+
+    def _cache_put(self, username: str, identity: Optional[ResolvedIdentity]) -> None:
+        ttl = self.cache_ttl if identity is not None else self.negative_ttl
+        if len(self._cache) >= self._cache_capacity and username not in self._cache:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[username] = (self.clock.now() + ttl, identity)
+
+    # -- resolution --------------------------------------------------------
+
+    def _candidates(self, route: List[IdentityResolver], now: float):
+        """Resolvers worth trying: due probes first (so an ejected resolver
+        can actually recover even while a healthy fallback keeps answering),
+        then healthy circuits best-score-first."""
+        closed = []
+        probes = []
+        for resolver in route:
+            state = self._tracker.state(resolver.name)
+            if state is CircuitState.CLOSED:
+                closed.append(resolver)
+            elif self._tracker.probe_due(resolver.name, now):
+                self._tracker.begin_probe(resolver.name, now)
+                probes.append(resolver)
+        closed.sort(
+            key=lambda r: (
+                -self._tracker.health(r.name).score,
+                self._order[r.name],
+            )
+        )
+        return probes + closed
+
+    def resolve(self, username: str) -> Optional[ResolvedIdentity]:
+        """Resolve ``username`` through its realm's route.
+
+        Returns ``None`` on an authoritative miss (including an unrouted
+        realm — fail closed).  Raises :class:`ResolverUnavailableError`
+        only when every candidate on the route is down.
+        """
+        self.lookups += 1
+        now = self.clock.now()
+        cached = self._cache.get(username)
+        if cached is not None:
+            expires, identity = cached
+            if now < expires:
+                self.cache_hits += 1
+                if identity is None:
+                    self.negative_hits += 1
+                return identity
+            del self._cache[username]
+        _, realm = split_realm(username)
+        route = self._routes.get(realm)
+        if not route:
+            self.unrouted += 1
+            self._c_lookups.inc(resolver="(unrouted)", outcome="miss")
+            self._cache_put(username, None)
+            return None
+        attempts = 0
+        for resolver in self._candidates(route, now):
+            attempts += 1
+            began = self.clock.now()
+            try:
+                identity = resolver.resolve(username)
+            except ResolverUnavailableError:
+                self._tracker.on_failure(resolver.name, self.clock.now())
+                self._c_lookups.inc(resolver=resolver.name, outcome="error")
+                continue
+            elapsed = self.clock.now() - began
+            self._tracker.on_success(resolver.name, self.clock.now())
+            self._h_lookup.observe(elapsed, resolver=resolver.name)
+            self._c_lookups.inc(
+                resolver=resolver.name,
+                outcome="hit" if identity is not None else "miss",
+            )
+            if attempts > 1:
+                self.failovers += 1
+            self._cache_put(username, identity)
+            return identity
+        raise ResolverUnavailableError(
+            f"no resolver available for realm {realm or '(default)'!r}"
+        )
+
+    # -- admin view --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``GET /admin/resolvers`` view: routes, health, cache, stats."""
+        now = self.clock.now()
+        resolvers = {}
+        for name, resolver in self._resolvers.items():
+            health = self._tracker.health(name)
+            resolvers[name] = {
+                "state": health.state.value,
+                "score": round(health.score, 6),
+                "successes": health.successes,
+                "failures": health.failures,
+                "consecutive_failures": health.consecutive_failures,
+                "health": resolver.health(),
+                "stats": resolver.stats(),
+            }
+        live = sum(1 for exp, _ in self._cache.values() if now < exp)
+        return {
+            "configured": True,
+            "realms": {
+                realm or "(default)": [r.name for r in route]
+                for realm, route in sorted(self._routes.items())
+            },
+            "resolvers": resolvers,
+            "cache": {
+                "entries": len(self._cache),
+                "live": live,
+                "ttl_seconds": self.cache_ttl,
+                "negative_ttl_seconds": self.negative_ttl,
+                "hits": self.cache_hits,
+                "negative_hits": self.negative_hits,
+            },
+            "lookups": self.lookups,
+            "failovers": self.failovers,
+            "unrouted": self.unrouted,
+        }

@@ -1,0 +1,82 @@
+"""Deployment-facing resolver configuration (the ``StorageConfig`` shape).
+
+``MFACenter(resolvers=ResolverConfig(...))`` — or ``resolvers=True`` for
+the defaults — builds a :class:`~repro.resolvers.chain.ResolverChain`
+over the center's identity back end and swaps the auth pipeline's
+``ResolveIdentity`` stage onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.radius.health import FailoverPolicy
+from repro.resolvers.backends import (
+    DirectoryResolver,
+    FlatFileResolver,
+    LDAPSimResolver,
+)
+from repro.resolvers.chain import DEFAULT_CACHE_CAPACITY, ResolverChain
+
+
+@dataclass(frozen=True)
+class ResolverConfig:
+    """Tunables for the identity-resolver chain.
+
+    * ``use_ldap`` — register an :class:`LDAPSimResolver` over the
+      center's LDAP model *ahead of* the directory resolver, so the
+      "remote" source is primary and the in-process directory is the
+      failover target (the chaos ``resolver-outage`` plan's shape);
+    * ``ldap_latency`` — simulated seconds each LDAP lookup costs;
+    * ``flat_file`` — optional passwd-style ``username:uid`` text served
+      by a :class:`FlatFileResolver` on the default realm (last);
+    * ``cache_ttl`` / ``negative_ttl`` — the chain's positive/negative
+      lookup-cache lifetimes;
+    * ``failover`` — the EWMA circuit-breaker policy (identical shape to
+      the RADIUS client's).
+    """
+
+    use_ldap: bool = False
+    ldap_latency: float = 0.0
+    flat_file: Optional[str] = None
+    cache_ttl: float = 300.0
+    negative_ttl: float = 30.0
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    failover: FailoverPolicy = field(default_factory=FailoverPolicy)
+
+    def __post_init__(self) -> None:
+        if self.cache_ttl <= 0 or self.negative_ttl <= 0:
+            raise ValueError("cache TTLs must be positive")
+        if self.cache_capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        if self.ldap_latency < 0:
+            raise ValueError("LDAP latency must be non-negative")
+
+
+def build_chain(
+    config: ResolverConfig, identity, clock, telemetry=None
+) -> ResolverChain:
+    """Assemble the chain a :class:`ResolverConfig` describes.
+
+    Route order on the default realm: LDAP (when enabled) first, the
+    authoritative directory second, the flat file last — so the remote
+    source takes traffic while healthy and the in-process directory
+    catches its failures.
+    """
+    chain = ResolverChain(
+        clock=clock,
+        telemetry=telemetry,
+        policy=config.failover,
+        cache_ttl=config.cache_ttl,
+        negative_ttl=config.negative_ttl,
+        cache_capacity=config.cache_capacity,
+    )
+    if config.use_ldap:
+        chain.register(
+            LDAPSimResolver(identity.ldap, clock=clock, latency=config.ldap_latency)
+        )
+    chain.register(DirectoryResolver(identity))
+    if config.flat_file is not None:
+        chain.register(FlatFileResolver(config.flat_file))
+    return chain

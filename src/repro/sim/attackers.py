@@ -23,6 +23,11 @@ Attacker behaviors:
   and reads the victim's messages off the (rerouted) phone number.
 * **mixed** — each compromised account is attacked by whichever of the
   three channels applies to its device type.
+* **federated** — the soft-token population logs in via home-site bearer
+  assertions instead; the attacker steals a victim's assertion off a
+  proxy page, relays it, replays it, and forges assertions under a key
+  the verifier never trusted.  The replay must die in the nonce cache
+  and any relay that lands must be flagged by the risk stage.
 
 Everything is seeded — population assignment, target selection, attack
 timing, code guesses — and the run appends every attempt to an
@@ -56,7 +61,10 @@ from repro.common.clock import VirtualClock
 #: the measured deterrence comes from the adversarial signals alone.
 EPOCH = "2016-10-05T09:00:00"
 
-SCENARIOS = ("stuffing", "phishing", "simswap", "mixed")
+SCENARIOS = ("stuffing", "phishing", "simswap", "mixed", "federated")
+
+#: The home site whose assertions the federated scenario trusts.
+HOME_SITE = "partner.edu"
 
 #: Device-type assignment, in draw order.  ``none`` is the unpaired tail
 #: (the opt-in ladder's single-factor channel); ``honey`` the planted
@@ -75,6 +83,7 @@ GROUP_OF = {
     "sms": "sms",
     "hotp": "hotp",
     "static": "static",
+    "federated": "federated",
 }
 
 
@@ -297,6 +306,36 @@ class AttackSimulation:
             clock=self.clock, rng=self.scheduler.rng("otp-server"), policy=policy
         )
         self.policy = policy
+        # The federated scenario swaps the soft-token population onto
+        # home-site bearer assertions: one trusted issuer holds the real
+        # signing key, a rogue issuer signs under a key the verifier never
+        # saw (the forgery probe).
+        self.issuer = None
+        self._rogue_issuer = None
+        if cfg.scenario == "federated":
+            from repro.resolvers.federation import (
+                AttestationIssuer,
+                AttestationVerifier,
+            )
+
+            key_rng = self.scheduler.rng("federation-key")
+            key = bytes(key_rng.getrandbits(8) for _ in range(32))
+            rogue = bytes(key_rng.getrandbits(8) for _ in range(32))
+            self.issuer = AttestationIssuer(
+                HOME_SITE,
+                key,
+                clock=self.clock,
+                rng=self.scheduler.rng("federation-issuer"),
+            )
+            self._rogue_issuer = AttestationIssuer(
+                HOME_SITE,
+                rogue,
+                clock=self.clock,
+                rng=self.scheduler.rng("rogue-issuer"),
+            )
+            verifier = AttestationVerifier(clock=self.clock)
+            verifier.trust(HOME_SITE, key)
+            self.server.attach_federation(verifier)
         self.attempts: List[dict] = []
         self.legit_logins = 0
         self.legit_succeeded = 0
@@ -336,10 +375,12 @@ class AttackSimulation:
                 k += 1
             codes[i] = k
             counts[k] += 1
-        self.population = {
-            GROUP_OF[kind]: 0 for kind in _KINDS
-        }
-        for kind, n in zip(_KINDS, counts):
+        # The device draw itself is scenario-independent (same seed, same
+        # assignment); the federated scenario then deploys its soft-token
+        # population as home-site federated logins instead.
+        deployed = [self._deployed_kind(k) for k in _KINDS]
+        self.population = {GROUP_OF[kind]: 0 for kind in deployed}
+        for kind, n in zip(deployed, counts):
             self.population[GROUP_OF[kind]] += n
         n_targets = max(1, int(round(cfg.accounts * cfg.compromised_fraction)))
         chosen = set(int(i) for i in g.choice(cfg.accounts, n_targets, replace=False))
@@ -347,13 +388,23 @@ class AttackSimulation:
         # being found is their job — so every decoy is in the target set.
         honey_code = _KINDS.index("honey")
         chosen.update(i for i, c in enumerate(codes) if c == honey_code)
-        self.targets = [_Target(i, _KINDS[codes[i]]) for i in sorted(chosen)]
+        self.targets = [
+            _Target(i, self._deployed_kind(_KINDS[codes[i]])) for i in sorted(chosen)
+        ]
         self.log.append(
             "population",
             accounts=cfg.accounts,
             targets=n_targets,
             **{k: int(v) for k, v in sorted(self.population.items())},
         )
+
+    def _deployed_kind(self, kind: str) -> str:
+        if self.config.scenario == "federated" and kind == "soft":
+            return "federated"
+        return kind
+
+    def _principal(self, t: _Target) -> str:
+        return f"{t.user}@{HOME_SITE}"
 
     def _enroll_targets(self) -> None:
         server = self.server
@@ -390,6 +441,15 @@ class AttackSimulation:
             elif t.kind == "static":
                 t.static_code = random_static_code(static_rng)
                 server.enroll_static(t.user, t.static_code)
+            elif t.kind == "federated":
+                # Enrolled with a local step-up PIN (reusing the static
+                # slot): the risk stage can force it, the attacker's
+                # stolen assertion never carries it.
+                pin_rng = self.scheduler.rng("federation-pins", t.idx)
+                t.static_code = f"{pin_rng.randrange(10**6):06d}"
+                server.enroll_federated(
+                    t.user, self._principal(t), step_up_code=t.static_code
+                )
 
     # -- the run --------------------------------------------------------------
 
@@ -433,7 +493,7 @@ class AttackSimulation:
             r = self.scheduler.rng("legit", t.idx)
             warmup = self.epoch + r.uniform(120.0, 1500.0)
             self.scheduler.schedule_at(warmup, self._legit_login, t)
-            if t.kind in ("soft", "hard", "hotp", "static"):
+            if t.kind in ("soft", "hard", "hotp", "static", "federated"):
                 mid = self.epoch + r.uniform(1800.0, cfg.duration_seconds)
                 self.scheduler.schedule_at(mid, self._legit_login, t)
 
@@ -454,6 +514,18 @@ class AttackSimulation:
 
     def _submit_legit(self, t: _Target, code: str) -> None:
         result = self.server.validate(t.user, code, source=t.home_ip)
+        if (
+            t.kind == "federated"
+            and result.status is not ValidateStatus.OK
+            and (result.reason or "").startswith("risk step-up")
+        ):
+            # The portal's step-up prompt: the user re-authenticates at
+            # the home site (the first assertion's nonce is spent) and
+            # appends their local PIN as the fourth dot-part.
+            fresh = self.issuer.issue(t.user)
+            result = self.server.validate(
+                t.user, f"{fresh}.{t.static_code}", source=t.home_ip
+            )
         if result.status is ValidateStatus.OK and t.kind == "hotp":
             t.hotp_counter += 1
         self.legit_logins += 1
@@ -469,6 +541,11 @@ class AttackSimulation:
             return t.static_code
         if t.kind == "hotp":
             return hotp(t.secret, t.hotp_counter)
+        if t.kind == "federated":
+            # The home-site SSO mints a fresh single-use assertion for
+            # the user's *home-site* name (``sub``); the verifier joins
+            # it with the site to form the enrolled principal.
+            return self.issuer.issue(t.user)
         return totp_at(t.secret, self.clock.now())
 
     # -- attacker behaviors ----------------------------------------------------
@@ -496,6 +573,8 @@ class AttackSimulation:
                 channel = "stuffing"
             if channel == "phishing" and t.kind in ("none", "honey"):
                 channel = "stuffing"
+            if channel == "federated" and t.kind != "federated":
+                channel = "stuffing"
             if channel == "stuffing":
                 for k in range(cfg.attempts_per_target if t.kind != "none" else 1):
                     self.scheduler.schedule_at(
@@ -503,6 +582,8 @@ class AttackSimulation:
                     )
             elif channel == "phishing":
                 self.scheduler.schedule_at(base, self._phish, t, r)
+            elif channel == "federated":
+                self.scheduler.schedule_at(base, self._federated_attack, t, r)
             else:
                 self.scheduler.schedule_at(base, self._simswap_trigger, t, r)
 
@@ -581,6 +662,33 @@ class AttackSimulation:
             )
             return
         self._attack_validate(t, channel, message.body.rsplit(" ", 1)[-1])
+
+    # federated --------------------------------------------------------------
+
+    def _federated_attack(self, t: _Target, r) -> None:
+        """The attacker lifts a victim's fresh assertion off a proxy page.
+
+        Three probes per target, in order: the stolen assertion relayed
+        once (possibly after the victim already consumed its nonce), the
+        *same* assertion replayed — which must always die in the nonce
+        cache, whoever burned it first — and a forgery signed under the
+        rogue key the verifier never trusted.
+        """
+        assertion = self.issuer.issue(t.user)
+        consumed = r.random() < self.config.victim_consumes
+        if consumed:
+            self.scheduler.schedule(8.0, self._submit_legit, t, assertion)
+        delay = r.uniform(15.0, 120.0)
+        self.scheduler.schedule(
+            delay, self._attack_validate, t, "stolen_assertion", assertion
+        )
+        self.scheduler.schedule(
+            delay + 7.0, self._attack_validate, t, "replayed_assertion", assertion
+        )
+        forged = self._rogue_issuer.issue(t.user)
+        self.scheduler.schedule(
+            delay + 14.0, self._attack_validate, t, "forged_assertion", forged
+        )
 
     # SIM swap ---------------------------------------------------------------
 
@@ -666,6 +774,12 @@ def _classify(result: ValidateResult) -> str:
         return "risk_deny"
     if reason.startswith("rate limit"):
         return "throttle"
+    if reason.startswith("risk step-up"):
+        return "step_up"
+    if "replayed" in reason:
+        return "replay"
+    if reason.startswith("assertion") or reason.startswith("federation"):
+        return "assertion_reject"
     return "otp_reject"
 
 

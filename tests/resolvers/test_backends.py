@@ -1,0 +1,148 @@
+"""Concrete resolver backends: directory, LDAP sim, flat file, cached."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.directory.identity import IdentityBackend
+from repro.resolvers import (
+    CachedRemoteResolver,
+    DirectoryResolver,
+    FlatFileResolver,
+    LDAPSimResolver,
+    ResolverUnavailableError,
+)
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock.at("2016-10-05T09:00:00")
+
+
+@pytest.fixture
+def identity():
+    backend = IdentityBackend()
+    backend.create_account("alice", "alice@example.edu")
+    backend.create_account("bob", "bob@example.edu")
+    return backend
+
+
+class TestDirectoryResolver:
+    def test_hit_carries_uid_and_resolver_name(self, identity):
+        resolver = DirectoryResolver(identity)
+        found = resolver.resolve("alice")
+        assert found.uid == identity.get("alice").uid
+        assert found.resolver == "directory"
+        assert found.realm == "" and not found.federated
+
+    def test_unknown_user_is_an_authoritative_miss(self, identity):
+        resolver = DirectoryResolver(identity)
+        assert resolver.resolve("mallory") is None
+        assert resolver.stats() == {"lookups": 1, "hits": 0, "misses": 1, "errors": 0}
+
+    def test_realm_suffix_is_split_off_before_lookup(self, identity):
+        found = DirectoryResolver(identity).resolve("alice@center")
+        assert found is not None
+        assert found.username == "alice@center" and found.realm == "center"
+
+
+class TestLDAPSimResolver:
+    def test_resolves_via_subtree_search(self, identity, clock):
+        resolver = LDAPSimResolver(identity.ldap, clock=clock)
+        found = resolver.resolve("bob")
+        assert found.uid == identity.get("bob").uid
+        assert found.resolver == "ldap"
+
+    def test_outage_raises_unavailable_not_miss(self, identity, clock):
+        resolver = LDAPSimResolver(identity.ldap, clock=clock)
+        resolver.set_outage(True)
+        with pytest.raises(ResolverUnavailableError, match="down"):
+            resolver.resolve("alice")
+        assert resolver.stats()["errors"] == 1
+        resolver.set_outage(False)
+        assert resolver.resolve("alice") is not None
+
+    def test_health_reports_outage_and_latency(self, identity, clock):
+        resolver = LDAPSimResolver(identity.ldap, clock=clock, latency=0.25)
+        assert resolver.health() == {"available": True, "latency_seconds": 0.25}
+        resolver.set_outage(True)
+        assert resolver.health()["available"] is False
+
+    def test_injected_failures_burn_down_then_recover(self, identity, clock):
+        resolver = LDAPSimResolver(identity.ldap, clock=clock)
+        resolver.inject_failures(2)
+        for _ in range(2):
+            with pytest.raises(ResolverUnavailableError, match="timed out"):
+                resolver.resolve("alice")
+        assert resolver.resolve("alice") is not None
+
+    def test_latency_spends_clock_time(self, identity, clock):
+        resolver = LDAPSimResolver(identity.ldap, clock=clock, latency=1.5)
+        before = clock.now()
+        resolver.resolve("alice")
+        assert clock.now() - before == pytest.approx(1.5)
+
+
+class TestFlatFileResolver:
+    def test_parses_simple_and_passwd_style_lines(self):
+        resolver = FlatFileResolver(
+            "# service accounts\n"
+            "backup:9001\n"
+            "\n"
+            "daemon:x:9002:9002:Daemon:/var/empty:/sbin/nologin\n"
+        )
+        assert len(resolver) == 2
+        assert resolver.resolve("backup").uid == "9001"
+        assert resolver.resolve("daemon").uid == "9002"
+
+    def test_malformed_line_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="malformed flat-file line"):
+            FlatFileResolver("no-colon-here")
+
+    def test_add_and_miss(self):
+        resolver = FlatFileResolver()
+        resolver.add("ops", "42")
+        assert resolver.resolve("ops").uid == "42"
+        assert resolver.resolve("nobody") is None
+
+
+class TestCachedRemoteResolver:
+    def test_positive_hit_cached_for_ttl(self, identity, clock):
+        inner = LDAPSimResolver(identity.ldap, clock=clock)
+        cached = CachedRemoteResolver(inner, clock=clock, ttl=60.0)
+        cached.resolve("alice")
+        cached.resolve("alice")
+        assert cached.cache_hits == 1 and inner.lookups == 1
+        clock.advance(61.0)
+        cached.resolve("alice")
+        assert inner.lookups == 2
+
+    def test_negative_ttl_shorter_so_new_accounts_appear(self, identity, clock):
+        inner = DirectoryResolver(identity)
+        cached = CachedRemoteResolver(inner, clock=clock, ttl=300.0, negative_ttl=10.0)
+        assert cached.resolve("carol") is None
+        assert cached.resolve("carol") is None  # served from negative cache
+        assert inner.lookups == 1
+        clock.advance(11.0)
+        identity.create_account("carol", "carol@example.edu")
+        assert cached.resolve("carol") is not None
+
+    def test_unavailability_is_never_cached(self, identity, clock):
+        inner = LDAPSimResolver(identity.ldap, clock=clock)
+        cached = CachedRemoteResolver(inner, clock=clock)
+        inner.set_outage(True)
+        with pytest.raises(ResolverUnavailableError):
+            cached.resolve("alice")
+        inner.set_outage(False)
+        assert cached.resolve("alice") is not None
+
+    def test_invalidate_forces_refetch(self, identity, clock):
+        inner = DirectoryResolver(identity)
+        cached = CachedRemoteResolver(inner, clock=clock)
+        cached.resolve("alice")
+        cached.invalidate("alice")
+        cached.resolve("alice")
+        assert inner.lookups == 2
+
+    def test_ttls_must_be_positive(self, identity):
+        with pytest.raises(ValueError, match="TTLs must be positive"):
+            CachedRemoteResolver(DirectoryResolver(identity), ttl=0.0)

@@ -67,7 +67,19 @@ class TestDeterminism:
 
     def test_population_assignment_shared_across_scenarios(self, reports):
         populations = {s: r.summary()["population"] for s, r in reports.items()}
+        # The federated scenario deploys the soft-token cohort as federated
+        # pairings — same underlying assignment, one kind relabeled.
+        federated = populations.pop("federated", None)
         assert len({tuple(sorted(p.items())) for p in populations.values()}) == 1
+        if federated is not None:
+            baseline = populations["stuffing"]
+            # The soft cohort left the "totp" reporting group wholesale...
+            assert federated["federated"] + federated["totp"] == baseline["totp"]
+            assert federated["federated"] > 0
+            # ...and every other group is untouched.
+            for group, count in baseline.items():
+                if group != "totp":
+                    assert federated[group] == count
 
     def test_no_wall_clock_in_summary(self, reports):
         summary = reports["stuffing"].summary()
