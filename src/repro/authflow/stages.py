@@ -382,6 +382,16 @@ class DispatchByTokenType:
         code, feeding failcount, lockout and the risk stage.  When the
         risk stage answered STEP_UP, a valid assertion alone is not
         enough: the sealed local PIN must accompany it.
+
+        **One assertion per attempt**: ``verifier.verify`` burns the
+        nonce before the subject and step-up checks run, so an assertion
+        is consumed by its first submission even when that submission is
+        rejected (subject mismatch, missing step-up PIN).  A client that
+        hits STEP_UP cannot retry the same assertion with the PIN
+        appended — it must mint a fresh one.  This is deliberate: a
+        multi-use window would let an attacker who intercepts a rejected
+        assertion replay it, and it bounds brute-forcing the step-up PIN
+        at one guess per freshly issued assertion.
         """
         from repro.resolvers.federation import AssertionInvalid, split_assertion_code
 

@@ -16,9 +16,11 @@ Admission, in order:
    class can never starve another's admission.  Sheddable classes
    (``batch``, ``admin`` by default) are rejected when their bucket runs
    dry while ``critical``/``interactive``/``sms`` still enter — the
-   "overload sheds batch before critical" contract.  An *injected*
-   ``limiter`` keeps the historical single-shared-bucket semantics
-   (every submission drains one pool).
+   "overload sheds batch before critical" contract.  Per-class buckets
+   multiply aggregate capacity to ``rate × len(PriorityClass)``;
+   ``admission_scope="shared"`` (or an *injected* ``limiter``) keeps the
+   historical single-shared-bucket semantics, where the configured rate
+   is the aggregate cap and every submission drains one pool.
 2. **Backpressure shed** — at ``max_depth``, an arrival outranking the
    worst queued class evicts one item from that class (its ticket
    resolves REJECT with a ``shed:`` reason); otherwise the arrival
@@ -72,7 +74,13 @@ class IngestConfig:
     ``admission_rate``/``admission_burst`` build one private
     :class:`~repro.policy.TokenBucketLimiter` *per priority class* on the
     queue's clock when no limiter is injected (``None`` = no throttle
-    shedding); each class refills independently at the same rate.
+    shedding); each class refills independently at the same rate.  Note
+    the capacity semantics: with ``admission_scope="per_class"`` (the
+    default) the configured rate is a *per-class* budget, so aggregate
+    admission capacity is ``rate × len(PriorityClass)``.  Configs that
+    mean the rate as an *aggregate* cap set ``admission_scope="shared"``
+    to get one bucket every class drains (batch pressure can then starve
+    sheddable classes — the pre-per-class behavior).
     ``service_cost_seconds`` charges the clock per serviced item — zero
     for live threads (the runner's real work is the cost), a small value
     under virtual time so queue delay becomes measurable in simulated
@@ -87,6 +95,7 @@ class IngestConfig:
     )
     admission_rate: Optional[float] = None
     admission_burst: float = 100.0
+    admission_scope: str = "per_class"
     retry_base_delay: float = 0.5
     retry_max_delay: float = 30.0
     service_cost_seconds: float = 0.0
@@ -97,6 +106,8 @@ class IngestConfig:
             raise ValueError("max_depth must be >= 1")
         if self.admission_rate is not None and self.admission_rate <= 0:
             raise ValueError("admission_rate must be > 0 when set")
+        if self.admission_scope not in ("per_class", "shared"):
+            raise ValueError("admission_scope must be 'per_class' or 'shared'")
         if self.retry_base_delay <= 0 or self.retry_max_delay < self.retry_base_delay:
             raise ValueError("need 0 < retry_base_delay <= retry_max_delay")
         if self.service_cost_seconds < 0:
@@ -149,13 +160,18 @@ class IngestQueue:
                 rate=self.config.admission_rate,
                 burst=self.config.admission_burst,
             )
-            # One bucket per class: refill pressure from one class (a
-            # batch backfill hammering admission) cannot drain another
-            # class's tokens, so critical admission never starves.
-            self._class_limiters = {
-                cls: TokenBucketLimiter(bucket, clock=self._clock)
-                for cls in PriorityClass
-            }
+            if self.config.admission_scope == "shared":
+                # One pool at the configured rate: aggregate-cap semantics.
+                limiter = TokenBucketLimiter(bucket, clock=self._clock)
+            else:
+                # One bucket per class: refill pressure from one class (a
+                # batch backfill hammering admission) cannot drain another
+                # class's tokens, so critical admission never starves —
+                # and aggregate capacity is rate × number of classes.
+                self._class_limiters = {
+                    cls: TokenBucketLimiter(bucket, clock=self._clock)
+                    for cls in PriorityClass
+                }
         self._limiter = limiter
         self._shed_ranks = {CLASS_RANK[cls] for cls in self.config.shed_classes}
 

@@ -28,6 +28,28 @@ from repro.resolvers.base import (
     split_realm,
 )
 
+#: RFC 4515 metacharacters and their mandatory hex escapes.
+_FILTER_ESCAPES = {
+    "\\": "\\5c",
+    "*": "\\2a",
+    "(": "\\28",
+    ")": "\\29",
+    "\x00": "\\00",
+}
+
+
+def escape_filter_value(value: str) -> str:
+    """Escape RFC 4515 metacharacters so ``value`` is a literal assertion.
+
+    Usernames flow into search filters verbatim, so without this a
+    username of ``*`` wildcard-matches the first posixAccount (identity
+    confusion) and one containing ``(``/``)`` breaks filter parsing.
+    Escaped, the metacharacters can only match accounts whose uid
+    literally contains them — for any real directory that means a crafted
+    username is an authoritative miss, never a wildcard hit or a crash.
+    """
+    return "".join(_FILTER_ESCAPES.get(ch, ch) for ch in value)
+
 
 class DirectoryResolver(IdentityResolver):
     """Resolve against the center's identity back end (authoritative)."""
@@ -104,7 +126,8 @@ class LDAPSimResolver(IdentityResolver):
             self._clock.sleep(self._latency)
         local, realm = split_realm(username)
         entries = self._ldap.search(
-            self._base, f"(&(objectclass=posixaccount)(uid={local}))"
+            self._base,
+            f"(&(objectclass=posixaccount)(uid={escape_filter_value(local)}))",
         )
         if not entries:
             return None
@@ -120,8 +143,11 @@ class FlatFileResolver(IdentityResolver):
     """Resolve from passwd-style ``username:uid`` lines.
 
     Blank lines and ``#`` comments are ignored, like every Unix table
-    file.  Extra colon-separated fields beyond the first two are allowed
-    and ignored, so a real ``/etc/passwd`` excerpt parses as-is.
+    file.  A real ``/etc/passwd`` excerpt parses as-is: when a line has
+    three or more fields and the second is non-numeric (a password
+    placeholder like ``x``, ``*``, ``!`` or a hash), the uid is the
+    third field; otherwise the second field is the uid.  Extra fields
+    beyond the uid are ignored.
     """
 
     def __init__(self, text: str = "", name: str = "flatfile") -> None:
@@ -134,7 +160,11 @@ class FlatFileResolver(IdentityResolver):
             parts = line.split(":")
             if len(parts) < 2 or not parts[0]:
                 raise ValueError(f"malformed flat-file line: {line!r}")
-            self._table[parts[0]] = parts[2] if parts[1] == "x" else parts[1]
+            if len(parts) >= 3 and not parts[1].isdigit():
+                uid = parts[2]
+            else:
+                uid = parts[1]
+            self._table[parts[0]] = uid
 
     def add(self, username: str, uid: str) -> None:
         self._table[username] = str(uid)

@@ -151,22 +151,25 @@ class ResolverChain:
     # -- resolution --------------------------------------------------------
 
     def _candidates(self, route: List[IdentityResolver], now: float):
-        """Resolvers worth trying: due probes first (so an ejected resolver
-        can actually recover even while a healthy fallback keeps answering),
-        then healthy circuits best-score-first."""
+        """``(resolver, needs_probe)`` pairs worth trying: due probes first
+        (so an ejected resolver can actually recover even while a healthy
+        fallback keeps answering), then healthy circuits best-score-first.
+        ``begin_probe`` is deferred to the resolve loop: enumerating a due
+        probe must not reset its timer, or a probe skipped because an
+        earlier candidate answered would wait a whole extra backed-off
+        interval before really being tried."""
         closed = []
         probes = []
         for resolver in route:
             state = self._tracker.state(resolver.name)
             if state is CircuitState.CLOSED:
-                closed.append(resolver)
+                closed.append((resolver, False))
             elif self._tracker.probe_due(resolver.name, now):
-                self._tracker.begin_probe(resolver.name, now)
-                probes.append(resolver)
+                probes.append((resolver, True))
         closed.sort(
-            key=lambda r: (
-                -self._tracker.health(r.name).score,
-                self._order[r.name],
+            key=lambda pair: (
+                -self._tracker.health(pair[0].name).score,
+                self._order[pair[0].name],
             )
         )
         return probes + closed
@@ -197,8 +200,10 @@ class ResolverChain:
             self._cache_put(username, None)
             return None
         attempts = 0
-        for resolver in self._candidates(route, now):
+        for resolver, needs_probe in self._candidates(route, now):
             attempts += 1
+            if needs_probe:
+                self._tracker.begin_probe(resolver.name, self.clock.now())
             began = self.clock.now()
             try:
                 identity = resolver.resolve(username)

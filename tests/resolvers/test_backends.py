@@ -10,6 +10,7 @@ from repro.resolvers import (
     FlatFileResolver,
     LDAPSimResolver,
     ResolverUnavailableError,
+    escape_filter_value,
 )
 
 
@@ -81,6 +82,31 @@ class TestLDAPSimResolver:
         resolver.resolve("alice")
         assert clock.now() - before == pytest.approx(1.5)
 
+    def test_wildcard_username_is_a_miss_not_identity_confusion(
+        self, identity, clock
+    ):
+        # Unescaped, uid=* wildcard-matches the first posixAccount —
+        # logging in as "*" would resolve to some arbitrary real user.
+        resolver = LDAPSimResolver(identity.ldap, clock=clock)
+        assert resolver.resolve("*") is None
+        assert resolver.resolve("ali*") is None
+        assert resolver.resolve("alice") is not None
+
+    def test_filter_metacharacters_miss_instead_of_crashing(
+        self, identity, clock
+    ):
+        # Unescaped parens broke parse_filter with an uncaught ValueError,
+        # crashing the whole validate request.
+        resolver = LDAPSimResolver(identity.ldap, clock=clock)
+        for crafted in ["a)(uid=alice", "(", ")", "x\\y", "a\x00b"]:
+            assert resolver.resolve(crafted) is None
+        assert resolver.stats()["errors"] == 0
+
+    def test_escape_filter_value_covers_rfc4515_metacharacters(self):
+        assert escape_filter_value("alice") == "alice"
+        assert escape_filter_value("*") == "\\2a"
+        assert escape_filter_value("a(b)c\\d\x00") == "a\\28b\\29c\\5cd\\00"
+
 
 class TestFlatFileResolver:
     def test_parses_simple_and_passwd_style_lines(self):
@@ -97,6 +123,28 @@ class TestFlatFileResolver:
     def test_malformed_line_rejected_at_construction(self):
         with pytest.raises(ValueError, match="malformed flat-file line"):
             FlatFileResolver("no-colon-here")
+
+    def test_two_field_line_with_placeholder_uid_does_not_crash(self):
+        # 'alice:x' used to raise an uncaught IndexError reaching for a
+        # third field that is not there.
+        resolver = FlatFileResolver("alice:x")
+        assert resolver.resolve("alice").uid == "x"
+
+    def test_passwd_lines_with_non_x_password_fields_map_the_real_uid(self):
+        # Locked accounts ('*', '!') and hash-bearing rows are real
+        # /etc/passwd shapes; the uid is the third field for all of them.
+        resolver = FlatFileResolver(
+            "locked:*:9100:9100::/var/empty:/sbin/nologin\n"
+            "disabled:!:9101:9101::/var/empty:/sbin/nologin\n"
+            "hashed:$6$salt$digest:9102:9102::/home/hashed:/bin/sh\n"
+        )
+        assert resolver.resolve("locked").uid == "9100"
+        assert resolver.resolve("disabled").uid == "9101"
+        assert resolver.resolve("hashed").uid == "9102"
+
+    def test_numeric_second_field_is_the_uid_even_with_extra_fields(self):
+        resolver = FlatFileResolver("backup:9001:comment:ignored")
+        assert resolver.resolve("backup").uid == "9001"
 
     def test_add_and_miss(self):
         resolver = FlatFileResolver()

@@ -130,6 +130,34 @@ class TestFailover:
         assert primary.errors == 1
         assert chain.failovers == 1
 
+    def test_untried_due_probe_is_not_consumed_by_enumeration(self, clock):
+        """Enumerating candidates must not burn a probe: when two circuits
+        are due and the first probe answers, the second resolver was never
+        actually tried, so it must stay OPEN with its timer intact and be
+        probed (and recover) on the very next lookup — not sit HALF_OPEN
+        waiting out another backed-off interval."""
+        policy = FailoverPolicy(failure_threshold=1, probe_interval=30.0)
+        chain = make_chain(clock, policy=policy)
+        a = chain.register(StubResolver("a", users=["alice"], down=True))
+        b = chain.register(StubResolver("b", users=["alice"], down=True))
+        with pytest.raises(ResolverUnavailableError):
+            chain.resolve("alice")  # both circuits open
+        clock.advance(31.0)  # both probes due
+        a.down = False
+        assert chain.resolve("alice").resolver == "a"  # a's probe answers
+        assert b.lookups == 1  # b was not tried again
+        snap = chain.snapshot()["resolvers"]
+        assert snap["b"]["state"] == CircuitState.OPEN.value
+        # b's probe is still due, so the moment it comes back it recovers
+        # on the next lookup instead of waiting out a fresh interval.
+        chain.invalidate()
+        b.down = False
+        assert chain.resolve("alice").resolver == "b"
+        assert (
+            chain.snapshot()["resolvers"]["b"]["state"]
+            == CircuitState.CLOSED.value
+        )
+
     def test_sole_resolver_circuit_opens_then_probe_recovers(self, clock):
         policy = FailoverPolicy(failure_threshold=3, probe_interval=30.0)
         chain = make_chain(clock, policy=policy)
